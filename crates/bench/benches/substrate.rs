@@ -1,0 +1,165 @@
+//! E9 (Table 4a): substrate micro-benchmarks — the CPU kernels behind
+//! the virtual-latency experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drugtree_chem::canonical::canonical_smiles;
+use drugtree_chem::fingerprint::Fingerprint;
+use drugtree_chem::similarity::tanimoto;
+use drugtree_chem::smiles::{parse_smiles, write_smiles};
+use drugtree_chem::substructure::{fingerprint_prescreen, is_substructure};
+use drugtree_phylo::align::{global_align, GapPenalty};
+use drugtree_phylo::compare::robinson_foulds;
+use drugtree_phylo::distance::{pairwise_distances, DistanceModel};
+use drugtree_phylo::index::TreeIndex;
+use drugtree_phylo::matrices::ScoringMatrix;
+use drugtree_phylo::newick::{parse_newick, to_newick};
+use drugtree_phylo::nj::neighbor_joining;
+use drugtree_phylo::upgma::upgma;
+use drugtree_workload::ligands::random_ligands;
+use drugtree_workload::phylogeny::{evolve_sequences, random_tree};
+use std::hint::black_box;
+
+fn bench_alignment(c: &mut Criterion) {
+    let tree = random_tree(2, 1);
+    let seqs = evolve_sequences(&tree, 200, 1);
+    let matrix = ScoringMatrix::blosum62();
+    c.bench_function("align/needleman_wunsch_200x200", |b| {
+        b.iter(|| {
+            global_align(
+                black_box(seqs[0].residues()),
+                black_box(seqs[1].residues()),
+                &matrix,
+                GapPenalty::BLOSUM62_DEFAULT,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let tree = random_tree(48, 2);
+    let seqs = evolve_sequences(&tree, 60, 2);
+    let dm = pairwise_distances(
+        &seqs,
+        &ScoringMatrix::blosum62(),
+        GapPenalty::BLOSUM62_DEFAULT,
+        DistanceModel::Poisson,
+    )
+    .unwrap();
+    c.bench_function("tree/neighbor_joining_48_taxa", |b| {
+        b.iter(|| neighbor_joining(black_box(&dm)).unwrap())
+    });
+    c.bench_function("tree/upgma_48_taxa", |b| {
+        b.iter(|| upgma(black_box(&dm)).unwrap())
+    });
+}
+
+fn bench_tree_index(c: &mut Criterion) {
+    let tree = random_tree(1024, 3);
+    c.bench_function("index/build_1024_leaves", |b| {
+        b.iter(|| TreeIndex::build(black_box(&tree)))
+    });
+    let index = TreeIndex::build(&tree);
+    let nodes: Vec<_> = tree.node_ids().collect();
+    c.bench_function("index/lca_1024_leaves", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = nodes[i % nodes.len()];
+            let z = nodes[(i * 7 + 13) % nodes.len()];
+            i += 1;
+            black_box(index.lca(a, z))
+        })
+    });
+}
+
+fn bench_newick(c: &mut Criterion) {
+    let tree = random_tree(512, 4);
+    let text = to_newick(&tree);
+    c.bench_function("newick/parse_512_leaves", |b| {
+        b.iter(|| parse_newick(black_box(&text)).unwrap())
+    });
+    c.bench_function("newick/write_512_leaves", |b| {
+        b.iter(|| to_newick(black_box(&tree)))
+    });
+}
+
+fn bench_chem(c: &mut Criterion) {
+    let caffeine = "Cn1cnc2c1c(=O)n(C)c(=O)n2C";
+    c.bench_function("smiles/parse_caffeine", |b| {
+        b.iter(|| parse_smiles(black_box(caffeine)).unwrap())
+    });
+    let mol = parse_smiles(caffeine).unwrap();
+    c.bench_function("smiles/write_caffeine", |b| {
+        b.iter(|| write_smiles(black_box(&mol)))
+    });
+    c.bench_function("fingerprint/caffeine", |b| {
+        b.iter(|| Fingerprint::of_molecule(black_box(&mol)))
+    });
+
+    let ligands = random_ligands(256, 5);
+    let fps: Vec<Fingerprint> = ligands
+        .iter()
+        .map(|l| Fingerprint::of_molecule(&parse_smiles(&l.smiles).unwrap()))
+        .collect();
+    c.bench_function("similarity/tanimoto_256_candidates", |b| {
+        b.iter_batched(
+            || fps[0].clone(),
+            |query| {
+                let best = fps
+                    .iter()
+                    .map(|f| tanimoto(&query, f))
+                    .fold(0.0f64, f64::max);
+                black_box(best)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_substructure_and_canonical(c: &mut Criterion) {
+    let ligands = random_ligands(128, 9);
+    let mols: Vec<_> = ligands
+        .iter()
+        .map(|l| parse_smiles(&l.smiles).unwrap())
+        .collect();
+    let fps: Vec<Fingerprint> = mols.iter().map(Fingerprint::of_molecule).collect();
+    let pattern = parse_smiles("CCO").unwrap();
+    let pattern_fp = Fingerprint::of_molecule(&pattern);
+
+    c.bench_function("substructure/screen_128_candidates", |b| {
+        b.iter(|| {
+            let hits = mols
+                .iter()
+                .zip(&fps)
+                .filter(|(m, fp)| {
+                    fingerprint_prescreen(&pattern_fp, fp) && is_substructure(&pattern, m)
+                })
+                .count();
+            black_box(hits)
+        })
+    });
+    c.bench_function("canonical/caffeine", |b| {
+        let caffeine = parse_smiles("Cn1cnc2c1c(=O)n(C)c(=O)n2C").unwrap();
+        b.iter(|| canonical_smiles(black_box(&caffeine)))
+    });
+}
+
+fn bench_tree_compare(c: &mut Criterion) {
+    let a = random_tree(256, 11);
+    let b_tree = random_tree(256, 12);
+    c.bench_function("compare/robinson_foulds_256_leaves", |b| {
+        b.iter(|| robinson_foulds(black_box(&a), black_box(&b_tree)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_alignment,
+    bench_tree_construction,
+    bench_tree_index,
+    bench_newick,
+    bench_chem,
+    bench_substructure_and_canonical,
+    bench_tree_compare
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! The experiment harness binary.
+//!
+//! ```sh
+//! cargo run --release -p drugtree-bench --bin experiments          # all
+//! cargo run --release -p drugtree-bench --bin experiments e3 e5   # subset
+//! cargo run --release -p drugtree-bench --bin experiments -- --quick all
+//! ```
+//!
+//! Prints each reconstructed table/figure series (DESIGN.md §5) and
+//! writes the machine-readable results to `bench_results/<id>.json`.
+
+use drugtree_bench::table::ExperimentTable;
+use drugtree_bench::RunConfig;
+
+/// One experiment: id + runner.
+type Experiment = (&'static str, fn(RunConfig) -> ExperimentTable);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = selected.is_empty() || selected.contains(&"all");
+    let config = RunConfig { quick };
+
+    let experiments: Vec<Experiment> = vec![
+        ("e1", drugtree_bench::e1_query_classes::run),
+        ("e2", drugtree_bench::e2_scalability::run),
+        ("e3", drugtree_bench::e3_cache::run),
+        ("e4", drugtree_bench::e4_ablation::run),
+        ("e5", drugtree_bench::e5_network::run),
+        ("e6", drugtree_bench::e6_federation::run),
+        ("e7", drugtree_bench::e7_matview::run),
+        ("e8", drugtree_bench::e8_lod::run),
+        ("e10", drugtree_bench::e10_prefetch::run),
+    ];
+
+    let out_dir = std::path::Path::new("bench_results");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+    }
+
+    for (name, runner) in experiments {
+        if !(all || selected.contains(&name)) {
+            continue;
+        }
+        let started = std::time::Instant::now();
+        let table = runner(config);
+        println!("{}", table.render());
+        println!("(harness wall time: {:?})\n", started.elapsed());
+        match serde_json::to_string_pretty(&table) {
+            Ok(json) => {
+                let path = out_dir.join(format!("{name}.json"));
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! E1 (Table 1): end-to-end query latency by class, naive vs optimized.
+//!
+//! Paper-shape expectation: the optimized configuration wins every
+//! class, with the largest factor on subtree listings (batching +
+//! caching dominate the per-leaf round-trips).
+
+use crate::table::ExperimentTable;
+use crate::{fmt_ms, mean, RunConfig};
+use drugtree::prelude::*;
+use drugtree_workload::queries::{class_stream, QueryClass, QueryWorkloadConfig};
+use std::time::Duration;
+
+/// Run E1.
+pub fn run(config: RunConfig) -> ExperimentTable {
+    let (leaves, ligands, per_class) = if config.quick {
+        (64, 16, 8)
+    } else {
+        (512, 64, 50)
+    };
+    let bundle = SyntheticBundle::generate(
+        &WorkloadSpec::default()
+            .leaves(leaves)
+            .ligands(ligands)
+            .seed(101),
+    );
+
+    let mut table = ExperimentTable::new(
+        "E1 (Table 1)",
+        format!("query latency by class, {leaves} leaves, {per_class} queries/class"),
+        vec![
+            "class",
+            "naive mean",
+            "naive reqs",
+            "opt mean",
+            "opt reqs",
+            "speedup",
+        ],
+    );
+
+    for class in QueryClass::ALL {
+        let queries = class_stream(
+            class,
+            &bundle.tree,
+            &bundle.index,
+            &bundle.ligands,
+            &QueryWorkloadConfig {
+                len: per_class,
+                seed: 61,
+                scope_theta: 0.8,
+            },
+        );
+
+        let measure = |cfg: OptimizerConfig| -> (Duration, f64) {
+            let system = DrugTree::builder()
+                .dataset(bundle.build_dataset())
+                .optimizer(cfg)
+                .build()
+                .expect("system builds");
+            let mut latencies = Vec::with_capacity(queries.len());
+            let mut requests = 0usize;
+            for q in &queries {
+                let r = system.execute(q).expect("query executes");
+                latencies.push(r.metrics.virtual_cost);
+                requests += r.metrics.source_requests;
+            }
+            (mean(&latencies), requests as f64 / queries.len() as f64)
+        };
+
+        let (naive_mean, naive_reqs) = measure(OptimizerConfig::naive());
+        let (opt_mean, opt_reqs) = measure(OptimizerConfig::full());
+        let speedup = naive_mean.as_secs_f64() / opt_mean.as_secs_f64().max(1e-9);
+        table.row(vec![
+            class.label().to_string(),
+            fmt_ms(naive_mean),
+            format!("{naive_reqs:.1}"),
+            fmt_ms(opt_mean),
+            format!("{opt_reqs:.2}"),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    table.note(format!(
+        "{} activity records; Zipf(0.8) scope skew; web-API latency model (~120ms RTT)",
+        bundle.activities.len()
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_speedups_everywhere() {
+        let t = run(RunConfig { quick: true });
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let speedup: f64 = row[5]
+                .trim_end_matches('x')
+                .parse()
+                .expect("speedup parses");
+            assert!(speedup > 1.0, "{} not sped up: {row:?}", row[0]);
+        }
+    }
+}

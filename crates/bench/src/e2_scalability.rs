@@ -1,0 +1,104 @@
+//! E2 (Fig 1): query latency vs tree size.
+//!
+//! Paper-shape expectation: naive latency grows roughly linearly in
+//! the number of leaves (one round-trip per leaf), while the optimized
+//! path stays near-flat until result size dominates transfer.
+
+use crate::table::ExperimentTable;
+use crate::{fmt_ms, mean, RunConfig};
+use drugtree::prelude::*;
+use drugtree_workload::queries::{class_stream, QueryClass, QueryWorkloadConfig};
+use std::time::Duration;
+
+/// Run E2.
+pub fn run(config: RunConfig) -> ExperimentTable {
+    let sizes: Vec<usize> = if config.quick {
+        vec![32, 64, 128]
+    } else {
+        vec![64, 128, 256, 512, 1024, 2048, 4096]
+    };
+    let per_size = if config.quick { 6 } else { 25 };
+
+    let mut table = ExperimentTable::new(
+        "E2 (Fig 1)",
+        "subtree-listing latency vs tree size (series: naive, optimized)",
+        vec!["leaves", "naive mean", "optimized mean", "ratio"],
+    );
+
+    let mut naive_series: Vec<(usize, Duration)> = Vec::new();
+    for &leaves in &sizes {
+        let bundle = SyntheticBundle::generate(
+            &WorkloadSpec::default()
+                .leaves(leaves)
+                .ligands((leaves / 8).max(8))
+                .seed(202),
+        );
+        let queries = class_stream(
+            QueryClass::SubtreeListing,
+            &bundle.tree,
+            &bundle.index,
+            &bundle.ligands,
+            &QueryWorkloadConfig {
+                len: per_size,
+                seed: 71,
+                scope_theta: 0.5,
+            },
+        );
+        let measure = |cfg: OptimizerConfig| {
+            let system = DrugTree::builder()
+                .dataset(bundle.build_dataset())
+                .optimizer(cfg)
+                .build()
+                .expect("system builds");
+            let latencies: Vec<Duration> = queries
+                .iter()
+                .map(|q| system.execute(q).expect("executes").metrics.virtual_cost)
+                .collect();
+            mean(&latencies)
+        };
+        let naive = measure(OptimizerConfig::naive());
+        let optimized = measure(OptimizerConfig::full());
+        naive_series.push((leaves, naive));
+        table.row(vec![
+            leaves.to_string(),
+            fmt_ms(naive),
+            fmt_ms(optimized),
+            format!(
+                "{:.1}x",
+                naive.as_secs_f64() / optimized.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+
+    // Quantify the naive growth for the note.
+    if let (Some(first), Some(last)) = (naive_series.first(), naive_series.last()) {
+        let growth = last.1.as_secs_f64() / first.1.as_secs_f64().max(1e-9);
+        let size_growth = last.0 as f64 / first.0 as f64;
+        table.note(format!(
+            "naive latency grew {growth:.1}x over a {size_growth:.0}x size increase"
+        ));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_grows_with_size_optimized_grows_slower() {
+        let t = run(RunConfig { quick: true });
+        assert_eq!(t.rows.len(), 3);
+        let ratios: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[3].trim_end_matches('x').parse().expect("parses"))
+            .collect();
+        // The advantage widens (or at least holds) as the tree grows.
+        assert!(
+            ratios.last().unwrap() >= ratios.first().unwrap(),
+            "ratios {ratios:?}"
+        );
+        assert!(ratios.iter().all(|&r| r > 1.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! E6 (Fig 4): federation cost vs number of sources, batching on/off.
+//!
+//! Paper-shape expectation: unbatched latency scales with
+//! `sources × leaves` round-trips (and sequential source dispatch adds
+//! them up); batched + concurrent dispatch pays roughly one RTT per
+//! query regardless of the federation width.
+
+use crate::table::ExperimentTable;
+use crate::{fmt_ms, mean, RunConfig};
+use drugtree::prelude::*;
+use drugtree_workload::queries::{class_stream, QueryClass, QueryWorkloadConfig};
+use std::time::Duration;
+
+/// Run E6.
+pub fn run(config: RunConfig) -> ExperimentTable {
+    let (leaves, n_queries) = if config.quick { (64, 8) } else { (256, 30) };
+    let source_counts: Vec<usize> = if config.quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 3, 4, 5, 6]
+    };
+
+    let mut table = ExperimentTable::new(
+        "E6 (Fig 4)",
+        format!("federation cost vs source count, {leaves} leaves"),
+        vec!["sources", "unbatched mean", "batched mean", "ratio"],
+    );
+
+    for &n_sources in &source_counts {
+        let bundle = SyntheticBundle::generate(
+            &WorkloadSpec::default()
+                .leaves(leaves)
+                .ligands(leaves / 8)
+                .seed(707)
+                .assay_sources(n_sources),
+        );
+        let queries = class_stream(
+            QueryClass::SubtreeListing,
+            &bundle.tree,
+            &bundle.index,
+            &bundle.ligands,
+            &QueryWorkloadConfig {
+                len: n_queries,
+                seed: 55,
+                scope_theta: 0.5,
+            },
+        );
+        let measure = |cfg: OptimizerConfig| -> Duration {
+            let system = DrugTree::builder()
+                .dataset(bundle.build_dataset())
+                .optimizer(cfg)
+                .build()
+                .expect("builds");
+            let latencies: Vec<Duration> = queries
+                .iter()
+                .map(|q| system.execute(q).expect("executes").metrics.virtual_cost)
+                .collect();
+            mean(&latencies)
+        };
+        // "Unbatched" isolates the fetch shape: cache and pruning off
+        // too, matching the naive per-leaf access pattern.
+        let unbatched = measure(OptimizerConfig::naive());
+        // "Batched" enables only the fetch-side rules so the cache
+        // cannot mask the effect.
+        let mut batched_cfg = OptimizerConfig::naive();
+        batched_cfg.batching = true;
+        batched_cfg.concurrent_dispatch = true;
+        let batched = measure(batched_cfg);
+        table.row(vec![
+            n_sources.to_string(),
+            fmt_ms(unbatched),
+            fmt_ms(batched),
+            format!(
+                "{:.1}x",
+                unbatched.as_secs_f64() / batched.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    table.note("batched = batching + concurrent dispatch only (cache/pruning disabled)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbatched_scales_with_sources_batched_stays_flat() {
+        let t = run(RunConfig { quick: true });
+        let ms = |cell: &str| -> f64 {
+            if let Some(stripped) = cell.strip_suffix("ms") {
+                stripped.parse().expect("ms parses")
+            } else {
+                cell.trim_end_matches('s').parse::<f64>().expect("s parses") * 1e3
+            }
+        };
+        let first = &t.rows[0];
+        let last = t.rows.last().expect("rows");
+        // Unbatched grows substantially with federation width.
+        assert!(
+            ms(&last[1]) > ms(&first[1]) * 2.0,
+            "unbatched did not scale: {t:?}"
+        );
+        // Batched grows far slower than proportionally.
+        assert!(
+            ms(&last[2]) < ms(&first[2]) * 3.0,
+            "batched scaled too fast: {t:?}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! E8 (Fig 5): level-of-detail rendering — payload bytes and items vs
+//! zoom depth.
+//!
+//! Paper-shape expectation: without LOD the payload grows with the
+//! number of visible leaves; with LOD it stays bounded by what a phone
+//! screen can resolve, independent of how much tree is in view.
+
+use crate::table::ExperimentTable;
+use crate::RunConfig;
+use drugtree::prelude::*;
+use drugtree_mobile::lod::render_visible;
+use drugtree_mobile::viewport::Viewport;
+use drugtree_phylo::index::LeafInterval;
+
+/// Run E8.
+pub fn run(config: RunConfig) -> ExperimentTable {
+    let leaves: u32 = if config.quick { 1024 } else { 8192 };
+    let bundle = SyntheticBundle::generate(
+        &WorkloadSpec::default()
+            .leaves(leaves as usize)
+            .ligands(16)
+            .seed(909),
+    );
+    let layout = drugtree_mobile::layout::TreeLayout::compute(&bundle.tree, &bundle.index);
+
+    let mut table = ExperimentTable::new(
+        "E8 (Fig 5)",
+        format!("LOD rendering vs zoom depth, {leaves}-leaf tree, 320x480 screen"),
+        vec![
+            "zoom",
+            "visible leaves",
+            "drawn leaves",
+            "collapsed glyphs",
+            "LOD payload",
+            "full payload",
+        ],
+    );
+
+    let mut zoom = 0u32;
+    loop {
+        let span = (leaves >> zoom).max(1);
+        let mut viewport = Viewport::fullscreen(&layout);
+        viewport.focus_interval(LeafInterval { lo: 0, hi: span });
+        let render = render_visible(&bundle.tree, &bundle.index, &viewport, &layout);
+        // "Full payload": what shipping every visible leaf as an
+        // individually drawn item would cost (24 bytes + label).
+        let full_payload: usize = (0..span)
+            .map(|r| {
+                let leaf = bundle.index.leaf_at(r).expect("rank valid");
+                24 + bundle
+                    .tree
+                    .node_unchecked(leaf)
+                    .label
+                    .as_deref()
+                    .map_or(0, str::len)
+            })
+            .sum();
+        let glyphs = render
+            .items
+            .iter()
+            .filter(|i| matches!(i, drugtree_mobile::lod::RenderItem::Collapsed { .. }))
+            .count();
+        table.row(vec![
+            format!("1/{}", 1u32 << zoom),
+            span.to_string(),
+            render.visible_leaves.to_string(),
+            glyphs.to_string(),
+            format!("{} B", render.payload_bytes),
+            format!("{full_payload} B"),
+        ]);
+        if span == 1 {
+            break;
+        }
+        zoom += 1;
+        if zoom > 14 {
+            break;
+        }
+    }
+    table.note("LOD collapses clades under 12px; full payload assumes no collapsing");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lod_caps_payload_at_low_zoom() {
+        let t = run(RunConfig { quick: true });
+        let bytes =
+            |cell: &str| -> usize { cell.trim_end_matches(" B").parse().expect("bytes parse") };
+        // Fully zoomed out: LOD payload must be a small fraction of the
+        // full payload.
+        let first = &t.rows[0];
+        assert!(
+            bytes(&first[4]) * 5 < bytes(&first[5]),
+            "LOD not effective at zoom 1/1: {first:?}"
+        );
+        // Fully zoomed in: LOD and full converge (everything drawn).
+        let last = t.rows.last().expect("rows");
+        assert_eq!(last[1], "1");
+        assert_eq!(last[2], "1");
+    }
+}

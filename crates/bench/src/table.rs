@@ -1,0 +1,106 @@
+//! Plain-text table rendering for the experiment harness.
+
+use serde::Serialize;
+
+/// One experiment's output table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentTable {
+    /// Experiment id ("E1 (Table 1)").
+    pub id: String,
+    /// Title line.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes (workload parameters, observations).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentTable {
+    /// Build a table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: Vec<&str>,
+    ) -> ExperimentTable {
+        ExperimentTable {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; arity must match the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = format!("== {}: {}\n", self.id, self.title);
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = ExperimentTable::new("E0", "demo", vec!["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "222".into()]);
+        t.note("a note");
+        let text = t.render();
+        assert!(text.contains("== E0: demo"));
+        assert!(text.contains("longer-name"));
+        assert!(text.contains("note: a note"));
+        // Aligned: both value cells end at the same column.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len().max(lines[2].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = ExperimentTable::new("E0", "demo", vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

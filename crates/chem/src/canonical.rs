@@ -1,0 +1,279 @@
+//! Canonical atom ranking and canonical SMILES.
+//!
+//! The federation problem in miniature: two sources describe the same
+//! compound with differently-written SMILES. Canonicalization gives
+//! every molecule a unique text form so ligand identity survives
+//! integration. The algorithm is the classic Morgan/invariant-
+//! refinement scheme: start from local atom invariants, iteratively
+//! refine by neighbor rank multisets, and break remaining ties
+//! deterministically; the canonical SMILES is then written by a DFS
+//! that always prefers the lowest-ranked atom.
+
+use crate::mol::{BondOrder, Molecule};
+use crate::smiles::write_smiles_ordered;
+
+/// Canonical ranks (0-based, dense) for every atom.
+///
+/// Equal ranks are possible only for atoms in genuinely symmetric
+/// positions *after* tie-breaking has split every class — i.e. never:
+/// the result is a permutation.
+pub fn canonical_ranks(mol: &Molecule) -> Vec<u32> {
+    let n = mol.atom_count();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Initial invariant per atom: (element, aromatic, charge, degree,
+    // H count, ring membership).
+    let ring_atoms = mol.ring_atoms();
+    let mut classes: Vec<u64> = (0..n as u32)
+        .map(|i| {
+            let a = &mol.atoms()[i as usize];
+            let mut inv: u64 = a.element as u64;
+            inv = inv << 1 | u64::from(a.aromatic);
+            inv = inv << 8 | (a.charge as i16 as u16 as u64 & 0xFF);
+            inv = inv << 4 | mol.degree(i) as u64;
+            inv = inv << 4 | mol.hydrogens(i) as u64;
+            inv = inv << 1 | u64::from(ring_atoms[i as usize]);
+            inv
+        })
+        .collect();
+    classes = densify(&classes);
+
+    // Iterative refinement: a round recomputes each atom's class from
+    // (own class, sorted multiset of (bond order, neighbor class)).
+    loop {
+        let mut next: Vec<u64> = Vec::with_capacity(n);
+        for i in 0..n as u32 {
+            let mut neigh: Vec<(u8, u64)> = mol
+                .neighbors(i)
+                .iter()
+                .map(|&(to, b)| {
+                    (
+                        match mol.bonds()[b as usize].order {
+                            BondOrder::Single => 1u8,
+                            BondOrder::Double => 2,
+                            BondOrder::Triple => 3,
+                            BondOrder::Aromatic => 4,
+                        },
+                        classes[to as usize],
+                    )
+                })
+                .collect();
+            neigh.sort_unstable();
+            let mut h: u64 = classes[i as usize].wrapping_mul(0x100000001B3);
+            for (order, class) in neigh {
+                h = h
+                    .rotate_left(7)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((order as u64) << 56 | class);
+            }
+            next.push(h);
+        }
+        let refined = densify(&next);
+        let old_count = count_classes(&classes);
+        let new_count = count_classes(&refined);
+        // Refinement may relabel classes even when their count is
+        // stable; compare by partition coarseness, not labels.
+        if new_count == old_count && same_partition(&classes, &refined) {
+            break;
+        }
+        classes = refined;
+    }
+
+    // Tie-breaking: while any class holds more than one atom, single
+    // out its lowest-index member and re-refine. Deterministic, and
+    // each pass strictly increases the class count, so it terminates.
+    while count_classes(&classes) < n {
+        let mut by_class: std::collections::BTreeMap<u64, Vec<u32>> = Default::default();
+        for (i, &c) in classes.iter().enumerate() {
+            by_class.entry(c).or_default().push(i as u32);
+        }
+        let victim = by_class
+            .values()
+            .find(|members| members.len() > 1)
+            .map(|members| members[0])
+            .expect("a duplicated class exists");
+        // Give the victim a fresh, smaller-than-everything class and
+        // re-refine to propagate the asymmetry.
+        let max = *classes.iter().max().expect("nonempty") + 1;
+        classes[victim as usize] = max;
+        classes = densify(&classes);
+        loop {
+            let mut next: Vec<u64> = Vec::with_capacity(n);
+            for i in 0..n as u32 {
+                let mut neigh: Vec<u64> = mol
+                    .neighbors(i)
+                    .iter()
+                    .map(|&(to, _)| classes[to as usize])
+                    .collect();
+                neigh.sort_unstable();
+                let mut h: u64 = classes[i as usize].wrapping_mul(0x100000001B3);
+                for class in neigh {
+                    h = h
+                        .rotate_left(9)
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .wrapping_add(class);
+                }
+                next.push(h);
+            }
+            let refined = densify(&next);
+            if same_partition(&classes, &refined) {
+                break;
+            }
+            classes = refined;
+        }
+    }
+
+    classes.iter().map(|&c| c as u32).collect()
+}
+
+/// Map arbitrary class values onto dense 0..k ranks (order-preserving).
+fn densify(classes: &[u64]) -> Vec<u64> {
+    let mut sorted: Vec<u64> = classes.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    classes
+        .iter()
+        .map(|c| sorted.binary_search(c).expect("present") as u64)
+        .collect()
+}
+
+fn count_classes(classes: &[u64]) -> usize {
+    let mut sorted: Vec<u64> = classes.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// Do two labelings induce the same partition of atoms?
+fn same_partition(a: &[u64], b: &[u64]) -> bool {
+    let mut map_ab = std::collections::HashMap::new();
+    let mut map_ba = std::collections::HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        if *map_ab.entry(x).or_insert(y) != y || *map_ba.entry(y).or_insert(x) != x {
+            return false;
+        }
+    }
+    true
+}
+
+/// A canonical SMILES: identical for any atom ordering of the same
+/// molecule.
+pub fn canonical_smiles(mol: &Molecule) -> String {
+    let ranks = canonical_ranks(mol);
+    write_smiles_ordered(mol, &ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mol::{Atom, Molecule};
+    use crate::smiles::parse_smiles;
+
+    /// Rebuild a molecule with its atoms permuted.
+    fn permute(mol: &Molecule, perm: &[u32]) -> Molecule {
+        // perm[old] = new position.
+        let mut out = Molecule::new();
+        let mut order: Vec<u32> = (0..mol.atom_count() as u32).collect();
+        order.sort_by_key(|&old| perm[old as usize]);
+        let mut new_index = vec![0u32; mol.atom_count()];
+        for &old in &order {
+            new_index[old as usize] = out.add_atom(mol.atoms()[old as usize]);
+        }
+        let mut bonds: Vec<_> = mol.bonds().to_vec();
+        bonds.sort_by_key(|b| (perm[b.a as usize], perm[b.b as usize]));
+        for b in bonds {
+            out.add_bond(new_index[b.a as usize], new_index[b.b as usize], b.order)
+                .expect("permutation preserves validity");
+        }
+        out
+    }
+
+    fn rotations(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|shift| (0..n).map(|i| ((i + shift) % n) as u32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        for s in ["CCO", "c1ccccc1", "CC(=O)Oc1ccccc1C(=O)O", "C", "CC(C)(C)C"] {
+            let mol = parse_smiles(s).unwrap();
+            let mut ranks = canonical_ranks(&mol);
+            ranks.sort_unstable();
+            let expected: Vec<u32> = (0..mol.atom_count() as u32).collect();
+            assert_eq!(ranks, expected, "{s}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_order_invariant() {
+        for s in [
+            "CCO",
+            "c1ccccc1",
+            "CC(=O)Oc1ccccc1C(=O)O",
+            "Cn1cnc2c1c(=O)n(C)c(=O)n2C",
+            "CC(C)CC1CC1",
+            "[NH4+].[O-]C=O",
+        ] {
+            let mol = parse_smiles(s).unwrap();
+            let reference = canonical_smiles(&mol);
+            for perm in rotations(mol.atom_count()) {
+                let shuffled = permute(&mol, &perm);
+                assert_eq!(
+                    canonical_smiles(&shuffled),
+                    reference,
+                    "{s} under rotation {perm:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_form_roundtrips() {
+        for s in ["CCO", "c1ccccc1", "CC(=O)Oc1ccccc1C(=O)O"] {
+            let mol = parse_smiles(s).unwrap();
+            let canon = canonical_smiles(&mol);
+            let back = parse_smiles(&canon).unwrap();
+            assert_eq!(canonical_smiles(&back), canon, "{s} -> {canon}");
+            assert_eq!(back.atom_count(), mol.atom_count());
+            assert_eq!(back.bond_count(), mol.bond_count());
+        }
+    }
+
+    #[test]
+    fn different_molecules_differ() {
+        let a = canonical_smiles(&parse_smiles("CCO").unwrap());
+        let b = canonical_smiles(&parse_smiles("CCN").unwrap());
+        let c = canonical_smiles(&parse_smiles("COC").unwrap());
+        assert_ne!(a, b);
+        assert_ne!(a, c, "ethanol vs dimethyl ether (same formula)");
+    }
+
+    #[test]
+    fn alternative_writings_converge() {
+        // The same compound written three ways.
+        let forms = ["OCC", "CCO", "C(O)C"];
+        let canon: Vec<String> = forms
+            .iter()
+            .map(|s| canonical_smiles(&parse_smiles(s).unwrap()))
+            .collect();
+        assert_eq!(canon[0], canon[1]);
+        assert_eq!(canon[1], canon[2]);
+        // Benzene from different ring-closure spellings.
+        let b1 = canonical_smiles(&parse_smiles("c1ccccc1").unwrap());
+        let b2 = canonical_smiles(&parse_smiles("c1ccc(cc1)").unwrap());
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn empty_molecule() {
+        let m = Molecule::new();
+        assert!(canonical_ranks(&m).is_empty());
+        assert_eq!(canonical_smiles(&m), "");
+        let mut single = Molecule::new();
+        single.add_atom(Atom::new(crate::element::Element::C));
+        assert_eq!(canonical_smiles(&single), "C");
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the chemistry substrate.
+
+use std::fmt;
+
+/// Errors from SMILES parsing, molecule construction, or activity data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChemError {
+    /// SMILES input could not be parsed.
+    MalformedSmiles {
+        /// Byte offset of the error.
+        offset: usize,
+        /// What was expected.
+        message: String,
+    },
+    /// An atom index that does not belong to the molecule.
+    UnknownAtom(usize),
+    /// A bond refers to the same atom twice or duplicates an existing bond.
+    InvalidBond(String),
+    /// An activity value was out of its valid domain.
+    InvalidActivity(String),
+}
+
+impl fmt::Display for ChemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChemError::MalformedSmiles { offset, message } => {
+                write!(f, "malformed SMILES at byte {offset}: {message}")
+            }
+            ChemError::UnknownAtom(i) => write!(f, "unknown atom index {i}"),
+            ChemError::InvalidBond(msg) => write!(f, "invalid bond: {msg}"),
+            ChemError::InvalidActivity(msg) => write!(f, "invalid activity: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ChemError::MalformedSmiles {
+            offset: 2,
+            message: "x".into(),
+        };
+        assert!(e.to_string().contains("byte 2"));
+        assert!(ChemError::UnknownAtom(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,102 @@
+//! Fingerprint similarity coefficients.
+
+use crate::fingerprint::Fingerprint;
+
+/// Tanimoto (Jaccard) coefficient: `|A∩B| / |A∪B|`.
+///
+/// Two empty fingerprints are defined as identical (1.0), matching the
+/// convention of most cheminformatics toolkits.
+pub fn tanimoto(a: &Fingerprint, b: &Fingerprint) -> f64 {
+    let union = a.or_popcount(b);
+    if union == 0 {
+        return 1.0;
+    }
+    a.and_popcount(b) as f64 / union as f64
+}
+
+/// Dice (Sørensen) coefficient: `2|A∩B| / (|A| + |B|)`.
+pub fn dice(a: &Fingerprint, b: &Fingerprint) -> f64 {
+    let total = a.popcount() + b.popcount();
+    if total == 0 {
+        return 1.0;
+    }
+    2.0 * a.and_popcount(b) as f64 / total as f64
+}
+
+/// Upper bound on the Tanimoto similarity achievable against a query of
+/// `query_popcount` bits by any fingerprint with `candidate_popcount`
+/// bits — the standard Swamidass–Baldi pruning bound used to skip
+/// candidates during top-k similarity search.
+pub fn tanimoto_upper_bound(query_popcount: u32, candidate_popcount: u32) -> f64 {
+    let (q, c) = (query_popcount as f64, candidate_popcount as f64);
+    if q == 0.0 && c == 0.0 {
+        return 1.0;
+    }
+    q.min(c) / q.max(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smiles::parse_smiles;
+
+    fn fp(smiles: &str) -> Fingerprint {
+        Fingerprint::of_molecule(&parse_smiles(smiles).unwrap())
+    }
+
+    #[test]
+    fn identity_is_one() {
+        let a = fp("CC(=O)Oc1ccccc1C(=O)O");
+        assert_eq!(tanimoto(&a, &a), 1.0);
+        assert_eq!(dice(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn bounds_and_symmetry() {
+        let a = fp("CCO");
+        let b = fp("c1ccccc1");
+        let t = tanimoto(&a, &b);
+        let d = dice(&a, &b);
+        assert!((0.0..=1.0).contains(&t));
+        assert!((0.0..=1.0).contains(&d));
+        assert_eq!(t, tanimoto(&b, &a));
+        assert_eq!(d, dice(&b, &a));
+        // Dice always >= Tanimoto for the same pair.
+        assert!(d >= t);
+    }
+
+    #[test]
+    fn similar_beats_dissimilar() {
+        let ethanol = fp("CCO");
+        let propanol = fp("CCCO");
+        let benzene = fp("c1ccccc1");
+        assert!(tanimoto(&ethanol, &propanol) > tanimoto(&ethanol, &benzene));
+    }
+
+    #[test]
+    fn empty_fingerprints_are_identical() {
+        let a = Fingerprint::empty(64);
+        let b = Fingerprint::empty(64);
+        assert_eq!(tanimoto(&a, &b), 1.0);
+        assert_eq!(dice(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn upper_bound_is_valid() {
+        let mols = ["CCO", "CCCO", "c1ccccc1", "CC(=O)Oc1ccccc1C(=O)O", "C"];
+        for a in &mols {
+            for b in &mols {
+                let fa = fp(a);
+                let fb = fp(b);
+                let bound = tanimoto_upper_bound(fa.popcount(), fb.popcount());
+                assert!(
+                    tanimoto(&fa, &fb) <= bound + 1e-12,
+                    "{a} vs {b}: {} > {bound}",
+                    tanimoto(&fa, &fb)
+                );
+            }
+        }
+        assert_eq!(tanimoto_upper_bound(0, 0), 1.0);
+        assert_eq!(tanimoto_upper_bound(10, 0), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Subgraph-isomorphism substructure search.
+//!
+//! "Show me every activity whose ligand *contains* this scaffold" is
+//! the other classic ligand query besides similarity. The matcher is a
+//! VF2-style backtracking search with degree pruning; the path
+//! fingerprints provide a sound prescreen (every path of a matched
+//! pattern exists in the target, so `pattern_bits ⊆ target_bits` is a
+//! necessary condition) that rejects most candidates without running
+//! the matcher.
+
+use crate::fingerprint::Fingerprint;
+use crate::mol::{Atom, BondOrder, Molecule};
+
+/// Atom compatibility: element, aromaticity, and charge must agree.
+/// (Strict semantics keep the fingerprint prescreen sound; hydrogen
+/// counts are intentionally ignored, as in substructure convention.)
+fn atoms_compatible(pattern: &Atom, target: &Atom) -> bool {
+    pattern.element == target.element
+        && pattern.aromatic == target.aromatic
+        && pattern.charge == target.charge
+}
+
+/// Bond compatibility: orders must agree exactly. (The parser already
+/// normalizes aromatic rings, so Kekulé/aromatic mismatches do not
+/// arise within this crate's own molecules.)
+fn bonds_compatible(pattern: BondOrder, target: BondOrder) -> bool {
+    pattern == target
+}
+
+/// Sound prescreen: a pattern can only match targets whose fingerprint
+/// contains every pattern bit.
+pub fn fingerprint_prescreen(pattern_fp: &Fingerprint, target_fp: &Fingerprint) -> bool {
+    pattern_fp.and_popcount(target_fp) == pattern_fp.popcount()
+}
+
+/// Does `target` contain `pattern` as a subgraph (with compatible
+/// atoms and bonds)? The empty pattern matches everything.
+pub fn is_substructure(pattern: &Molecule, target: &Molecule) -> bool {
+    let pn = pattern.atom_count();
+    if pn == 0 {
+        return true;
+    }
+    if pn > target.atom_count() || pattern.bond_count() > target.bond_count() {
+        return false;
+    }
+
+    // Match pattern atoms in a connectivity-aware order: each next
+    // atom (after the first) neighbors an already-matched one when the
+    // pattern is connected, which keeps the search space tight.
+    let order = match_order(pattern);
+    let mut assignment: Vec<Option<u32>> = vec![None; pn];
+    let mut used = vec![false; target.atom_count()];
+    backtrack(pattern, target, &order, 0, &mut assignment, &mut used)
+}
+
+/// BFS-based match order over (possibly disconnected) patterns.
+fn match_order(pattern: &Molecule) -> Vec<u32> {
+    let n = pattern.atom_count();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n as u32 {
+        if seen[start as usize] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start as usize] = true;
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &(to, _) in pattern.neighbors(v) {
+                if !seen[to as usize] {
+                    seen[to as usize] = true;
+                    queue.push_back(to);
+                }
+            }
+        }
+    }
+    order
+}
+
+fn backtrack(
+    pattern: &Molecule,
+    target: &Molecule,
+    order: &[u32],
+    depth: usize,
+    assignment: &mut Vec<Option<u32>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let p = order[depth];
+    let p_atom = &pattern.atoms()[p as usize];
+    let p_degree = pattern.degree(p);
+
+    // Candidate targets: neighbors of an already-matched neighbor when
+    // one exists (connectivity pruning), else all atoms.
+    let anchored: Option<(u32, BondOrder)> = pattern
+        .neighbors(p)
+        .iter()
+        .find_map(|&(q, b)| assignment[q as usize].map(|t| (t, pattern.bonds()[b as usize].order)));
+
+    let candidates: Vec<u32> = match anchored {
+        Some((t_anchor, _)) => target.neighbors(t_anchor).iter().map(|&(t, _)| t).collect(),
+        None => (0..target.atom_count() as u32).collect(),
+    };
+
+    'cand: for t in candidates {
+        if used[t as usize]
+            || !atoms_compatible(p_atom, &target.atoms()[t as usize])
+            || target.degree(t) < p_degree
+        {
+            continue;
+        }
+        // Every already-matched pattern neighbor must be a target
+        // neighbor with a compatible bond.
+        for &(q, pb) in pattern.neighbors(p) {
+            if let Some(tq) = assignment[q as usize] {
+                match target.bond_between(t, tq) {
+                    Some(tb)
+                        if bonds_compatible(
+                            pattern.bonds()[pb as usize].order,
+                            target.bonds()[tb as usize].order,
+                        ) => {}
+                    _ => continue 'cand,
+                }
+            }
+        }
+        assignment[p as usize] = Some(t);
+        used[t as usize] = true;
+        if backtrack(pattern, target, order, depth + 1, assignment, used) {
+            return true;
+        }
+        assignment[p as usize] = None;
+        used[t as usize] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smiles::parse_smiles;
+
+    fn check(pattern: &str, target: &str) -> bool {
+        is_substructure(
+            &parse_smiles(pattern).unwrap(),
+            &parse_smiles(target).unwrap(),
+        )
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(check("C", "CCO"));
+        assert!(check("O", "CCO"));
+        assert!(!check("N", "CCO"));
+        assert!(is_substructure(
+            &crate::mol::Molecule::new(),
+            &parse_smiles("C").unwrap()
+        ));
+        assert!(!check("CCCC", "CCC"), "pattern larger than target");
+    }
+
+    #[test]
+    fn chains_and_branches() {
+        assert!(check("CCO", "CCCO"));
+        assert!(check("CC(C)C", "CC(C)(C)C"), "isobutane in neopentane");
+        assert!(!check("CC(C)(C)C", "CC(C)C"));
+        assert!(check("CO", "OCC"), "direction irrelevant");
+    }
+
+    #[test]
+    fn bond_orders_matter() {
+        assert!(check("C=C", "CC=CC"));
+        assert!(!check("C=C", "CCCC"));
+        assert!(check("C#N", "CC#N"));
+        assert!(!check("C#N", "CC=NC"));
+    }
+
+    #[test]
+    fn aromatic_vs_aliphatic() {
+        assert!(check("c1ccccc1", "Cc1ccccc1"), "benzene in toluene");
+        assert!(!check("C1CCCCC1", "c1ccccc1"), "cyclohexane is not benzene");
+        assert!(!check("c1ccccc1", "C1CCCCC1"));
+        assert!(check("cc", "c1ccccc1"));
+    }
+
+    #[test]
+    fn rings_in_fused_systems() {
+        // Benzene ring inside naphthalene.
+        assert!(check("c1ccccc1", "c1ccc2ccccc2c1"));
+        // Naphthalene not inside benzene.
+        assert!(!check("c1ccc2ccccc2c1", "c1ccccc1"));
+    }
+
+    #[test]
+    fn real_scaffolds() {
+        let aspirin = "CC(=O)Oc1ccccc1C(=O)O";
+        assert!(check("c1ccccc1", aspirin), "phenyl");
+        assert!(check("C(=O)O", aspirin), "carboxyl");
+        assert!(check("OC(=O)C", aspirin), "acetyl ester fragment");
+        assert!(!check("c1ccncc1", aspirin), "no pyridine");
+        let caffeine = "Cn1cnc2c1c(=O)n(C)c(=O)n2C";
+        // Caffeine's carbonyl carbons are written aromatic (`c(=O)`),
+        // so the aliphatic pattern C=O must NOT match under strict
+        // aromaticity semantics — but the aromatic form does.
+        assert!(!check("C=O", caffeine));
+        assert!(check("O=c", caffeine));
+        assert!(check("cn", caffeine));
+        assert!(!check("S", caffeine));
+    }
+
+    #[test]
+    fn charges_must_match() {
+        assert!(check("[O-]", "CC(=O)[O-]"));
+        assert!(!check("[O-]", "CC(=O)O"));
+        assert!(!check("O", "[O-]"));
+    }
+
+    #[test]
+    fn disconnected_patterns() {
+        assert!(check("C.O", "CCO"), "two components both embed");
+        assert!(!check("N.O", "CCO"));
+        // Components must map to *distinct* atoms.
+        assert!(!check("O.O", "CCO"));
+        assert!(check("O.O", "OCCO"));
+    }
+
+    #[test]
+    fn prescreen_is_sound() {
+        use crate::fingerprint::Fingerprint;
+        let targets = [
+            "CCO",
+            "CCCO",
+            "c1ccccc1",
+            "CC(=O)Oc1ccccc1C(=O)O",
+            "Cn1cnc2c1c(=O)n(C)c(=O)n2C",
+        ];
+        for pattern_s in ["CCO", "C=O", "c1ccccc1", "CC(C)C"] {
+            let pattern = parse_smiles(pattern_s).unwrap();
+            let pfp = Fingerprint::of_molecule(&pattern);
+            for target_s in targets {
+                let target = parse_smiles(target_s).unwrap();
+                let tfp = Fingerprint::of_molecule(&target);
+                if is_substructure(&pattern, &target) {
+                    assert!(
+                        fingerprint_prescreen(&pfp, &tfp),
+                        "prescreen wrongly rejected {pattern_s} ⊆ {target_s}"
+                    );
+                }
+            }
+        }
+    }
+}

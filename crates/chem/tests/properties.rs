@@ -1,0 +1,155 @@
+//! Property-based tests for the chemistry substrate.
+
+use drugtree_chem::canonical::canonical_smiles;
+use drugtree_chem::descriptors::Descriptors;
+use drugtree_chem::element::Element;
+use drugtree_chem::fingerprint::Fingerprint;
+use drugtree_chem::mol::{Atom, BondOrder, Molecule};
+use drugtree_chem::similarity::{dice, tanimoto, tanimoto_upper_bound};
+use drugtree_chem::smiles::{parse_smiles, write_smiles};
+use proptest::prelude::*;
+
+/// Strategy: a random connected molecule built as a tree with optional
+/// extra ring-closing bonds.
+fn arb_molecule() -> impl Strategy<Value = Molecule> {
+    let element = prop_oneof![
+        Just(Element::C),
+        Just(Element::N),
+        Just(Element::O),
+        Just(Element::S),
+        Just(Element::F),
+        Just(Element::Cl),
+    ];
+    let order = prop_oneof![
+        4 => Just(BondOrder::Single),
+        1 => Just(BondOrder::Double),
+    ];
+    (
+        proptest::collection::vec((element, any::<u32>(), order), 1..20),
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..4),
+    )
+        .prop_map(|(atom_specs, extra_edges)| {
+            let mut mol = Molecule::new();
+            for (i, (el, attach, ord)) in atom_specs.into_iter().enumerate() {
+                let idx = mol.add_atom(Atom::new(el));
+                if i > 0 {
+                    let parent = attach % idx;
+                    // Preserve a valid valence budget: only bond single
+                    // unless the parent has room; keep it simple with
+                    // singles for N/O.
+                    let order = if el == Element::C {
+                        ord
+                    } else {
+                        BondOrder::Single
+                    };
+                    let _ = mol.add_bond(parent, idx, order);
+                }
+            }
+            // Extra ring-closing single bonds (ignored when invalid).
+            let n = mol.atom_count() as u32;
+            for (a, b) in extra_edges {
+                if n >= 2 {
+                    let _ = mol.add_bond(a % n, b % n, BondOrder::Single);
+                }
+            }
+            mol
+        })
+}
+
+proptest! {
+    #[test]
+    fn smiles_write_parse_preserves_graph(mol in arb_molecule()) {
+        let text = write_smiles(&mol);
+        let back = parse_smiles(&text).unwrap();
+        prop_assert_eq!(back.atom_count(), mol.atom_count(), "{}", text);
+        prop_assert_eq!(back.bond_count(), mol.bond_count(), "{}", text);
+        prop_assert_eq!(back.ring_count(), mol.ring_count(), "{}", text);
+        prop_assert_eq!(back.component_count(), mol.component_count(), "{}", text);
+        // Element multiset must match.
+        let mut e1: Vec<Element> = mol.atoms().iter().map(|a| a.element).collect();
+        let mut e2: Vec<Element> = back.atoms().iter().map(|a| a.element).collect();
+        e1.sort();
+        e2.sort();
+        prop_assert_eq!(e1, e2);
+        // After one round-trip the atom numbering follows text order, so
+        // a second round-trip must be a fixed point.
+        let text2 = write_smiles(&back);
+        let back2 = parse_smiles(&text2).unwrap();
+        prop_assert_eq!(write_smiles(&back2), text2);
+        prop_assert_eq!(back2.atom_count(), mol.atom_count());
+        prop_assert_eq!(back2.bond_count(), mol.bond_count());
+    }
+
+    #[test]
+    fn fingerprint_is_atom_order_invariant_for_paths(mol in arb_molecule()) {
+        // The same molecule fingerprinted twice must be identical
+        // (determinism), and similarity with itself must be exactly 1.
+        let a = Fingerprint::of_molecule(&mol);
+        let b = Fingerprint::of_molecule(&mol);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(tanimoto(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn similarity_bounds(m1 in arb_molecule(), m2 in arb_molecule()) {
+        let a = Fingerprint::of_molecule(&m1);
+        let b = Fingerprint::of_molecule(&m2);
+        let t = tanimoto(&a, &b);
+        let d = dice(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!(d + 1e-12 >= t, "dice {d} < tanimoto {t}");
+        prop_assert_eq!(t, tanimoto(&b, &a));
+        let bound = tanimoto_upper_bound(a.popcount(), b.popcount());
+        prop_assert!(t <= bound + 1e-12);
+    }
+
+    #[test]
+    fn descriptors_are_sane(mol in arb_molecule()) {
+        let d = Descriptors::compute(&mol);
+        prop_assert!(d.molecular_weight > 0.0);
+        prop_assert_eq!(d.heavy_atoms as usize, mol.atom_count());
+        prop_assert!(d.hbd <= d.hba, "donors {} exceed acceptors {}", d.hbd, d.hba);
+        prop_assert!((d.rotatable_bonds as usize) <= mol.bond_count());
+        prop_assert_eq!(d.rings as usize, mol.ring_count());
+    }
+
+    #[test]
+    fn canonical_smiles_is_permutation_invariant(
+        mol in arb_molecule(),
+        shift in 0usize..16,
+    ) {
+        // Rotate the atom order and rebuild; the canonical form must
+        // not move.
+        let n = mol.atom_count();
+        let mut rebuilt = Molecule::new();
+        let mut new_index = vec![0u32; n];
+        for i in 0..n {
+            let old = (i + shift) % n;
+            new_index[old] = rebuilt.add_atom(mol.atoms()[old]);
+        }
+        for b in mol.bonds() {
+            rebuilt
+                .add_bond(new_index[b.a as usize], new_index[b.b as usize], b.order)
+                .expect("rotation preserves validity");
+        }
+        prop_assert_eq!(canonical_smiles(&rebuilt), canonical_smiles(&mol));
+        // And the canonical form re-parses to the same canonical form.
+        let canon = canonical_smiles(&mol);
+        let back = parse_smiles(&canon).unwrap();
+        prop_assert_eq!(canonical_smiles(&back), canon);
+    }
+
+    #[test]
+    fn smiles_parser_never_panics(text in "\\PC{0,60}") {
+        let _ = parse_smiles(&text);
+    }
+
+    #[test]
+    fn hydrogens_never_negative_or_huge(mol in arb_molecule()) {
+        for i in 0..mol.atom_count() as u32 {
+            let h = mol.hydrogens(i);
+            prop_assert!(h <= 4, "atom {i} reports {h} hydrogens");
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Assembling a DrugTree system.
+//!
+//! Two entry points:
+//!
+//! * [`DrugTreeBuilder::dataset`] — bring a pre-built
+//!   [`Dataset`] (the workload generator's path, and the path a real
+//!   deployment with custom `DataSource` impls takes after running the
+//!   integration crate itself).
+//! * [`DrugTreeBuilder::register_source`] — the full paper pipeline:
+//!   fetch protein records, **build the tree from their sequences**
+//!   (alignment → distances → neighbor joining), fetch ligands,
+//!   integrate, and stand up the federated dataset.
+
+use crate::system::{DrugTree, DrugTreeError};
+use drugtree_integrate::overlay::OverlayBuilder;
+use drugtree_phylo::align::GapPenalty;
+use drugtree_phylo::distance::{pairwise_distances, DistanceModel};
+use drugtree_phylo::index::TreeIndex;
+use drugtree_phylo::matrices::ScoringMatrix;
+use drugtree_phylo::nj::neighbor_joining;
+use drugtree_phylo::reroot::midpoint_root;
+use drugtree_phylo::seq::ProteinSequence;
+use drugtree_phylo::upgma::upgma;
+use drugtree_query::cache::CacheConfig;
+use drugtree_query::optimizer::{Optimizer, OptimizerConfig};
+use drugtree_query::{Dataset, Executor};
+use drugtree_sources::clock::VirtualClock;
+use drugtree_sources::federation::SourceRegistry;
+use drugtree_sources::ligand_db::ligand_from_row;
+use drugtree_sources::protein_db::protein_from_row;
+use drugtree_sources::source::{DataSource, FetchRequest, SourceKind};
+use std::sync::Arc;
+
+/// Tree construction method for the from-sources path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeMethod {
+    /// Neighbor joining (default; recovers additive distances).
+    NeighborJoining,
+    /// UPGMA (assumes a molecular clock).
+    Upgma,
+}
+
+/// Builder for [`DrugTree`].
+pub struct DrugTreeBuilder {
+    dataset: Option<Dataset>,
+    registry: SourceRegistry,
+    optimizer: OptimizerConfig,
+    cache: CacheConfig,
+    tree_method: TreeMethod,
+    distance_model: DistanceModel,
+    collect_stats: bool,
+    build_matview: bool,
+    midpoint_rooting: bool,
+}
+
+impl Default for DrugTreeBuilder {
+    fn default() -> Self {
+        DrugTreeBuilder::new()
+    }
+}
+
+impl DrugTreeBuilder {
+    /// A builder with the full optimizer and default cache sizing.
+    pub fn new() -> DrugTreeBuilder {
+        DrugTreeBuilder {
+            dataset: None,
+            registry: SourceRegistry::new(),
+            optimizer: OptimizerConfig::full(),
+            cache: CacheConfig::default(),
+            tree_method: TreeMethod::NeighborJoining,
+            distance_model: DistanceModel::Poisson,
+            collect_stats: true,
+            build_matview: false,
+            midpoint_rooting: false,
+        }
+    }
+
+    /// Use a pre-built dataset (skips the integration pipeline).
+    pub fn dataset(mut self, dataset: Dataset) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Register a source for the from-sources pipeline.
+    pub fn register_source(mut self, source: Arc<dyn DataSource>) -> Self {
+        // Duplicate names surface at build() so the builder keeps its
+        // fluent shape.
+        let _ = self.registry.register(source);
+        self
+    }
+
+    /// Choose the optimizer configuration.
+    pub fn optimizer(mut self, config: OptimizerConfig) -> Self {
+        self.optimizer = config;
+        self
+    }
+
+    /// Choose the semantic-cache sizing.
+    pub fn cache(mut self, config: CacheConfig) -> Self {
+        self.cache = config;
+        self
+    }
+
+    /// Choose the tree-construction method (from-sources path).
+    pub fn tree_method(mut self, method: TreeMethod) -> Self {
+        self.tree_method = method;
+        self
+    }
+
+    /// Choose the evolutionary distance model (from-sources path).
+    pub fn distance_model(mut self, model: DistanceModel) -> Self {
+        self.distance_model = model;
+        self
+    }
+
+    /// Skip statistics collection (disables pruning/selectivity rules).
+    pub fn without_stats(mut self) -> Self {
+        self.collect_stats = false;
+        self
+    }
+
+    /// Also build the materialized aggregate view at startup.
+    pub fn with_matview(mut self) -> Self {
+        self.build_matview = true;
+        self
+    }
+
+    /// Midpoint-root the constructed tree (from-sources path with
+    /// neighbor joining, whose root placement is otherwise arbitrary).
+    pub fn midpoint_rooting(mut self) -> Self {
+        self.midpoint_rooting = true;
+        self
+    }
+
+    /// Assemble the system.
+    pub fn build(self) -> Result<DrugTree, DrugTreeError> {
+        let dataset = match self.dataset {
+            Some(d) => d,
+            None => build_from_sources(
+                self.registry,
+                self.tree_method,
+                self.distance_model,
+                self.midpoint_rooting,
+            )?,
+        };
+        let mut executor = Executor::with_cache_config(Optimizer::new(self.optimizer), self.cache);
+        if self.collect_stats {
+            executor.collect_stats(&dataset)?;
+        }
+        if self.build_matview {
+            executor.build_matview(&dataset)?;
+        }
+        Ok(DrugTree::from_parts(dataset, executor))
+    }
+}
+
+/// The full pipeline: fetch proteins, build the tree from sequences,
+/// fetch ligands, integrate, assemble.
+fn build_from_sources(
+    registry: SourceRegistry,
+    tree_method: TreeMethod,
+    distance_model: DistanceModel,
+    midpoint_rooting: bool,
+) -> Result<Dataset, DrugTreeError> {
+    let clock = VirtualClock::new();
+
+    // 1. Protein records (the integration pass pays real virtual time).
+    let protein_src = registry
+        .single(SourceKind::Protein)
+        .map_err(|e| DrugTreeError::Builder(e.to_string()))?;
+    let resp = protein_src
+        .fetch(&FetchRequest::scan())
+        .map_err(|e| DrugTreeError::Builder(e.to_string()))?;
+    clock.advance(resp.cost);
+    let proteins: Vec<_> = resp
+        .rows
+        .iter()
+        .map(|r| {
+            protein_from_row(r)
+                .ok_or_else(|| DrugTreeError::Integrate("malformed protein row".into()))
+        })
+        .collect::<Result<_, _>>()?;
+    if proteins.is_empty() {
+        return Err(DrugTreeError::Builder("protein source is empty".into()));
+    }
+
+    // 2. The protein-motivated tree: align, estimate distances, join.
+    let sequences: Vec<ProteinSequence> = proteins
+        .iter()
+        .map(|p: &drugtree_sources::protein_db::ProteinRecord| {
+            ProteinSequence::parse(p.accession.clone(), &p.sequence)
+                .map_err(|e| DrugTreeError::Phylo(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+    let dm = pairwise_distances(
+        &sequences,
+        &ScoringMatrix::blosum62(),
+        GapPenalty::BLOSUM62_DEFAULT,
+        distance_model,
+    )
+    .map_err(|e| DrugTreeError::Phylo(e.to_string()))?;
+    let mut tree = match tree_method {
+        TreeMethod::NeighborJoining => neighbor_joining(&dm),
+        TreeMethod::Upgma => upgma(&dm),
+    }
+    .map_err(|e| DrugTreeError::Phylo(e.to_string()))?;
+    if midpoint_rooting {
+        tree = midpoint_root(&tree).map_err(|e| DrugTreeError::Phylo(e.to_string()))?;
+    }
+    let index = TreeIndex::build(&tree);
+
+    // 3. Ligand records.
+    let ligands = match registry.single(SourceKind::Ligand) {
+        Ok(src) => {
+            let resp = src
+                .fetch(&FetchRequest::scan())
+                .map_err(|e| DrugTreeError::Builder(e.to_string()))?;
+            clock.advance(resp.cost);
+            resp.rows
+                .iter()
+                .map(|r| {
+                    ligand_from_row(r)
+                        .ok_or_else(|| DrugTreeError::Integrate("malformed ligand row".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        Err(_) => Vec::new(),
+    };
+
+    // 4. Integrate (activities stay federated; see drugtree-query).
+    let overlay = OverlayBuilder::new(&tree, &index)
+        .build(&proteins, &ligands, &[])
+        .map_err(|e| DrugTreeError::Integrate(e.to_string()))?;
+
+    Dataset::new(tree, index, overlay, registry, clock).map_err(DrugTreeError::Query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_chem::affinity::{ActivityRecord, ActivityType};
+    use drugtree_phylo::index::LeafInterval;
+    use drugtree_query::ast::{Query, Scope};
+    use drugtree_sources::assay_db::assay_source;
+    use drugtree_sources::latency::LatencyModel;
+    use drugtree_sources::ligand_db::{ligand_source, LigandRecord};
+    use drugtree_sources::protein_db::{protein_source, ProteinRecord};
+    use drugtree_sources::source::SourceCapabilities;
+
+    fn protein(acc: &str, seq: &str) -> ProteinRecord {
+        ProteinRecord {
+            accession: acc.into(),
+            name: format!("protein {acc}"),
+            organism: "test".into(),
+            sequence: seq.into(),
+            gene: None,
+        }
+    }
+
+    fn sources() -> (
+        Arc<dyn DataSource>,
+        Arc<dyn DataSource>,
+        Arc<dyn DataSource>,
+    ) {
+        // Two close pairs: (P1, P2) and (P3, P4).
+        let proteins = vec![
+            protein("P1", "MKVLATWQDEMKVLATWQDE"),
+            protein("P2", "MKVLATWQDEMKVLATWQDK"),
+            protein("P3", "GGGPPPYYYWGGGPPPYYYW"),
+            protein("P4", "GGGPPPYYYWGGGPPPYYYA"),
+        ];
+        let ligands =
+            vec![LigandRecord::from_smiles("L1", "aspirin", "CC(=O)Oc1ccccc1C(=O)O").unwrap()];
+        let activities = vec![ActivityRecord {
+            protein_accession: "P1".into(),
+            ligand_id: "L1".into(),
+            activity_type: ActivityType::Ki,
+            value_nm: 50.0,
+            source: "lab".into(),
+            year: 2012,
+        }];
+        (
+            Arc::new(
+                protein_source(
+                    "uniprot-sim",
+                    &proteins,
+                    SourceCapabilities::full(),
+                    LatencyModel::intranet(1),
+                )
+                .unwrap(),
+            ),
+            Arc::new(
+                ligand_source(
+                    "chembl-sim",
+                    &ligands,
+                    SourceCapabilities::full(),
+                    LatencyModel::intranet(2),
+                )
+                .unwrap(),
+            ),
+            Arc::new(
+                assay_source(
+                    "bindingdb-sim",
+                    &activities,
+                    SourceCapabilities::full(),
+                    LatencyModel::intranet(3),
+                )
+                .unwrap(),
+            ),
+        )
+    }
+
+    #[test]
+    fn from_sources_builds_tree_from_sequences() {
+        let (p, l, a) = sources();
+        let system = DrugTree::builder()
+            .register_source(p)
+            .register_source(l)
+            .register_source(a)
+            .build()
+            .unwrap();
+        let d = system.dataset();
+        assert_eq!(d.leaf_count(), 4);
+        // Sequence similarity must group P1 with P2: their ranks are
+        // adjacent under some internal node of size exactly 2.
+        let r1 = d.rank_of_accession("P1").unwrap();
+        let r2 = d.rank_of_accession("P2").unwrap();
+        assert_eq!(r1.abs_diff(r2), 1, "P1/P2 should be siblings");
+        let iv = LeafInterval {
+            lo: r1.min(r2),
+            hi: r1.max(r2) + 1,
+        };
+        let clade = d.index.tightest_clade(&d.tree, iv);
+        assert_eq!(d.index.interval(clade), iv);
+
+        // And the federated activity is queryable.
+        let r = system.execute(&Query::activities(Scope::Tree)).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Integration charged the clock.
+        assert!(d.clock.now().0 > 0);
+    }
+
+    #[test]
+    fn upgma_variant_builds() {
+        let (p, l, a) = sources();
+        let system = DrugTree::builder()
+            .register_source(p)
+            .register_source(l)
+            .register_source(a)
+            .tree_method(TreeMethod::Upgma)
+            .distance_model(DistanceModel::Kimura)
+            .build()
+            .unwrap();
+        assert_eq!(system.dataset().leaf_count(), 4);
+    }
+
+    #[test]
+    fn midpoint_rooting_balances_the_tree() {
+        let (p, l, a) = sources();
+        let system = DrugTree::builder()
+            .register_source(p)
+            .register_source(l)
+            .register_source(a)
+            .midpoint_rooting()
+            .build()
+            .unwrap();
+        let d = system.dataset();
+        assert_eq!(d.leaf_count(), 4);
+        // Midpoint rooting: the deepest leaf distance equals half the
+        // tree diameter, so no leaf exceeds it.
+        let depths: Vec<f64> = d
+            .tree
+            .leaves()
+            .iter()
+            .map(|&leaf| d.tree.root_distance(leaf).unwrap())
+            .collect();
+        let max = depths.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (x, y, diameter) = drugtree_phylo::reroot::longest_leaf_path(&d.tree).unwrap();
+        let _ = (x, y);
+        assert!((max - diameter / 2.0).abs() < 1e-9);
+        // Family pairing still holds.
+        let r1 = d.rank_of_accession("P1").unwrap();
+        let r2 = d.rank_of_accession("P2").unwrap();
+        assert_eq!(r1.abs_diff(r2), 1);
+    }
+
+    #[test]
+    fn missing_protein_source_is_an_error() {
+        let (_, _, a) = sources();
+        let err = match DrugTree::builder().register_source(a).build() {
+            Err(e) => e,
+            Ok(_) => panic!("build without a protein source must fail"),
+        };
+        assert!(matches!(err, DrugTreeError::Builder(_)));
+    }
+
+    #[test]
+    fn without_stats_disables_pruning() {
+        let (p, l, a) = sources();
+        let system = DrugTree::builder()
+            .register_source(p)
+            .register_source(l)
+            .register_source(a)
+            .without_stats()
+            .build()
+            .unwrap();
+        assert!(system.executor().stats().is_none());
+        // Queries still work.
+        assert!(system.query("activities in tree").is_ok());
+    }
+
+    #[test]
+    fn with_matview_answers_aggregates_locally() {
+        let (p, l, a) = sources();
+        let system = DrugTree::builder()
+            .register_source(p)
+            .register_source(l)
+            .register_source(a)
+            .with_matview()
+            .build()
+            .unwrap();
+        let r = system.query("aggregate count in tree").unwrap();
+        assert_eq!(r.metrics.source_requests, 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The source adapter: present a legacy-schema source under the
+//! unified schema.
+//!
+//! Real federations are messy: one assay database calls the protein
+//! column `acc`, reports Ki in micromolar, and spells its compound ids
+//! lowercase. [`MappedSource`] wraps any [`DataSource`] with a
+//! [`SchemaMapping`] and presents the *target* schema to the rest of
+//! the system — the classic wrapper of a wrapper/mediator
+//! architecture. Rows are mapped on the way out; pushdown predicates
+//! are translated back into source columns when the mapping permits
+//! (identity and positive scaling), and evaluated wrapper-side
+//! otherwise, so the adapter never weakens correctness.
+
+use crate::mapping::{SchemaMapping, Transform};
+use crate::Result as IntegrateResult;
+use drugtree_sources::latency::LatencyModel;
+use drugtree_sources::source::{
+    DataSource, FetchRequest, FetchResponse, MetricsSnapshot, SourceCapabilities, SourceKind,
+};
+use drugtree_sources::{Result, SourceError};
+use drugtree_store::expr::Predicate;
+use drugtree_store::schema::Schema;
+use drugtree_store::value::Value;
+use std::sync::Arc;
+
+/// A source presented under a mapped (unified) schema.
+pub struct MappedSource {
+    inner: Arc<dyn DataSource>,
+    mapping: SchemaMapping,
+    target_schema: Schema,
+    target_key: String,
+}
+
+impl MappedSource {
+    /// Wrap `inner`. The mapping must cover the target key column with
+    /// an `Identity` transform from the inner source's key column (key
+    /// values must be forwardable verbatim for batched lookups).
+    pub fn new(
+        inner: Arc<dyn DataSource>,
+        mapping: SchemaMapping,
+        target_schema: Schema,
+        target_key: impl Into<String>,
+    ) -> IntegrateResult<MappedSource> {
+        let target_key = target_key.into();
+        target_schema
+            .column_index(&target_key)
+            .map_err(|e| crate::IntegrateError::Mapping(e.to_string()))?;
+        let key_field = mapping
+            .fields()
+            .iter()
+            .find(|f| f.target_column == target_key)
+            .ok_or_else(|| {
+                crate::IntegrateError::Mapping(format!(
+                    "mapping does not produce key column {target_key:?}"
+                ))
+            })?;
+        if key_field.transform != Transform::Identity {
+            return Err(crate::IntegrateError::Mapping(format!(
+                "key column {target_key:?} must map by identity, got {:?}",
+                key_field.transform
+            )));
+        }
+        if key_field.source_column != inner.key_column() {
+            return Err(crate::IntegrateError::Mapping(format!(
+                "key column {target_key:?} must map from the source key {:?}, got {:?}",
+                inner.key_column(),
+                key_field.source_column
+            )));
+        }
+        Ok(MappedSource {
+            inner,
+            mapping,
+            target_schema,
+            target_key,
+        })
+    }
+
+    /// Translate a target-schema predicate into the source schema, when
+    /// every referenced column maps by identity or positive scale.
+    fn translate(&self, pred: &Predicate) -> Option<Predicate> {
+        let field = |target: &str| {
+            self.mapping
+                .fields()
+                .iter()
+                .find(|f| f.target_column == target)
+        };
+        let literal = |target: &str, v: &Value| -> Option<Value> {
+            match &field(target)?.transform {
+                Transform::Identity => Some(v.clone()),
+                Transform::Scale(k) if *k > 0.0 => {
+                    // target = source * k  =>  source bound = target / k.
+                    Some(Value::Float(v.as_f64()? / k))
+                }
+                _ => None,
+            }
+        };
+        let column = |target: &str| Some(field(target)?.source_column.clone());
+        Some(match pred {
+            Predicate::True => Predicate::True,
+            Predicate::Compare {
+                column: c,
+                op,
+                value,
+            } => Predicate::Compare {
+                column: column(c)?,
+                op: *op,
+                value: literal(c, value)?,
+            },
+            Predicate::Between { column: c, lo, hi } => Predicate::Between {
+                column: column(c)?,
+                lo: literal(c, lo)?,
+                hi: literal(c, hi)?,
+            },
+            Predicate::InSet { column: c, values } => Predicate::InSet {
+                column: column(c)?,
+                values: values
+                    .iter()
+                    .map(|v| literal(c, v))
+                    .collect::<Option<_>>()?,
+            },
+            Predicate::IsNull { column: c } => Predicate::IsNull { column: column(c)? },
+            Predicate::And(ps) => Predicate::And(
+                ps.iter()
+                    .map(|p| self.translate(p))
+                    .collect::<Option<_>>()?,
+            ),
+            Predicate::Or(ps) => Predicate::Or(
+                ps.iter()
+                    .map(|p| self.translate(p))
+                    .collect::<Option<_>>()?,
+            ),
+            Predicate::Not(p) => Predicate::Not(Box::new(self.translate(p)?)),
+        })
+    }
+}
+
+impl DataSource for MappedSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> SourceKind {
+        self.inner.kind()
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.target_schema
+    }
+
+    fn key_column(&self) -> &str {
+        &self.target_key
+    }
+
+    fn capabilities(&self) -> SourceCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn fetch(&self, request: &FetchRequest) -> Result<FetchResponse> {
+        // Push the predicate down only when it translates into the
+        // source schema; otherwise fetch unfiltered and apply it to
+        // the mapped rows wrapper-side.
+        let translated = request.predicate.as_ref().map(|p| self.translate(p));
+        let mut inner_req = FetchRequest {
+            keys: request.keys.clone(),
+            predicate: None,
+            // Projections reference target columns; the wrapper always
+            // needs the full source row to map, so projection is
+            // applied after mapping.
+            projection: None,
+        };
+        if let Some(Some(p)) = &translated {
+            if self.inner.capabilities().supports_predicate(p) {
+                inner_req.predicate = Some(p.clone());
+            }
+        }
+        let pushed = inner_req.predicate.is_some();
+        let resp = self.inner.fetch(&inner_req)?;
+
+        let mut rows = Vec::with_capacity(resp.rows.len());
+        for raw in &resp.rows {
+            let mapped = self
+                .mapping
+                .map_row(self.inner.schema(), &resp.columns, raw, &self.target_schema)
+                .map_err(|e| SourceError::Store(e.to_string()))?;
+            rows.push(mapped);
+        }
+
+        // Wrapper-side residual when the pushdown did not happen.
+        if !pushed {
+            if let Some(pred) = &request.predicate {
+                let bound = pred
+                    .bind(&self.target_schema)
+                    .map_err(|e| SourceError::Store(e.to_string()))?;
+                rows.retain(|r| bound.matches(r));
+            }
+        }
+
+        // Apply the requested projection over the target schema.
+        let columns: Vec<String> = match &request.projection {
+            Some(cols) => cols.clone(),
+            None => self
+                .target_schema
+                .columns()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+        };
+        if request.projection.is_some() {
+            let idx: Vec<usize> = columns
+                .iter()
+                .map(|c| self.target_schema.column_index(c))
+                .collect::<std::result::Result<_, _>>()
+                .map_err(|e| SourceError::Store(e.to_string()))?;
+            rows = rows
+                .into_iter()
+                .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+        }
+
+        Ok(FetchResponse {
+            columns,
+            rows,
+            rows_scanned: resp.rows_scanned,
+            cost: resp.cost,
+        })
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
+    }
+
+    fn record_count(&self) -> usize {
+        self.inner.record_count()
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        self.inner.latency_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::FieldMapping;
+    use drugtree_sources::source::SimulatedSource;
+    use drugtree_store::expr::CompareOp;
+    use drugtree_store::schema::Column;
+    use drugtree_store::table::Table;
+    use drugtree_store::value::ValueType;
+
+    /// A legacy assay source: `acc` / `compound` / `ki_um` (micromolar).
+    fn legacy_source() -> Arc<dyn DataSource> {
+        let schema = Schema::new(vec![
+            Column::required("acc", ValueType::Text),
+            Column::required("compound", ValueType::Text),
+            Column::required("ki_um", ValueType::Float),
+        ]);
+        let mut t = Table::new("legacy", schema);
+        for (acc, compound, ki_um) in [("P1", "l1", 0.01), ("P1", "l2", 2.0), ("P2", "l1", 0.1)] {
+            t.insert(vec![
+                Value::from(acc),
+                Value::from(compound),
+                Value::Float(ki_um),
+            ])
+            .unwrap();
+        }
+        Arc::new(
+            SimulatedSource::new(
+                "legacy-lab",
+                SourceKind::Assay,
+                t,
+                "acc",
+                SourceCapabilities::full(),
+                LatencyModel::free(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn target_schema() -> Schema {
+        Schema::new(vec![
+            Column::required("protein_accession", ValueType::Text),
+            Column::required("ligand_id", ValueType::Text),
+            Column::required("value_nm", ValueType::Float),
+        ])
+    }
+
+    fn mapping() -> SchemaMapping {
+        SchemaMapping::new(vec![
+            FieldMapping {
+                source_column: "acc".into(),
+                target_column: "protein_accession".into(),
+                transform: Transform::Identity,
+            },
+            FieldMapping {
+                source_column: "compound".into(),
+                target_column: "ligand_id".into(),
+                transform: Transform::Uppercase,
+            },
+            FieldMapping {
+                source_column: "ki_um".into(),
+                target_column: "value_nm".into(),
+                transform: Transform::Scale(1000.0), // µM -> nM
+            },
+        ])
+    }
+
+    fn adapter() -> MappedSource {
+        MappedSource::new(
+            legacy_source(),
+            mapping(),
+            target_schema(),
+            "protein_accession",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_arrive_in_target_schema() {
+        let a = adapter();
+        let resp = a
+            .fetch(&FetchRequest::lookup(vec![Value::from("P1")]))
+            .unwrap();
+        assert_eq!(
+            resp.columns,
+            vec!["protein_accession", "ligand_id", "value_nm"]
+        );
+        assert_eq!(resp.rows.len(), 2);
+        // Units converted, ids uppercased.
+        assert!(resp
+            .rows
+            .iter()
+            .any(|r| r[1] == Value::from("L1") && r[2] == Value::Float(10.0)));
+        assert!(resp.rows.iter().any(|r| r[2] == Value::Float(2000.0)));
+    }
+
+    #[test]
+    fn scaled_predicate_pushes_down() {
+        let a = adapter();
+        // value_nm <= 100 translates to ki_um <= 0.1, evaluated at the
+        // source: only 2 rows ship.
+        let req =
+            FetchRequest::scan().with_predicate(Predicate::cmp("value_nm", CompareOp::Le, 100.0));
+        let resp = a.fetch(&req).unwrap();
+        assert_eq!(resp.rows.len(), 2);
+        assert!(resp.rows.iter().all(|r| r[2].as_f64().unwrap() <= 100.0));
+    }
+
+    #[test]
+    fn untranslatable_predicate_filters_wrapper_side() {
+        let a = adapter();
+        // ligand_id maps through Uppercase: not invertible, so the
+        // wrapper fetches everything and filters the mapped rows.
+        let req = FetchRequest::scan().with_predicate(Predicate::eq("ligand_id", "L1"));
+        let resp = a.fetch(&req).unwrap();
+        assert_eq!(resp.rows.len(), 2);
+        assert!(resp.rows.iter().all(|r| r[1] == Value::from("L1")));
+        // All three source rows were shipped (no pushdown).
+        assert_eq!(resp.rows_scanned, 3);
+    }
+
+    #[test]
+    fn projection_applies_to_target_columns() {
+        let a = adapter();
+        let resp = a
+            .fetch(&FetchRequest::scan().with_projection(vec!["value_nm".into()]))
+            .unwrap();
+        assert_eq!(resp.columns, vec!["value_nm"]);
+        assert!(resp.rows.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn key_mapping_validated() {
+        // Key must be identity-mapped from the inner key column.
+        let bad = SchemaMapping::new(vec![FieldMapping {
+            source_column: "acc".into(),
+            target_column: "protein_accession".into(),
+            transform: Transform::Uppercase,
+        }]);
+        assert!(
+            MappedSource::new(legacy_source(), bad, target_schema(), "protein_accession").is_err()
+        );
+
+        let wrong_source = SchemaMapping::new(vec![FieldMapping {
+            source_column: "compound".into(),
+            target_column: "protein_accession".into(),
+            transform: Transform::Identity,
+        }]);
+        assert!(MappedSource::new(
+            legacy_source(),
+            wrong_source,
+            target_schema(),
+            "protein_accession"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn between_translates_with_scale() {
+        let a = adapter();
+        let req = FetchRequest::scan().with_predicate(Predicate::between("value_nm", 50.0, 5000.0));
+        let resp = a.fetch(&req).unwrap();
+        assert_eq!(resp.rows.len(), 2); // 100 nM and 2000 nM qualify
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the integration layer.
+
+use std::fmt;
+
+/// Errors from entity resolution, mapping, or overlay construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrateError {
+    /// No acceptable match for an entity reference.
+    Unresolved {
+        /// The unresolvable reference.
+        reference: String,
+        /// The nearest rejected candidate, if any.
+        best_candidate: Option<String>,
+    },
+    /// A schema mapping referenced a missing column.
+    Mapping(String),
+    /// Underlying store failure.
+    Store(String),
+    /// Underlying source failure.
+    Source(String),
+    /// Tree/overlay inconsistency.
+    Overlay(String),
+}
+
+impl fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrateError::Unresolved {
+                reference,
+                best_candidate,
+            } => match best_candidate {
+                Some(c) => write!(
+                    f,
+                    "could not resolve {reference:?} (closest candidate: {c:?})"
+                ),
+                None => write!(f, "could not resolve {reference:?} (no candidates)"),
+            },
+            IntegrateError::Mapping(msg) => write!(f, "schema mapping error: {msg}"),
+            IntegrateError::Store(msg) => write!(f, "store error: {msg}"),
+            IntegrateError::Source(msg) => write!(f, "source error: {msg}"),
+            IntegrateError::Overlay(msg) => write!(f, "overlay error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}
+
+impl From<drugtree_store::StoreError> for IntegrateError {
+    fn from(e: drugtree_store::StoreError) -> Self {
+        IntegrateError::Store(e.to_string())
+    }
+}
+
+impl From<drugtree_sources::SourceError> for IntegrateError {
+    fn from(e: drugtree_sources::SourceError) -> Self {
+        IntegrateError::Source(e.to_string())
+    }
+}
+
+impl From<drugtree_phylo::PhyloError> for IntegrateError {
+    fn from(e: drugtree_phylo::PhyloError) -> Self {
+        IntegrateError::Overlay(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = IntegrateError::Unresolved {
+            reference: "kinaze A".into(),
+            best_candidate: Some("kinase A".into()),
+        };
+        assert!(e.to_string().contains("kinase A"));
+        let e = IntegrateError::Unresolved {
+            reference: "x".into(),
+            best_candidate: None,
+        };
+        assert!(e.to_string().contains("no candidates"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-source ligand identity: unify records that are the *same
+//! compound* under different identifiers.
+//!
+//! ChEMBL calls aspirin `CHEMBL25`, DrugBank calls it `DB00945`, and a
+//! lab spreadsheet writes its SMILES backwards. Without unification the
+//! overlay shows three "different" ligands with one-third of the
+//! evidence each. Canonical SMILES ([`drugtree_chem::canonical`])
+//! gives a structure-level identity: records whose canonical forms
+//! match collapse into one, and an alias map rewrites activity
+//! references onto the surviving id.
+
+use drugtree_chem::canonical::canonical_smiles;
+use drugtree_chem::smiles::parse_smiles;
+use drugtree_sources::ligand_db::LigandRecord;
+use rustc_hash::FxHashMap;
+
+/// Result of a ligand-identity pass.
+#[derive(Debug, Clone, Default)]
+pub struct LigandIdentityReport {
+    /// Input records.
+    pub input: usize,
+    /// Distinct compounds after unification.
+    pub output: usize,
+    /// Ids merged away (alias → canonical id entries).
+    pub merged: usize,
+    /// Records whose SMILES did not parse (kept as-is, never merged).
+    pub unparsed: usize,
+}
+
+/// Collapse structurally identical ligand records.
+///
+/// The first record of each structure (in input order) survives;
+/// later ids map to it in the returned alias table. Unparseable
+/// structures are passed through untouched.
+pub fn dedupe_ligands(
+    records: &[LigandRecord],
+) -> (
+    Vec<LigandRecord>,
+    FxHashMap<String, String>,
+    LigandIdentityReport,
+) {
+    let mut survivors: Vec<LigandRecord> = Vec::with_capacity(records.len());
+    let mut by_structure: FxHashMap<String, String> = FxHashMap::default();
+    let mut aliases: FxHashMap<String, String> = FxHashMap::default();
+    let mut report = LigandIdentityReport {
+        input: records.len(),
+        ..Default::default()
+    };
+
+    for record in records {
+        match parse_smiles(&record.smiles) {
+            Ok(mol) => {
+                let canon = canonical_smiles(&mol);
+                match by_structure.get(&canon) {
+                    Some(canonical_id) => {
+                        aliases.insert(record.ligand_id.clone(), canonical_id.clone());
+                        report.merged += 1;
+                    }
+                    None => {
+                        by_structure.insert(canon, record.ligand_id.clone());
+                        survivors.push(record.clone());
+                    }
+                }
+            }
+            Err(_) => {
+                report.unparsed += 1;
+                survivors.push(record.clone());
+            }
+        }
+    }
+    report.output = survivors.len();
+    (survivors, aliases, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, smiles: &str) -> LigandRecord {
+        LigandRecord::from_smiles(id, format!("name-{id}"), smiles).unwrap()
+    }
+
+    #[test]
+    fn identical_structures_merge() {
+        // Aspirin three ways: as written, from the ring, and reversed.
+        let records = vec![
+            record("CHEMBL25", "CC(=O)Oc1ccccc1C(=O)O"),
+            record("DB00945", "OC(=O)c1ccccc1OC(C)=O"),
+            record("LAB-7", "O=C(O)c1ccccc1OC(=O)C"),
+            record("OTHER", "CCO"),
+        ];
+        let (survivors, aliases, report) = dedupe_ligands(&records);
+        assert_eq!(report.input, 4);
+        assert_eq!(report.output, 2);
+        assert_eq!(report.merged, 2);
+        assert_eq!(survivors[0].ligand_id, "CHEMBL25");
+        assert_eq!(aliases["DB00945"], "CHEMBL25");
+        assert_eq!(aliases["LAB-7"], "CHEMBL25");
+        assert!(!aliases.contains_key("OTHER"));
+    }
+
+    #[test]
+    fn distinct_structures_survive() {
+        let records = vec![record("A", "CCO"), record("B", "CCN"), record("C", "COC")];
+        let (survivors, aliases, report) = dedupe_ligands(&records);
+        assert_eq!(survivors.len(), 3);
+        assert!(aliases.is_empty());
+        assert_eq!(report.merged, 0);
+    }
+
+    #[test]
+    fn unparseable_records_pass_through() {
+        let mut broken = record("X", "CCO");
+        broken.smiles = "C(((".into();
+        let records = vec![broken.clone(), broken];
+        let (survivors, aliases, report) = dedupe_ligands(&records);
+        // Both kept: without a structure there is no identity evidence.
+        assert_eq!(survivors.len(), 2);
+        assert!(aliases.is_empty());
+        assert_eq!(report.unparsed, 2);
+    }
+
+    #[test]
+    fn first_id_wins_deterministically() {
+        let records = vec![record("Z-LATE", "CCO"), record("A-EARLY", "OCC")];
+        let (survivors, aliases, _) = dedupe_ligands(&records);
+        assert_eq!(
+            survivors[0].ligand_id, "Z-LATE",
+            "input order, not lexicographic"
+        );
+        assert_eq!(aliases["A-EARLY"], "Z-LATE");
+    }
+}

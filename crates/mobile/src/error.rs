@@ -1,0 +1,46 @@
+//! Error type for the mobile layer.
+
+use std::fmt;
+
+/// Errors from layout, sessions, or delivery simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MobileError {
+    /// A gesture referenced an unknown node.
+    UnknownNode(String),
+    /// The viewport degenerated (zero span).
+    DegenerateViewport(String),
+    /// Underlying query failure.
+    Query(String),
+}
+
+impl fmt::Display for MobileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobileError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            MobileError::DegenerateViewport(msg) => {
+                write!(f, "degenerate viewport: {msg}")
+            }
+            MobileError::Query(msg) => write!(f, "query error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MobileError {}
+
+impl From<drugtree_query::QueryError> for MobileError {
+    fn from(e: drugtree_query::QueryError) -> Self {
+        MobileError::Query(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MobileError::UnknownNode("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

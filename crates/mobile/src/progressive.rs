@@ -1,0 +1,241 @@
+//! Progressive (chunked) result delivery.
+//!
+//! Blocking delivery ships the whole result as one response: the user
+//! stares at a spinner for `rtt + all_bytes/bandwidth`. Progressive
+//! delivery streams fixed-size chunks over one connection: the first
+//! rows are on screen after `rtt + chunk_bytes/bandwidth`, and the UI
+//! fills in behind. Experiment E5 measures exactly this first-usable-
+//! response gap across network profiles.
+
+use crate::network::{estimate_row_bytes, NetworkProfile};
+use drugtree_store::value::Value;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Default rows per chunk.
+pub const DEFAULT_CHUNK_ROWS: usize = 20;
+
+/// Arrival schedule of one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkTiming {
+    /// Rows in the chunk.
+    pub rows: usize,
+    /// Bytes on the wire.
+    pub bytes: usize,
+    /// Time from request start until the chunk is fully received.
+    pub arrival: Duration,
+}
+
+/// The delivery schedule of one result set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliverySchedule {
+    /// Chunk arrivals, in order.
+    pub chunks: Vec<ChunkTiming>,
+    /// Total bytes shipped.
+    pub total_bytes: usize,
+}
+
+impl DeliverySchedule {
+    /// Time until the first rows are usable (an empty result still
+    /// costs one RTT to learn it is empty).
+    pub fn first_usable(&self) -> Duration {
+        self.chunks.first().map_or(Duration::ZERO, |c| c.arrival)
+    }
+
+    /// Time until the full result has arrived.
+    pub fn complete(&self) -> Duration {
+        self.chunks.last().map_or(Duration::ZERO, |c| c.arrival)
+    }
+}
+
+/// Blocking delivery: one response carrying everything.
+pub fn blocking_delivery(rows: &[Vec<Value>], net: &NetworkProfile) -> DeliverySchedule {
+    let bytes: usize = rows
+        .iter()
+        .map(|r| estimate_row_bytes(r))
+        .sum::<usize>()
+        .max(16);
+    DeliverySchedule {
+        chunks: vec![ChunkTiming {
+            rows: rows.len(),
+            bytes,
+            arrival: net.transfer_time(bytes),
+        }],
+        total_bytes: bytes,
+    }
+}
+
+/// Progressive delivery in chunks of `chunk_rows`.
+pub fn progressive_delivery(
+    rows: &[Vec<Value>],
+    net: &NetworkProfile,
+    chunk_rows: usize,
+) -> DeliverySchedule {
+    let chunk_rows = chunk_rows.max(1);
+    if rows.is_empty() {
+        return blocking_delivery(rows, net);
+    }
+    let mut chunks = Vec::new();
+    let mut elapsed = Duration::ZERO;
+    let mut total_bytes = 0usize;
+    for (i, chunk) in rows.chunks(chunk_rows).enumerate() {
+        let bytes: usize = chunk
+            .iter()
+            .map(|r| estimate_row_bytes(r))
+            .sum::<usize>()
+            .max(16);
+        total_bytes += bytes;
+        // First chunk pays the RTT; later chunks stream on the open
+        // connection.
+        elapsed += if i == 0 {
+            net.transfer_time(bytes)
+        } else {
+            net.streaming_time(bytes)
+        };
+        chunks.push(ChunkTiming {
+            rows: chunk.len(),
+            bytes,
+            arrival: elapsed,
+        });
+    }
+    DeliverySchedule {
+        chunks,
+        total_bytes,
+    }
+}
+
+/// Pick the largest chunk size whose *first chunk* still arrives
+/// within `deadline` on the given network — the adaptive policy a
+/// client tunes per connection. Falls back to one row per chunk when
+/// even that misses the deadline (the RTT alone may exceed it).
+pub fn budgeted_chunk_rows(
+    net: &NetworkProfile,
+    bytes_per_row: usize,
+    deadline: Duration,
+) -> usize {
+    let bytes_per_row = bytes_per_row.max(1);
+    if deadline <= net.rtt {
+        return 1;
+    }
+    let budget = (deadline - net.rtt).as_secs_f64();
+    let rows = (budget * net.bandwidth_bps as f64 / 8.0 / bytes_per_row as f64).floor();
+    (rows as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::from("CHEMBL-something"),
+                    Value::Float(6.5),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn progressive_first_chunk_beats_blocking() {
+        let rows = rows(500);
+        let net = NetworkProfile::CELL_3G;
+        let blocking = blocking_delivery(&rows, &net);
+        let progressive = progressive_delivery(&rows, &net, DEFAULT_CHUNK_ROWS);
+        assert!(progressive.first_usable() < blocking.first_usable());
+        // Completion times are close: same bytes, one shared RTT.
+        let d = progressive.complete().abs_diff(blocking.complete());
+        assert!(d < Duration::from_millis(5), "gap {d:?}");
+        assert_eq!(progressive.total_bytes, blocking.total_bytes);
+    }
+
+    #[test]
+    fn chunk_arrivals_are_monotone() {
+        let rows = rows(123);
+        let s = progressive_delivery(&rows, &NetworkProfile::CELL_4G, 10);
+        assert_eq!(s.chunks.len(), 13);
+        assert!(s.chunks.windows(2).all(|w| w[0].arrival < w[1].arrival));
+        let delivered: usize = s.chunks.iter().map(|c| c.rows).sum();
+        assert_eq!(delivered, 123);
+    }
+
+    #[test]
+    fn empty_result_costs_one_rtt() {
+        let s = progressive_delivery(&[], &NetworkProfile::WIFI, 20);
+        assert_eq!(s.chunks.len(), 1);
+        assert!(s.first_usable() >= NetworkProfile::WIFI.rtt);
+    }
+
+    #[test]
+    fn first_usable_nearly_profile_independent_relative_to_blocking() {
+        // The E5 claim: with progressive delivery, the first-chunk
+        // latency degrades far less across profiles than blocking
+        // full-result latency does.
+        let rows = rows(1000);
+        let blocking_ratio = blocking_delivery(&rows, &NetworkProfile::EDGE)
+            .complete()
+            .as_secs_f64()
+            / blocking_delivery(&rows, &NetworkProfile::WIFI)
+                .complete()
+                .as_secs_f64();
+        let progressive_ratio = progressive_delivery(&rows, &NetworkProfile::EDGE, 20)
+            .first_usable()
+            .as_secs_f64()
+            / progressive_delivery(&rows, &NetworkProfile::WIFI, 20)
+                .first_usable()
+                .as_secs_f64();
+        assert!(
+            progressive_ratio < blocking_ratio,
+            "progressive {progressive_ratio:.1}x vs blocking {blocking_ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn single_chunk_when_small() {
+        let rows = rows(5);
+        let s = progressive_delivery(&rows, &NetworkProfile::WIFI, 20);
+        assert_eq!(s.chunks.len(), 1);
+        assert_eq!(s.first_usable(), s.complete());
+    }
+
+    #[test]
+    fn budgeted_chunk_meets_deadline() {
+        let deadline = Duration::from_millis(250);
+        let row_bytes = 60;
+        for net in NetworkProfile::ALL {
+            let rows_per_chunk = budgeted_chunk_rows(&net, row_bytes, deadline);
+            assert!(rows_per_chunk >= 1);
+            let data = rows(rows_per_chunk.min(2000));
+            let schedule = progressive_delivery(&data, &net, rows_per_chunk);
+            if deadline > net.rtt {
+                assert!(
+                    schedule.first_usable() <= deadline + Duration::from_millis(20),
+                    "{}: first chunk {:?} blows the {deadline:?} deadline",
+                    net.name,
+                    schedule.first_usable()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faster_links_earn_bigger_chunks() {
+        let a = budgeted_chunk_rows(&NetworkProfile::WIFI, 60, Duration::from_millis(200));
+        let b = budgeted_chunk_rows(&NetworkProfile::EDGE, 60, Duration::from_millis(200));
+        assert!(a > b, "wifi {a} vs edge {b}");
+        // Impossible deadline degrades to single-row chunks.
+        assert_eq!(
+            budgeted_chunk_rows(&NetworkProfile::EDGE, 60, Duration::from_millis(1)),
+            1
+        );
+    }
+
+    #[test]
+    fn zero_chunk_rows_clamped() {
+        let rows = rows(3);
+        let s = progressive_delivery(&rows, &NetworkProfile::WIFI, 0);
+        assert_eq!(s.chunks.len(), 3);
+    }
+}

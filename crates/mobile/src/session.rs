@@ -1,0 +1,444 @@
+//! The gesture-driven interactive session.
+//!
+//! A session owns the client-side state (viewport, layout, network
+//! profile) and borrows the shared server-side machinery (dataset +
+//! executor). Every gesture produces an [`InteractionResult`] with the
+//! latency breakdown a user would perceive: query time at the sources,
+//! plus transfer time of the payload over the mobile link — both on
+//! the virtual clock.
+
+use crate::layout::TreeLayout;
+use crate::lod::{render_visible, RenderList};
+use crate::network::NetworkProfile;
+use crate::prefetch::Prefetcher;
+use crate::progressive::{
+    blocking_delivery, progressive_delivery, DeliverySchedule, DEFAULT_CHUNK_ROWS,
+};
+use crate::viewport::Viewport;
+use crate::{MobileError, Result};
+use drugtree_phylo::tree::NodeId;
+use drugtree_query::ast::{Query, Scope};
+use drugtree_query::{Dataset, Executor};
+use std::time::Duration;
+
+/// A user interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Gesture {
+    /// Vertical pan by `dy` leaf units.
+    Pan {
+        /// Signed leaf-unit delta.
+        dy: f64,
+    },
+    /// Zoom in 2× around a y position.
+    ZoomIn {
+        /// Focal y in leaf units.
+        focus_y: f64,
+    },
+    /// Zoom out 2× around a y position.
+    ZoomOut {
+        /// Focal y in leaf units.
+        focus_y: f64,
+    },
+    /// Tap a clade: focus the viewport on it and fetch its activities.
+    Expand {
+        /// The tapped node.
+        node: NodeId,
+    },
+    /// Fetch activities for everything currently visible.
+    InspectViewport,
+    /// Run an explicit query (from the app's search box).
+    RunQuery(Box<Query>),
+}
+
+impl Gesture {
+    /// Short kind label for logs and experiment tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Gesture::Pan { .. } => "pan",
+            Gesture::ZoomIn { .. } => "zoom_in",
+            Gesture::ZoomOut { .. } => "zoom_out",
+            Gesture::Expand { .. } => "expand",
+            Gesture::InspectViewport => "inspect",
+            Gesture::RunQuery(_) => "query",
+        }
+    }
+}
+
+/// What one gesture cost and produced.
+#[derive(Debug, Clone)]
+pub struct InteractionResult {
+    /// Clades prefetched in the background after this gesture.
+    pub prefetched: usize,
+    /// Gesture kind label.
+    pub gesture: &'static str,
+    /// Result rows (0 for pure view changes).
+    pub rows: usize,
+    /// Virtual time spent querying sources.
+    pub query_latency: Duration,
+    /// Time until the first usable content reached the screen
+    /// (query + first chunk).
+    pub first_usable: Duration,
+    /// Time until the interaction fully completed.
+    pub complete: Duration,
+    /// Bytes shipped over the mobile link.
+    pub payload_bytes: usize,
+    /// Cache outcome of the underlying query, when one ran.
+    pub cache_hit: Option<bool>,
+    /// Render-list summary after the gesture.
+    pub visible_leaves: usize,
+    /// Leaves hidden in collapsed glyphs.
+    pub collapsed_leaves: usize,
+}
+
+/// An interactive mobile session.
+pub struct MobileSession<'a> {
+    dataset: &'a Dataset,
+    executor: &'a Executor,
+    layout: TreeLayout,
+    viewport: Viewport,
+    network: NetworkProfile,
+    progressive: bool,
+    chunk_rows: usize,
+    prefetcher: Option<Prefetcher>,
+    log: Vec<InteractionResult>,
+}
+
+impl<'a> MobileSession<'a> {
+    /// Open a session over a dataset/executor pair.
+    pub fn new(
+        dataset: &'a Dataset,
+        executor: &'a Executor,
+        network: NetworkProfile,
+    ) -> MobileSession<'a> {
+        let layout = TreeLayout::compute(&dataset.tree, &dataset.index);
+        let viewport = Viewport::fullscreen(&layout);
+        MobileSession {
+            dataset,
+            executor,
+            layout,
+            viewport,
+            network,
+            progressive: true,
+            chunk_rows: DEFAULT_CHUNK_ROWS,
+            prefetcher: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Enable predictive prefetching after `Expand` gestures.
+    pub fn enable_prefetch(&mut self, prefetcher: Prefetcher) {
+        self.prefetcher = Some(prefetcher);
+    }
+
+    /// Switch between progressive and blocking delivery.
+    pub fn set_progressive(&mut self, progressive: bool) {
+        self.progressive = progressive;
+    }
+
+    /// Tune the progressive chunk size so the first chunk lands within
+    /// `deadline` on this session's network (assuming ~100-byte rows).
+    pub fn set_first_chunk_deadline(&mut self, deadline: Duration) {
+        self.chunk_rows = crate::progressive::budgeted_chunk_rows(&self.network, 100, deadline);
+    }
+
+    /// Current viewport.
+    pub fn viewport(&self) -> Viewport {
+        self.viewport
+    }
+
+    /// The cladogram layout.
+    pub fn layout(&self) -> &TreeLayout {
+        &self.layout
+    }
+
+    /// Interaction log so far.
+    pub fn log(&self) -> &[InteractionResult] {
+        &self.log
+    }
+
+    /// Apply one gesture.
+    pub fn apply(&mut self, gesture: &Gesture) -> Result<InteractionResult> {
+        let result = match gesture {
+            Gesture::Pan { dy } => {
+                self.viewport.pan(*dy, &self.layout);
+                self.view_only(gesture.kind())
+            }
+            Gesture::ZoomIn { focus_y } => {
+                self.viewport.zoom(2.0, *focus_y, &self.layout)?;
+                self.view_only(gesture.kind())
+            }
+            Gesture::ZoomOut { focus_y } => {
+                self.viewport.zoom(0.5, *focus_y, &self.layout)?;
+                self.view_only(gesture.kind())
+            }
+            Gesture::Expand { node } => {
+                if node.index() >= self.dataset.tree.len() {
+                    return Err(MobileError::UnknownNode(format!("n{}", node.0)));
+                }
+                let iv = self.dataset.index.interval(*node);
+                self.viewport.focus_interval(iv);
+                let query = Query::activities(Scope::Interval(iv));
+                let mut result = self.run(gesture.kind(), &query)?;
+                result.prefetched = self.prefetch_after(*node);
+                result
+            }
+            Gesture::InspectViewport => {
+                let iv = self.viewport.visible_leaves(&self.layout);
+                let query = Query::activities(Scope::Interval(iv));
+                self.run(gesture.kind(), &query)?
+            }
+            Gesture::RunQuery(query) => self.run(gesture.kind(), query)?,
+        };
+        self.log.push(result.clone());
+        Ok(result)
+    }
+
+    /// A pure view change: no source work, only the render payload
+    /// crossing the link.
+    fn view_only(&self, kind: &'static str) -> InteractionResult {
+        let render = self.render();
+        let transfer = self.network.transfer_time(render.payload_bytes);
+        self.dataset.clock.advance(transfer);
+        InteractionResult {
+            prefetched: 0,
+            gesture: kind,
+            rows: 0,
+            query_latency: Duration::ZERO,
+            first_usable: transfer,
+            complete: transfer,
+            payload_bytes: render.payload_bytes,
+            cache_hit: None,
+            visible_leaves: render.visible_leaves,
+            collapsed_leaves: render.collapsed_leaves,
+        }
+    }
+
+    /// Run a query and ship its rows over the link.
+    fn run(&self, kind: &'static str, query: &Query) -> Result<InteractionResult> {
+        let result = self.executor.execute(self.dataset, query)?;
+        let schedule: DeliverySchedule = if self.progressive {
+            progressive_delivery(&result.rows, &self.network, self.chunk_rows)
+        } else {
+            blocking_delivery(&result.rows, &self.network)
+        };
+        self.dataset.clock.advance(schedule.complete());
+        let render = self.render();
+        Ok(InteractionResult {
+            prefetched: 0,
+            gesture: kind,
+            rows: result.rows.len(),
+            query_latency: result.metrics.virtual_cost,
+            first_usable: result.metrics.virtual_cost + schedule.first_usable(),
+            complete: result.metrics.virtual_cost + schedule.complete(),
+            payload_bytes: schedule.total_bytes,
+            cache_hit: result.metrics.cache_hit,
+            visible_leaves: render.visible_leaves,
+            collapsed_leaves: render.collapsed_leaves,
+        })
+    }
+
+    /// Warm the cache with the likely-next clades. Runs during user
+    /// think time: the virtual clock advances (sources do real work)
+    /// but no interaction waits on it. Prefetch failures are ignored —
+    /// a failed speculation must never surface to the user.
+    fn prefetch_after(&self, node: drugtree_phylo::tree::NodeId) -> usize {
+        let Some(prefetcher) = &self.prefetcher else {
+            return 0;
+        };
+        let mut done = 0;
+        for candidate in prefetcher.candidates(&self.dataset.tree, &self.dataset.index, node) {
+            let iv = self.dataset.index.interval(candidate);
+            let query = Query::activities(Scope::Interval(iv));
+            if self.executor.execute(self.dataset, &query).is_ok() {
+                done += 1;
+            }
+        }
+        done
+    }
+
+    fn render(&self) -> RenderList {
+        render_visible(
+            &self.dataset.tree,
+            &self.dataset.index,
+            &self.viewport,
+            &self.layout,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_query::optimizer::{Optimizer, OptimizerConfig};
+    use drugtree_sources::source::SourceCapabilities;
+
+    fn dataset() -> Dataset {
+        drugtree_query::dataset::test_fixtures::small_dataset(SourceCapabilities::full())
+    }
+
+    fn executor() -> Executor {
+        Executor::new(Optimizer::new(OptimizerConfig::full()))
+    }
+
+    #[test]
+    fn pan_and_zoom_cost_only_transfer() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::WIFI);
+        let r = s.apply(&Gesture::ZoomIn { focus_y: 1.0 }).unwrap();
+        assert_eq!(r.rows, 0);
+        assert_eq!(r.query_latency, Duration::ZERO);
+        assert!(r.complete >= NetworkProfile::WIFI.rtt);
+        assert!(r.payload_bytes > 0);
+        let r = s.apply(&Gesture::Pan { dy: 1.0 }).unwrap();
+        assert_eq!(r.gesture, "pan");
+        assert_eq!(s.log().len(), 2);
+    }
+
+    #[test]
+    fn expand_runs_a_query_and_focuses() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        let clade_a = d.index.by_label("cladeA").unwrap();
+        let r = s.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        assert_eq!(r.rows, 3);
+        assert!(r.query_latency > Duration::ZERO);
+        assert!(r.first_usable > r.query_latency, "adds network time");
+        assert_eq!(r.cache_hit, Some(false));
+        assert_eq!(
+            s.viewport().visible_leaves(s.layout()),
+            d.index.interval(clade_a)
+        );
+    }
+
+    #[test]
+    fn repeat_expand_hits_cache() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        let clade_a = d.index.by_label("cladeA").unwrap();
+        s.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        // Drill into a child of cladeA: containment hit.
+        let p1 = d.index.by_label("P1").unwrap();
+        let r = s.apply(&Gesture::Expand { node: p1 }).unwrap();
+        assert_eq!(r.cache_hit, Some(true));
+        assert_eq!(r.query_latency, Duration::ZERO);
+        assert_eq!(r.rows, 2);
+    }
+
+    #[test]
+    fn inspect_viewport_queries_visible_interval() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::WIFI);
+        let r = s.apply(&Gesture::InspectViewport).unwrap();
+        assert_eq!(r.rows, 4, "fullscreen sees all activities");
+    }
+
+    #[test]
+    fn explicit_query_gesture() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::WIFI);
+        let q = Query::parse("activities in subtree('cladeB')").unwrap();
+        let r = s.apply(&Gesture::RunQuery(Box::new(q))).unwrap();
+        assert_eq!(r.rows, 1);
+        assert_eq!(r.gesture, "query");
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::WIFI);
+        assert!(matches!(
+            s.apply(&Gesture::Expand { node: NodeId(999) }),
+            Err(MobileError::UnknownNode(_))
+        ));
+        assert!(s.log().is_empty(), "failed gestures are not logged");
+    }
+
+    #[test]
+    fn blocking_vs_progressive_first_usable() {
+        let d = dataset();
+        let e = executor();
+
+        let mut progressive = MobileSession::new(&d, &e, NetworkProfile::EDGE);
+        progressive.chunk_rows = 1;
+        let rp = progressive.apply(&Gesture::InspectViewport).unwrap();
+
+        e.invalidate();
+        let mut blocking = MobileSession::new(&d, &e, NetworkProfile::EDGE);
+        blocking.set_progressive(false);
+        let rb = blocking.apply(&Gesture::InspectViewport).unwrap();
+
+        assert!(
+            rp.first_usable < rb.first_usable,
+            "progressive {:?} vs blocking {:?}",
+            rp.first_usable,
+            rb.first_usable
+        );
+    }
+
+    #[test]
+    fn prefetch_turns_sibling_expands_into_hits() {
+        let d = dataset();
+        // Without prefetch: expanding cladeA then cladeB misses twice.
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        let clade_a = d.index.by_label("cladeA").unwrap();
+        let clade_b = d.index.by_label("cladeB").unwrap();
+        s.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        let cold = s.apply(&Gesture::Expand { node: clade_b }).unwrap();
+        assert_eq!(cold.cache_hit, Some(false));
+
+        // With prefetch: the sibling is warmed during think time.
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        s.enable_prefetch(crate::prefetch::Prefetcher::default());
+        let first = s.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        assert!(first.prefetched > 0, "siblings/children prefetched");
+        let warm = s.apply(&Gesture::Expand { node: clade_b }).unwrap();
+        assert_eq!(warm.cache_hit, Some(true));
+        assert_eq!(warm.query_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn prefetch_does_not_inflate_interaction_latency() {
+        let d = dataset();
+        let e = executor();
+        let mut plain = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        let clade_a = d.index.by_label("cladeA").unwrap();
+        let r_plain = plain.apply(&Gesture::Expand { node: clade_a }).unwrap();
+
+        let e = executor();
+        let mut pre = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        pre.enable_prefetch(crate::prefetch::Prefetcher::default());
+        let r_pre = pre.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        assert_eq!(r_plain.first_usable, r_pre.first_usable);
+        assert_eq!(r_plain.complete, r_pre.complete);
+    }
+
+    #[test]
+    fn deadline_tuning_adjusts_chunk_size() {
+        let d = dataset();
+        let e = executor();
+        let mut fast = MobileSession::new(&d, &e, NetworkProfile::WIFI);
+        fast.set_first_chunk_deadline(Duration::from_millis(100));
+        let mut slow = MobileSession::new(&d, &e, NetworkProfile::EDGE);
+        slow.set_first_chunk_deadline(Duration::from_millis(100));
+        assert!(fast.chunk_rows > slow.chunk_rows);
+    }
+
+    #[test]
+    fn virtual_clock_accumulates_over_session() {
+        let d = dataset();
+        let e = executor();
+        let start = d.clock.now();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_3G);
+        s.apply(&Gesture::InspectViewport).unwrap();
+        s.apply(&Gesture::Pan { dy: 1.0 }).unwrap();
+        assert!(d.clock.now() > start);
+    }
+}

@@ -1,0 +1,339 @@
+//! Global pairwise protein alignment (Needleman–Wunsch with affine gap
+//! penalties, i.e. Gotoh's algorithm).
+//!
+//! DrugTree's "protein-motivated" tree is distance-based; the distances
+//! come from pairwise global alignments of the family members, so a
+//! correct global aligner is a required substrate.
+
+use crate::matrices::ScoringMatrix;
+use crate::seq::AminoAcid;
+use crate::{PhyloError, Result};
+
+/// Affine gap model: opening a gap costs `open`, each residue in the gap
+/// (including the first) additionally costs `extend`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GapPenalty {
+    /// Cost charged once when a gap is opened (non-negative).
+    pub open: i32,
+    /// Cost charged per gapped position (non-negative).
+    pub extend: i32,
+}
+
+impl GapPenalty {
+    /// The common BLOSUM62 companion penalties (11/1).
+    pub const BLOSUM62_DEFAULT: GapPenalty = GapPenalty {
+        open: 10,
+        extend: 1,
+    };
+
+    /// Validate the penalty configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.open < 0 || self.extend < 0 {
+            return Err(PhyloError::InvalidValue(format!(
+                "gap penalties must be non-negative, got open={} extend={}",
+                self.open, self.extend
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One column of a pairwise alignment: a residue or a gap on each side.
+pub type AlignedPair = (Option<AminoAcid>, Option<AminoAcid>);
+
+/// The result of a global pairwise alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alignment {
+    /// Optimal alignment score under the scoring matrix and gap model.
+    pub score: i32,
+    /// Alignment columns from left to right.
+    pub columns: Vec<AlignedPair>,
+}
+
+impl Alignment {
+    /// Number of columns where both sequences have the same residue.
+    pub fn matches(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|(a, b)| matches!((a, b), (Some(x), Some(y)) if x == y))
+            .count()
+    }
+
+    /// Columns where both sides are residues (no gap).
+    pub fn aligned_sites(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|(a, b)| a.is_some() && b.is_some())
+            .count()
+    }
+
+    /// Fraction of gap-free columns that match exactly. Zero when the
+    /// alignment has no gap-free column.
+    pub fn identity(&self) -> f64 {
+        let sites = self.aligned_sites();
+        if sites == 0 {
+            0.0
+        } else {
+            self.matches() as f64 / sites as f64
+        }
+    }
+
+    /// Proportion of gap-free columns that differ — the "p-distance"
+    /// input to the estimators in [`crate::distance`].
+    pub fn p_distance(&self) -> f64 {
+        let sites = self.aligned_sites();
+        if sites == 0 {
+            1.0
+        } else {
+            1.0 - self.identity()
+        }
+    }
+
+    /// Render as two gapped one-letter-code strings.
+    pub fn to_strings(&self) -> (String, String) {
+        let mut a = String::with_capacity(self.columns.len());
+        let mut b = String::with_capacity(self.columns.len());
+        for (x, y) in &self.columns {
+            a.push(x.map_or('-', |r| r.to_char()));
+            b.push(y.map_or('-', |r| r.to_char()));
+        }
+        (a, b)
+    }
+}
+
+/// Traceback directions for the three Gotoh layers.
+#[derive(Clone, Copy, PartialEq)]
+enum Layer {
+    /// Match/mismatch layer.
+    M,
+    /// Gap in `b` (consume from `a`).
+    X,
+    /// Gap in `a` (consume from `b`).
+    Y,
+}
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Globally align `a` against `b`.
+///
+/// Runs in `O(|a| * |b|)` time and memory (full traceback matrices are
+/// retained so the alignment itself, not just the score, is recovered).
+pub fn global_align(
+    a: &[AminoAcid],
+    b: &[AminoAcid],
+    matrix: &ScoringMatrix,
+    gap: GapPenalty,
+) -> Result<Alignment> {
+    gap.validate()?;
+    let n = a.len();
+    let m = b.len();
+    let w = m + 1;
+
+    // Three DP layers: best score ending in a match (M), a gap in b (X),
+    // or a gap in a (Y).
+    let mut sm = vec![NEG_INF; (n + 1) * w];
+    let mut sx = vec![NEG_INF; (n + 1) * w];
+    let mut sy = vec![NEG_INF; (n + 1) * w];
+    // Traceback: which layer the optimum came from.
+    let mut tm = vec![Layer::M; (n + 1) * w];
+    let mut tx = vec![Layer::M; (n + 1) * w];
+    let mut ty = vec![Layer::M; (n + 1) * w];
+
+    let open_cost = gap.open + gap.extend;
+    sm[0] = 0;
+    for i in 1..=n {
+        sx[i * w] = -(open_cost + (i as i32 - 1) * gap.extend);
+        tx[i * w] = Layer::X;
+    }
+    for j in 1..=m {
+        sy[j] = -(open_cost + (j as i32 - 1) * gap.extend);
+        ty[j] = Layer::Y;
+    }
+
+    for i in 1..=n {
+        for j in 1..=m {
+            let idx = i * w + j;
+            let diag = (i - 1) * w + (j - 1);
+            let up = (i - 1) * w + j;
+            let left = i * w + (j - 1);
+
+            // M layer: consume a[i-1] and b[j-1].
+            let sub = matrix.score(a[i - 1], b[j - 1]);
+            let (mb, ml) = best3(sm[diag], sx[diag], sy[diag]);
+            sm[idx] = mb.saturating_add(sub);
+            tm[idx] = ml;
+
+            // X layer: gap in b, consume a[i-1].
+            let from_m = sm[up].saturating_sub(open_cost);
+            let from_x = sx[up].saturating_sub(gap.extend);
+            if from_m >= from_x {
+                sx[idx] = from_m;
+                tx[idx] = Layer::M;
+            } else {
+                sx[idx] = from_x;
+                tx[idx] = Layer::X;
+            }
+
+            // Y layer: gap in a, consume b[j-1].
+            let from_m = sm[left].saturating_sub(open_cost);
+            let from_y = sy[left].saturating_sub(gap.extend);
+            if from_m >= from_y {
+                sy[idx] = from_m;
+                ty[idx] = Layer::M;
+            } else {
+                sy[idx] = from_y;
+                ty[idx] = Layer::Y;
+            }
+        }
+    }
+
+    let end = n * w + m;
+    let (score, mut layer) = best3(sm[end], sx[end], sy[end]);
+
+    // Traceback.
+    let mut columns = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let idx = i * w + j;
+        match layer {
+            Layer::M => {
+                debug_assert!(i > 0 && j > 0, "M layer requires both residues");
+                columns.push((Some(a[i - 1]), Some(b[j - 1])));
+                layer = tm[idx];
+                i -= 1;
+                j -= 1;
+            }
+            Layer::X => {
+                debug_assert!(i > 0, "X layer consumes from a");
+                columns.push((Some(a[i - 1]), None));
+                layer = tx[idx];
+                i -= 1;
+            }
+            Layer::Y => {
+                debug_assert!(j > 0, "Y layer consumes from b");
+                columns.push((None, Some(b[j - 1])));
+                layer = ty[idx];
+                j -= 1;
+            }
+        }
+    }
+    columns.reverse();
+    Ok(Alignment { score, columns })
+}
+
+#[inline]
+fn best3(m: i32, x: i32, y: i32) -> (i32, Layer) {
+    if m >= x && m >= y {
+        (m, Layer::M)
+    } else if x >= y {
+        (x, Layer::X)
+    } else {
+        (y, Layer::Y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::ProteinSequence;
+
+    fn res(s: &str) -> Vec<AminoAcid> {
+        ProteinSequence::parse("t", s).unwrap().residues().to_vec()
+    }
+
+    fn align(a: &str, b: &str) -> Alignment {
+        global_align(
+            &res(a),
+            &res(b),
+            &ScoringMatrix::blosum62(),
+            GapPenalty::BLOSUM62_DEFAULT,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_align_without_gaps() {
+        let aln = align("ACDEFGHIK", "ACDEFGHIK");
+        assert_eq!(aln.identity(), 1.0);
+        assert_eq!(aln.aligned_sites(), 9);
+        // Score is the sum of diagonal BLOSUM62 entries.
+        let m = ScoringMatrix::blosum62();
+        let expected: i32 = res("ACDEFGHIK").iter().map(|&r| m.score(r, r)).sum();
+        assert_eq!(aln.score, expected);
+    }
+
+    #[test]
+    fn single_insertion_is_recovered() {
+        let aln = align("ACDEFG", "ACDKEFG");
+        let (sa, sb) = aln.to_strings();
+        assert_eq!(sa, "ACD-EFG");
+        assert_eq!(sb, "ACDKEFG");
+    }
+
+    #[test]
+    fn affine_gaps_prefer_one_long_gap() {
+        // With affine penalties, deleting "KKK" should produce one
+        // 3-column gap rather than three scattered single gaps.
+        let aln = align("AAACCCAAA", "AAAKKKCCCAAA");
+        let (sa, _) = aln.to_strings();
+        assert!(sa.contains("---"), "expected contiguous gap, got {sa}");
+        assert_eq!(sa.matches('-').count(), 3);
+    }
+
+    #[test]
+    fn empty_against_nonempty() {
+        let aln = align("", "ACD");
+        assert_eq!(aln.columns.len(), 3);
+        assert!(aln.columns.iter().all(|(a, _)| a.is_none()));
+        let open_total = -(10 + 1) - 1 - 1; // open+extend, then 2 extends
+        assert_eq!(aln.score, open_total);
+    }
+
+    #[test]
+    fn both_empty() {
+        let aln = align("", "");
+        assert_eq!(aln.score, 0);
+        assert!(aln.columns.is_empty());
+        assert_eq!(aln.p_distance(), 1.0);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let x = align("MKVLAT", "MKLAWT");
+        let y = align("MKLAWT", "MKVLAT");
+        assert_eq!(x.score, y.score);
+        assert_eq!(x.identity(), y.identity());
+    }
+
+    #[test]
+    fn traceback_reconstructs_inputs() {
+        let a = "MKVLATWQDE";
+        let b = "MKLATQDEYY";
+        let aln = align(a, b);
+        let (sa, sb) = aln.to_strings();
+        assert_eq!(sa.replace('-', ""), a);
+        assert_eq!(sb.replace('-', ""), b);
+    }
+
+    #[test]
+    fn rejects_negative_penalties() {
+        let err = global_align(
+            &res("AA"),
+            &res("AA"),
+            &ScoringMatrix::blosum62(),
+            GapPenalty {
+                open: -1,
+                extend: 0,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PhyloError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn p_distance_counts_only_gapfree_columns() {
+        let aln = align("AAAA", "AAAC");
+        assert_eq!(aln.aligned_sites(), 4);
+        assert!((aln.p_distance() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Substitution scoring matrices for protein alignment.
+//!
+//! Only BLOSUM62 is embedded (the default matrix of essentially every
+//! protein-alignment tool, including those behind DrugTree-era pipelines).
+//! The matrix is stored dense over the 21-letter alphabet of
+//! [`crate::seq::AminoAcid`]; rows/columns for `Xaa` are a uniform -1,
+//! a common simplification of the NCBI table.
+
+use crate::seq::{AminoAcid, ALPHABET_SIZE};
+
+/// A dense, symmetric residue-substitution scoring matrix.
+#[derive(Debug, Clone)]
+pub struct ScoringMatrix {
+    name: &'static str,
+    scores: [[i32; ALPHABET_SIZE]; ALPHABET_SIZE],
+}
+
+impl ScoringMatrix {
+    /// Score for substituting `a` with `b`.
+    #[inline]
+    pub fn score(&self, a: AminoAcid, b: AminoAcid) -> i32 {
+        self.scores[a.index()][b.index()]
+    }
+
+    /// Human-readable matrix name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The BLOSUM62 matrix.
+    pub fn blosum62() -> ScoringMatrix {
+        // Row order matches the AminoAcid discriminants:
+        // A R N D C Q E G H I L K M F P S T W Y V X
+        const B62: [[i32; 21]; 21] = [
+            [
+                4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0, -1,
+            ],
+            [
+                -1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3, -1,
+            ],
+            [
+                -2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3, -1,
+            ],
+            [
+                -2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3, -1,
+            ],
+            [
+                0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -1,
+            ],
+            [
+                -1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2, -1,
+            ],
+            [
+                -1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2, -1,
+            ],
+            [
+                0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3, -1,
+            ],
+            [
+                -2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3, -1,
+            ],
+            [
+                -1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3, -1,
+            ],
+            [
+                -1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1, -1,
+            ],
+            [
+                -1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2, -1,
+            ],
+            [
+                -1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1, -1,
+            ],
+            [
+                -2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1, -1,
+            ],
+            [
+                -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2, -1,
+            ],
+            [
+                1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2, -1,
+            ],
+            [
+                0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0, -1,
+            ],
+            [
+                -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3, -1,
+            ],
+            [
+                -2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1, -1,
+            ],
+            [
+                0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4, -1,
+            ],
+            [
+                -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+            ],
+        ];
+        ScoringMatrix {
+            name: "BLOSUM62",
+            scores: B62,
+        }
+    }
+
+    /// A simple identity matrix: `match_score` on the diagonal,
+    /// `mismatch_score` elsewhere. Useful for tests and for the identity
+    /// distance estimator.
+    pub fn identity(match_score: i32, mismatch_score: i32) -> ScoringMatrix {
+        let mut scores = [[mismatch_score; ALPHABET_SIZE]; ALPHABET_SIZE];
+        for (i, row) in scores.iter_mut().enumerate() {
+            row[i] = match_score;
+        }
+        ScoringMatrix {
+            name: "identity",
+            scores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{AminoAcid, CANONICAL};
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        let m = ScoringMatrix::blosum62();
+        for &a in &CANONICAL {
+            for &b in &CANONICAL {
+                assert_eq!(m.score(a, b), m.score(b, a), "{a}{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_spot_values() {
+        let m = ScoringMatrix::blosum62();
+        assert_eq!(m.score(AminoAcid::Trp, AminoAcid::Trp), 11);
+        assert_eq!(m.score(AminoAcid::Ala, AminoAcid::Ala), 4);
+        assert_eq!(m.score(AminoAcid::Cys, AminoAcid::Cys), 9);
+        assert_eq!(m.score(AminoAcid::Trp, AminoAcid::Gly), -2);
+        assert_eq!(m.score(AminoAcid::Ile, AminoAcid::Val), 3);
+        assert_eq!(m.score(AminoAcid::Asp, AminoAcid::Glu), 2);
+        assert_eq!(m.score(AminoAcid::Xaa, AminoAcid::Ala), -1);
+    }
+
+    #[test]
+    fn blosum62_diagonal_dominates_row() {
+        // Each residue should score at least as high against itself as
+        // against any other residue — a sanity property of log-odds
+        // substitution matrices.
+        let m = ScoringMatrix::blosum62();
+        for &a in &CANONICAL {
+            for &b in &CANONICAL {
+                assert!(m.score(a, a) >= m.score(a, b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let m = ScoringMatrix::identity(2, -1);
+        assert_eq!(m.score(AminoAcid::Ala, AminoAcid::Ala), 2);
+        assert_eq!(m.score(AminoAcid::Ala, AminoAcid::Gly), -1);
+    }
+}

@@ -1,0 +1,408 @@
+//! Re-rooting: place the root where it belongs.
+//!
+//! Neighbor joining produces an *unrooted* topology; the final
+//! three-way join becomes the displayed root only by convention, which
+//! can make the cladogram wildly unbalanced. Midpoint rooting puts the
+//! root halfway along the longest leaf-to-leaf path — the standard
+//! heuristic when no outgroup is available.
+
+use crate::tree::{NodeId, Tree};
+use crate::{PhyloError, Result};
+
+/// An undirected edge view of the tree: (child id, parent id, length),
+/// for every non-root node.
+fn edges(tree: &Tree) -> Vec<(NodeId, NodeId, f64)> {
+    tree.node_ids()
+        .filter_map(|id| {
+            tree.node_unchecked(id)
+                .parent
+                .map(|p| (id, p, tree.node_unchecked(id).branch_length))
+        })
+        .collect()
+}
+
+/// Single-source longest distances over the undirected tree
+/// (Dijkstra-free: trees have unique paths, one DFS suffices).
+fn distances_from(tree: &Tree, start: NodeId) -> Vec<f64> {
+    let n = tree.len();
+    let mut adjacency: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+    for (a, b, len) in edges(tree) {
+        adjacency[a.index()].push((b, len));
+        adjacency[b.index()].push((a, len));
+    }
+    let mut dist = vec![f64::NAN; n];
+    dist[start.index()] = 0.0;
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        for &(to, len) in &adjacency[v.index()] {
+            if dist[to.index()].is_nan() {
+                dist[to.index()] = dist[v.index()] + len;
+                stack.push(to);
+            }
+        }
+    }
+    dist
+}
+
+/// The two endpoints and length of the longest leaf-to-leaf path (the
+/// tree's "diameter"), found with the classic double-sweep.
+pub fn longest_leaf_path(tree: &Tree) -> Result<(NodeId, NodeId, f64)> {
+    let leaves = tree.leaves();
+    if leaves.len() < 2 {
+        return Err(PhyloError::TooFewTaxa(leaves.len()));
+    }
+    let far_leaf = |from: NodeId| -> (NodeId, f64) {
+        let dist = distances_from(tree, from);
+        leaves
+            .iter()
+            .map(|&l| (l, dist[l.index()]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least two leaves")
+    };
+    let (a, _) = far_leaf(leaves[0]);
+    let (b, diameter) = far_leaf(a);
+    Ok((a, b, diameter))
+}
+
+/// Re-root the tree on the edge above `node`, `fraction` of the way
+/// from `node` toward its parent (0 = at the node, 1 = at the parent).
+/// Returns a new tree over the same labels and branch lengths, with a
+/// fresh binary root splitting that edge.
+pub fn reroot_on_edge(tree: &Tree, node: NodeId, fraction: f64) -> Result<Tree> {
+    // A unary root is an unlabeled degree-1 vertex in the unrooted
+    // view; left in place it would dangle as a spurious leaf after
+    // re-rooting. Callers re-rooting such trees should [`normalize`]
+    // first (midpoint_root does); here we only reject the root itself.
+    let parent = tree
+        .node(node)?
+        .parent
+        .ok_or_else(|| PhyloError::InvalidValue("cannot re-root above the root".into()))?;
+    let fraction = fraction.clamp(0.0, 1.0);
+    let edge_len = tree.node_unchecked(node).branch_length;
+
+    // Build undirected adjacency once; then clone the tree outward from
+    // the two halves of the split edge.
+    let n = tree.len();
+    let mut adjacency: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+    for (a, b, len) in edges(tree) {
+        adjacency[a.index()].push((b, len));
+        adjacency[b.index()].push((a, len));
+    }
+
+    let mut out = Tree::with_root(None);
+    let root = out.root();
+
+    // Recursive copy of the subtree hanging off `from`, entered via
+    // `via` (which is not descended into again).
+    fn copy_subtree(
+        tree: &Tree,
+        adjacency: &[Vec<(NodeId, f64)>],
+        out: &mut Tree,
+        attach_to: NodeId,
+        from: NodeId,
+        via: NodeId,
+        branch_length: f64,
+    ) {
+        let label = tree.node_unchecked(from).label.clone();
+        let new_id = out
+            .add_child(attach_to, label, branch_length)
+            .expect("attach target exists");
+        for &(next, len) in &adjacency[from.index()] {
+            if next != via {
+                copy_subtree(tree, adjacency, out, new_id, next, from, len);
+            }
+        }
+    }
+
+    copy_subtree(
+        tree,
+        &adjacency,
+        &mut out,
+        root,
+        node,
+        parent,
+        edge_len * fraction,
+    );
+    copy_subtree(
+        tree,
+        &adjacency,
+        &mut out,
+        root,
+        parent,
+        node,
+        edge_len * (1.0 - fraction),
+    );
+    // The old root may have become a unary pass-through node; collapse
+    // such nodes so the topology stays clean.
+    let out = collapse_unary(&out);
+    debug_assert!(out.check_invariants().is_ok());
+    Ok(out)
+}
+
+/// Midpoint-root the tree: root at the halfway point of the longest
+/// leaf-to-leaf path. The input is [`normalize`]d first, so unary
+/// chains (including a unary root) never survive into the result.
+pub fn midpoint_root(tree: &Tree) -> Result<Tree> {
+    let tree = &normalize(tree);
+    let (a, b, diameter) = longest_leaf_path(tree)?;
+    if diameter <= 0.0 {
+        return Err(PhyloError::InvalidValue(
+            "tree has zero diameter; midpoint undefined".into(),
+        ));
+    }
+    let half = diameter / 2.0;
+
+    // Walk the explicit a→b tree path (up to the LCA, then down), so
+    // every consecutive pair is a real edge even with zero-length
+    // branches or distance ties.
+    let up_a = tree.ancestors(a)?;
+    let up_b = tree.ancestors(b)?;
+    let set_a: std::collections::HashSet<NodeId> = up_a.iter().copied().collect();
+    let lca = *up_b
+        .iter()
+        .find(|n| set_a.contains(n))
+        .expect("two nodes of one tree always share an ancestor");
+    let mut path: Vec<NodeId> = up_a.iter().copied().take_while(|&n| n != lca).collect();
+    path.push(lca);
+    let down_b: Vec<NodeId> = up_b.iter().copied().take_while(|&n| n != lca).collect();
+    path.extend(down_b.into_iter().rev());
+
+    // Accumulate distance from `a`; find the edge crossing `half`.
+    let mut acc = 0.0;
+    for pair in path.windows(2) {
+        let (u, v) = (pair[0], pair[1]);
+        // Exactly one of u, v is the other's child.
+        let child = if tree.node_unchecked(u).parent == Some(v) {
+            u
+        } else {
+            v
+        };
+        let edge_len = tree.node_unchecked(child).branch_length;
+        let next = acc + edge_len;
+        if half <= next + 1e-12 {
+            // Distance from the child end of the edge to the midpoint.
+            let from_child = if child == u { half - acc } else { next - half };
+            let fraction = if edge_len <= 0.0 {
+                0.5
+            } else {
+                (from_child / edge_len).clamp(0.0, 1.0)
+            };
+            return reroot_on_edge(tree, child, fraction);
+        }
+        acc = next;
+    }
+    Err(PhyloError::InvalidValue("midpoint edge not found".into()))
+}
+
+/// Normalize a tree: collapse unary internal nodes (summing their
+/// branch lengths) and promote through unary roots (whose single edge
+/// carries no topological information).
+pub fn normalize(tree: &Tree) -> Tree {
+    // Descend through unary roots first.
+    let mut top = tree.root();
+    while tree.node_unchecked(top).children.len() == 1 {
+        top = tree.node_unchecked(top).children[0];
+    }
+    if top == tree.root() {
+        return collapse_unary(tree);
+    }
+    // Rebuild with `top` as the root, then collapse internal unaries.
+    let mut rebased = Tree::with_root(tree.node_unchecked(top).label.clone());
+    fn copy(tree: &Tree, out: &mut Tree, attach_to: NodeId, from: NodeId) {
+        for &c in &tree.node_unchecked(from).children {
+            let node = tree.node_unchecked(c);
+            let new_id = out
+                .add_child(attach_to, node.label.clone(), node.branch_length)
+                .expect("attach target exists");
+            copy(tree, out, new_id, c);
+        }
+    }
+    let root = rebased.root();
+    copy(tree, &mut rebased, root, top);
+    collapse_unary(&rebased)
+}
+
+/// Collapse unary internal nodes (single-child, non-root), summing
+/// branch lengths.
+fn collapse_unary(tree: &Tree) -> Tree {
+    fn copy(tree: &Tree, out: &mut Tree, attach_to: NodeId, from: NodeId, carried_length: f64) {
+        let node = tree.node_unchecked(from);
+        if node.children.len() == 1 && node.parent.is_some() {
+            // Skip this node; extend the branch.
+            let only = node.children[0];
+            let extra = tree.node_unchecked(only).branch_length;
+            copy(tree, out, attach_to, only, carried_length + extra);
+            return;
+        }
+        let new_id = out
+            .add_child(attach_to, node.label.clone(), carried_length)
+            .expect("attach target exists");
+        for &c in &node.children {
+            copy(tree, out, new_id, c, tree.node_unchecked(c).branch_length);
+        }
+    }
+
+    let mut out = Tree::with_root(tree.node_unchecked(tree.root()).label.clone());
+    let root = out.root();
+    for &c in &tree.node_unchecked(tree.root()).children {
+        copy(
+            tree,
+            &mut out,
+            root,
+            c,
+            tree.node_unchecked(c).branch_length,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::robinson_foulds;
+    use crate::newick::parse_newick;
+
+    #[test]
+    fn longest_path_found() {
+        // Diameter: d(1) - a(1) - ab(1) - cd(3) - f(5) hmm — compute:
+        // ((d:1,e:2)a:3,b:4,(f:5)c:6)r — longest is e(2)+a(3) -> root -> c(6)+f(5) = 16.
+        let t = parse_newick("((d:1,e:2)a:3,b:4,(f:5)c:6)r;").unwrap();
+        let (x, y, diameter) = longest_leaf_path(&t).unwrap();
+        let labels: std::collections::BTreeSet<&str> = [x, y]
+            .iter()
+            .map(|&n| t.node_unchecked(n).label.as_deref().unwrap())
+            .collect();
+        assert_eq!(labels, ["e", "f"].into_iter().collect());
+        assert!((diameter - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_balances_depths() {
+        let t = parse_newick("((d:1,e:2)a:3,b:4,(f:5)c:6)r;").unwrap();
+        let rooted = midpoint_root(&t).unwrap();
+        rooted.check_invariants().unwrap();
+        assert_eq!(rooted.leaf_count(), t.leaf_count());
+        // The two deepest leaves are now equidistant from the root.
+        let depth = |label: &str| {
+            rooted
+                .root_distance(rooted.find_by_label(label).unwrap())
+                .unwrap()
+        };
+        assert!((depth("e") - 8.0).abs() < 1e-9, "e at {}", depth("e"));
+        assert!((depth("f") - 8.0).abs() < 1e-9, "f at {}", depth("f"));
+        // And no leaf is deeper than the midpoint radius.
+        for leaf in rooted.leaves() {
+            assert!(rooted.root_distance(leaf).unwrap() <= 8.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rerooting_preserves_unrooted_topology() {
+        let t = parse_newick(
+            "(((a:1,b:1)ab:2,(c:1,d:1)cd:2)abcd:1,((e:1,f:1)ef:2,(g:1,h:4)gh:2)efgh:1)r;",
+        )
+        .unwrap();
+        let rooted = midpoint_root(&t).unwrap();
+        // Splits (which RF compares) are an unrooted invariant — but
+        // internal labels may shift; compare leaf-set splits only.
+        let rf = robinson_foulds(&t, &rooted).unwrap();
+        assert_eq!(rf, 0, "re-rooting must not change the unrooted topology");
+        // Total branch length is conserved.
+        let total = |tree: &Tree| -> f64 {
+            tree.node_ids()
+                .map(|id| tree.node_unchecked(id).branch_length)
+                .sum()
+        };
+        assert!((total(&t) - total(&rooted)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reroot_on_edge_splits_lengths() {
+        let t = parse_newick("((a:2,b:2)ab:4,c:6)r;").unwrap();
+        let ab = t.find_by_label("ab").unwrap();
+        let rooted = reroot_on_edge(&t, ab, 0.25).unwrap();
+        // New root splits the 4-length edge 1.0 / 3.0.
+        let ab_new = rooted.find_by_label("ab").unwrap();
+        assert!((rooted.node(ab_new).unwrap().branch_length - 1.0).abs() < 1e-9);
+        rooted.check_invariants().unwrap();
+        assert_eq!(rooted.leaf_count(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        let t = parse_newick("(a:1,b:1);").unwrap();
+        assert!(reroot_on_edge(&t, t.root(), 0.5).is_err());
+        let single = parse_newick("a;").unwrap();
+        assert!(longest_leaf_path(&single).is_err());
+        let zero = parse_newick("(a:0,b:0);").unwrap();
+        assert!(midpoint_root(&zero).is_err());
+    }
+
+    #[test]
+    fn normalize_collapses_unary_chains() {
+        // root -> x -> (a, b) with a unary root and a unary internal.
+        let t = parse_newick("(((a:1,b:2)ab:3)mid:4)root;").unwrap();
+        let n = normalize(&t);
+        n.check_invariants().unwrap();
+        assert_eq!(n.leaf_count(), 2);
+        // The unary chain root->mid->ab collapses to a root named "ab"
+        // (roots carry no branch, so mid's 4 and ab's 3 vanish with the
+        // unary root; a and b keep their lengths).
+        assert_eq!(n.node(n.root()).unwrap().label.as_deref(), Some("ab"));
+        assert_eq!(n.len(), 3);
+        // Idempotent.
+        assert_eq!(normalize(&n), n);
+    }
+
+    #[test]
+    fn midpoint_handles_unary_roots() {
+        let t = parse_newick("((a:1,(b:2)bb:1)x:5)root;").unwrap();
+        let rooted = midpoint_root(&t).unwrap();
+        rooted.check_invariants().unwrap();
+        // Only real taxa remain as leaves.
+        let leaves: std::collections::BTreeSet<&str> = rooted
+            .leaves()
+            .iter()
+            .map(|&l| rooted.node_unchecked(l).label.as_deref().unwrap())
+            .collect();
+        assert_eq!(leaves, ["a", "b"].into_iter().collect());
+        // Midpoint of the a-b path (1 + 1 + 2 = 4): both at depth 2.
+        for leaf in rooted.leaves() {
+            assert!((rooted.root_distance(leaf).unwrap() - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nj_tree_midpoint_rooted_is_more_balanced() {
+        use crate::distance::DistanceMatrix;
+        use crate::nj::neighbor_joining;
+        // An additive matrix with a long pendant edge: the NJ rooting
+        // is arbitrary; midpoint rooting should not *worsen* the
+        // max/min depth imbalance.
+        let square = [
+            vec![0.0, 5.0, 9.0, 9.0, 8.0],
+            vec![5.0, 0.0, 10.0, 10.0, 9.0],
+            vec![9.0, 10.0, 0.0, 8.0, 7.0],
+            vec![9.0, 10.0, 8.0, 0.0, 3.0],
+            vec![8.0, 9.0, 7.0, 3.0, 0.0],
+        ];
+        let labels: Vec<String> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let dm = DistanceMatrix::from_square(labels, &square).unwrap();
+        let nj = neighbor_joining(&dm).unwrap();
+        let rooted = midpoint_root(&nj).unwrap();
+        let spread = |tree: &Tree| {
+            let depths: Vec<f64> = tree
+                .leaves()
+                .iter()
+                .map(|&l| tree.root_distance(l).unwrap())
+                .collect();
+            depths.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - depths.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        assert!(spread(&rooted) <= spread(&nj) + 1e-9);
+        assert_eq!(robinson_foulds(&nj, &rooted).unwrap(), 0);
+    }
+}

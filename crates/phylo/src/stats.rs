@@ -1,0 +1,170 @@
+//! Per-subtree structural statistics.
+//!
+//! These are the tree-side half of design decision **D4** (statistics-
+//! based pruning): the query optimizer consults per-node aggregates to
+//! decide whether a subtree can possibly contribute to a query before
+//! touching any data source. This module computes the *structural*
+//! aggregates; overlay-value aggregates (ligand counts, affinity ranges)
+//! are layered on top by `drugtree-query`'s statistics module using the
+//! generic [`fold_subtrees`] helper.
+
+use crate::tree::{NodeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// Structural statistics for one subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubtreeStats {
+    /// Leaves dominated by this node.
+    pub leaf_count: u32,
+    /// Nodes (including self) in the subtree.
+    pub node_count: u32,
+    /// Height in edges (0 for leaves).
+    pub height: u32,
+    /// Maximum root-path branch-length sum within the subtree, measured
+    /// from this node.
+    pub max_path_length: f64,
+    /// Total branch length inside the subtree.
+    pub total_branch_length: f64,
+}
+
+/// Structural statistics for every node, indexed by `NodeId::index()`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeStats {
+    stats: Vec<SubtreeStats>,
+}
+
+impl TreeStats {
+    /// Compute all subtree statistics in one postorder pass.
+    pub fn compute(tree: &Tree) -> TreeStats {
+        let mut stats = vec![
+            SubtreeStats {
+                leaf_count: 0,
+                node_count: 0,
+                height: 0,
+                max_path_length: 0.0,
+                total_branch_length: 0.0,
+            };
+            tree.len()
+        ];
+        for &id in tree.postorder().iter() {
+            let node = tree.node_unchecked(id);
+            if node.is_leaf() {
+                stats[id.index()] = SubtreeStats {
+                    leaf_count: 1,
+                    node_count: 1,
+                    height: 0,
+                    max_path_length: 0.0,
+                    total_branch_length: 0.0,
+                };
+            } else {
+                let mut agg = SubtreeStats {
+                    leaf_count: 0,
+                    node_count: 1,
+                    height: 0,
+                    max_path_length: 0.0,
+                    total_branch_length: 0.0,
+                };
+                for &c in &node.children {
+                    let cs = stats[c.index()];
+                    let cb = tree.node_unchecked(c).branch_length;
+                    agg.leaf_count += cs.leaf_count;
+                    agg.node_count += cs.node_count;
+                    agg.height = agg.height.max(cs.height + 1);
+                    agg.max_path_length = agg.max_path_length.max(cs.max_path_length + cb);
+                    agg.total_branch_length += cs.total_branch_length + cb;
+                }
+                stats[id.index()] = agg;
+            }
+        }
+        TreeStats { stats }
+    }
+
+    /// Statistics for one node's subtree.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> SubtreeStats {
+        self.stats[id.index()]
+    }
+}
+
+/// Fold an arbitrary aggregate bottom-up over all subtrees.
+///
+/// `leaf` produces the aggregate for a leaf node; `merge` combines a
+/// parent's partial aggregate with one child's finished aggregate.
+/// Returns one aggregate per node, indexed by `NodeId::index()`.
+pub fn fold_subtrees<T: Clone>(
+    tree: &Tree,
+    mut leaf: impl FnMut(NodeId) -> T,
+    mut init_internal: impl FnMut(NodeId) -> T,
+    mut merge: impl FnMut(&mut T, &T),
+) -> Vec<T> {
+    let mut out: Vec<Option<T>> = vec![None; tree.len()];
+    for &id in tree.postorder().iter() {
+        let node = tree.node_unchecked(id);
+        let agg = if node.is_leaf() {
+            leaf(id)
+        } else {
+            let mut acc = init_internal(id);
+            for &c in &node.children {
+                let child_agg = out[c.index()].clone().expect("postorder: child first");
+                merge(&mut acc, &child_agg);
+            }
+            acc
+        };
+        out[id.index()] = Some(agg);
+    }
+    out.into_iter()
+        .map(|x| x.expect("all nodes visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newick::parse_newick;
+
+    #[test]
+    fn structural_stats() {
+        let t = parse_newick("((d:1,e:2)a:3,b:4,(f:5)c:6)r;").unwrap();
+        let stats = TreeStats::compute(&t);
+
+        let root = stats.get(t.root());
+        assert_eq!(root.leaf_count, 4);
+        assert_eq!(root.node_count, 7);
+        assert_eq!(root.height, 2);
+        // Longest root path: c(6) + f(5) = 11.
+        assert!((root.max_path_length - 11.0).abs() < 1e-12);
+        assert!((root.total_branch_length - 21.0).abs() < 1e-12);
+
+        let a = stats.get(t.find_by_label("a").unwrap());
+        assert_eq!(a.leaf_count, 2);
+        assert_eq!(a.node_count, 3);
+        assert_eq!(a.height, 1);
+        assert!((a.max_path_length - 2.0).abs() < 1e-12);
+
+        let d = stats.get(t.find_by_label("d").unwrap());
+        assert_eq!(d.leaf_count, 1);
+        assert_eq!(d.height, 0);
+        assert_eq!(d.max_path_length, 0.0);
+    }
+
+    #[test]
+    fn fold_subtrees_counts_leaves() {
+        let t = parse_newick("((d,e)a,b,(f)c)r;").unwrap();
+        let counts = fold_subtrees(&t, |_| 1u32, |_| 0u32, |acc, c| *acc += c);
+        assert_eq!(counts[t.root().index()], 4);
+        assert_eq!(counts[t.find_by_label("a").unwrap().index()], 2);
+        assert_eq!(counts[t.find_by_label("f").unwrap().index()], 1);
+    }
+
+    #[test]
+    fn fold_subtrees_collects_labels() {
+        let t = parse_newick("((d,e)a,b)r;").unwrap();
+        let labels = fold_subtrees(
+            &t,
+            |id| vec![t.node_unchecked(id).label.clone().unwrap_or_default()],
+            |_| Vec::new(),
+            |acc, c| acc.extend(c.iter().cloned()),
+        );
+        assert_eq!(labels[t.root().index()], vec!["d", "e", "b"]);
+    }
+}

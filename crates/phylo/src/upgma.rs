@@ -1,0 +1,193 @@
+//! UPGMA (average-linkage) hierarchical clustering tree construction.
+//!
+//! The classical alternative baseline to neighbor joining: assumes a
+//! molecular clock and produces an ultrametric rooted tree. DrugTree
+//! offers both so the benchmarks can compare construction cost and the
+//! query layer is exercised against differently-shaped trees.
+
+use crate::distance::DistanceMatrix;
+use crate::tree::{NodeId, Tree};
+use crate::{PhyloError, Result};
+
+/// Build a rooted ultrametric tree with average linkage.
+pub fn upgma(dm: &DistanceMatrix) -> Result<Tree> {
+    let n = dm.len();
+    if n < 2 {
+        return Err(PhyloError::TooFewTaxa(n));
+    }
+
+    struct Cluster {
+        node: NodeId,
+        size: usize,
+        /// Height (root-to-leaf distance) of this cluster's subtree.
+        height: f64,
+    }
+
+    let mut tree = Tree::with_root(None);
+    let root = tree.root();
+
+    let mut clusters: Vec<Cluster> = Vec::with_capacity(n);
+    for label in dm.labels() {
+        let node = tree.add_child(root, Some(label.clone()), 0.0)?;
+        clusters.push(Cluster {
+            node,
+            size: 1,
+            height: 0.0,
+        });
+    }
+
+    let mut dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| dm.get(i, j)).collect())
+        .collect();
+    let mut alive: Vec<usize> = (0..n).collect();
+
+    while alive.len() > 1 {
+        // Closest pair among alive clusters.
+        let (mut best_a, mut best_b, mut best_d) = (0usize, 1usize, f64::INFINITY);
+        for (ai, &i) in alive.iter().enumerate() {
+            for (bi, &j) in alive.iter().enumerate().skip(ai + 1) {
+                if dist[i][j] < best_d {
+                    best_d = dist[i][j];
+                    best_a = ai;
+                    best_b = bi;
+                }
+            }
+        }
+        let i = alive[best_a];
+        let j = alive[best_b];
+        let new_height = best_d / 2.0;
+
+        // Merge under a fresh internal node. The last merge reuses the
+        // root so the final tree has no superfluous unary root.
+        let parent = if alive.len() == 2 {
+            root
+        } else {
+            tree.add_child(root, None, 0.0)?
+        };
+        let li = (new_height - clusters[i].height).max(0.0);
+        let lj = (new_height - clusters[j].height).max(0.0);
+        relink(&mut tree, clusters[i].node, parent, li);
+        relink(&mut tree, clusters[j].node, parent, lj);
+
+        // Average-linkage distance update: u replaces slot i.
+        let (si, sj) = (clusters[i].size as f64, clusters[j].size as f64);
+        for &k in &alive {
+            if k == i || k == j {
+                continue;
+            }
+            let duk = (si * dist[i][k] + sj * dist[j][k]) / (si + sj);
+            dist[i][k] = duk;
+            dist[k][i] = duk;
+        }
+        clusters[i] = Cluster {
+            node: parent,
+            size: clusters[i].size + clusters[j].size,
+            height: new_height,
+        };
+        alive.remove(best_b);
+    }
+
+    debug_assert!(tree.check_invariants().is_ok());
+    Ok(tree)
+}
+
+fn relink(tree: &mut Tree, child: NodeId, new_parent: NodeId, branch_length: f64) {
+    if let Some(parent) = tree.node_unchecked(child).parent {
+        tree.node_mut_internal(parent)
+            .children
+            .retain(|&c| c != child);
+    }
+    tree.node_mut_internal(new_parent).children.push(child);
+    let node = tree.node_mut_internal(child);
+    node.parent = Some(new_parent);
+    node.branch_length = branch_length;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_single_taxon() {
+        let dm = DistanceMatrix::zeros(labels(&["a"]));
+        assert!(matches!(upgma(&dm), Err(PhyloError::TooFewTaxa(1))));
+    }
+
+    #[test]
+    fn two_taxa_split_evenly() {
+        let mut dm = DistanceMatrix::zeros(labels(&["a", "b"]));
+        dm.set(0, 1, 4.0);
+        let t = upgma(&dm).unwrap();
+        let a = t.find_by_label("a").unwrap();
+        let b = t.find_by_label("b").unwrap();
+        assert_eq!(t.node(a).unwrap().branch_length, 2.0);
+        assert_eq!(t.node(b).unwrap().branch_length, 2.0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn ultrametric_property() {
+        // Every leaf of a UPGMA tree sits at the same distance from the
+        // root (the molecular-clock assumption).
+        let square = [
+            vec![0.0, 2.0, 6.0, 6.0, 8.0],
+            vec![2.0, 0.0, 6.0, 6.0, 8.0],
+            vec![6.0, 6.0, 0.0, 4.0, 8.0],
+            vec![6.0, 6.0, 4.0, 0.0, 8.0],
+            vec![8.0, 8.0, 8.0, 8.0, 0.0],
+        ];
+        let dm = DistanceMatrix::from_square(labels(&["a", "b", "c", "d", "e"]), &square).unwrap();
+        let t = upgma(&dm).unwrap();
+        let depths: Vec<f64> = t
+            .leaves()
+            .iter()
+            .map(|&l| t.root_distance(l).unwrap())
+            .collect();
+        for d in &depths {
+            assert!(
+                (d - depths[0]).abs() < 1e-9,
+                "leaf depths differ: {depths:?}"
+            );
+        }
+        // Root height is half the maximum distance.
+        assert!((depths[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merges_closest_first() {
+        let square = [
+            vec![0.0, 1.0, 8.0],
+            vec![1.0, 0.0, 8.0],
+            vec![8.0, 8.0, 0.0],
+        ];
+        let dm = DistanceMatrix::from_square(labels(&["x", "y", "z"]), &square).unwrap();
+        let t = upgma(&dm).unwrap();
+        // x and y must be siblings.
+        let x = t.find_by_label("x").unwrap();
+        let y = t.find_by_label("y").unwrap();
+        assert_eq!(t.node(x).unwrap().parent, t.node(y).unwrap().parent);
+        // And their parent is not the root (z joins at the root).
+        assert_ne!(t.node(x).unwrap().parent, Some(t.root()));
+    }
+
+    #[test]
+    fn leaf_set_preserved() {
+        let names = ["p", "q", "r", "s", "t", "u"];
+        let mut dm = DistanceMatrix::zeros(labels(&names));
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                dm.set(i, j, ((i + j * 2) % 7 + 1) as f64);
+            }
+        }
+        let t = upgma(&dm).unwrap();
+        assert_eq!(t.leaf_count(), 6);
+        for name in names {
+            assert!(t.find_by_label(name).is_ok());
+        }
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,311 @@
+//! The query model.
+//!
+//! A DrugTree query scopes a region of the tree, filters the activity
+//! overlay (optionally joined with ligand metadata and a structural
+//! similarity constraint), and finishes by listing, ranking, counting,
+//! or aggregating per child clade.
+
+use drugtree_phylo::index::LeafInterval;
+use drugtree_store::expr::Predicate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which part of the tree a query addresses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// The whole tree.
+    Tree,
+    /// The subtree rooted at the node with this label.
+    Subtree(String),
+    /// An explicit leaf-rank interval (produced by the mobile layer's
+    /// viewport queries; users normally write labels).
+    Interval(LeafInterval),
+    /// An explicit set of leaf labels.
+    Leaves(Vec<String>),
+}
+
+/// Aggregation metric for per-clade summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Number of activity records.
+    Count,
+    /// Number of distinct ligands.
+    DistinctLigands,
+    /// Maximum pActivity (best potency).
+    MaxPActivity,
+    /// Mean pActivity.
+    MeanPActivity,
+}
+
+impl Metric {
+    /// Human-readable label used in result columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Count => "count",
+            Metric::DistinctLigands => "distinct_ligands",
+            Metric::MaxPActivity => "max_p_activity",
+            Metric::MeanPActivity => "mean_p_activity",
+        }
+    }
+}
+
+/// Structural similarity constraint ("ligands similar to X").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilaritySpec {
+    /// A SMILES string or a known ligand id.
+    pub reference: String,
+    /// Minimum Tanimoto similarity in `[0, 1]`.
+    pub min_tanimoto: f64,
+}
+
+/// How the query finishes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// List matching activity rows (joined with ligand metadata).
+    Activities,
+    /// The `k` best rows by a column.
+    TopK {
+        /// Ranking column.
+        by: String,
+        /// Result size.
+        k: usize,
+        /// Sort direction.
+        descending: bool,
+    },
+    /// One aggregate row per child of the scope's root clade — what a
+    /// collapsed tree view displays on each branch.
+    AggregateChildren {
+        /// The aggregation metric.
+        metric: Metric,
+    },
+    /// Count matching records per leaf (drives heat-strip rendering).
+    CountPerLeaf,
+}
+
+/// A complete query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Tree region.
+    pub scope: Scope,
+    /// Row filter over the unified activity+ligand columns.
+    pub predicate: Predicate,
+    /// Optional structural similarity constraint.
+    pub similarity: Option<SimilaritySpec>,
+    /// Optional substructure constraint: only ligands *containing*
+    /// this SMILES pattern (or a known ligand id's structure).
+    pub substructure: Option<String>,
+    /// Finishing operator.
+    pub kind: QueryKind,
+}
+
+impl Query {
+    /// A bare "all activities in this scope" query.
+    pub fn activities(scope: Scope) -> Query {
+        Query {
+            scope,
+            predicate: Predicate::True,
+            similarity: None,
+            substructure: None,
+            kind: QueryKind::Activities,
+        }
+    }
+
+    /// Attach a predicate (conjoined with any existing one).
+    pub fn filter(mut self, pred: Predicate) -> Query {
+        self.predicate = std::mem::replace(&mut self.predicate, Predicate::True).and(pred);
+        self
+    }
+
+    /// Attach a similarity constraint.
+    pub fn similar_to(mut self, reference: impl Into<String>, min_tanimoto: f64) -> Query {
+        self.similarity = Some(SimilaritySpec {
+            reference: reference.into(),
+            min_tanimoto,
+        });
+        self
+    }
+
+    /// Attach a substructure constraint (a SMILES pattern or a known
+    /// ligand id whose structure becomes the pattern).
+    pub fn containing(mut self, pattern: impl Into<String>) -> Query {
+        self.substructure = Some(pattern.into());
+        self
+    }
+
+    /// Finish as a top-k ranking.
+    pub fn top_k(mut self, by: impl Into<String>, k: usize, descending: bool) -> Query {
+        self.kind = QueryKind::TopK {
+            by: by.into(),
+            k,
+            descending,
+        };
+        self
+    }
+
+    /// Finish as a per-child aggregate.
+    pub fn aggregate(mut self, metric: Metric) -> Query {
+        self.kind = QueryKind::AggregateChildren { metric };
+        self
+    }
+
+    /// Parse from the text query language (see [`crate::parser`]).
+    pub fn parse(text: &str) -> crate::Result<Query> {
+        crate::parser::parse_query(text)
+    }
+}
+
+impl fmt::Display for Query {
+    /// Render back into the text query language. Every query built
+    /// through the public API parses back to an equal value
+    /// (`Query::parse(&q.to_string()) == Ok(q)`), except
+    /// `Scope::Interval`, which the language cannot express (it
+    /// renders as a comment-like `in tree` fallback is wrong — so it
+    /// renders its interval explicitly and will not re-parse; the
+    /// mobile layer constructs those queries structurally).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            QueryKind::Activities | QueryKind::TopK { .. } => write!(f, "activities")?,
+            QueryKind::AggregateChildren { metric } => write!(f, "aggregate {}", metric.label())?,
+            QueryKind::CountPerLeaf => write!(f, "count per leaf")?,
+        }
+        match &self.scope {
+            Scope::Tree => write!(f, " in tree")?,
+            Scope::Subtree(label) => write!(f, " in subtree({})", quote(label))?,
+            Scope::Leaves(labels) => {
+                let quoted: Vec<String> = labels.iter().map(|l| quote(l)).collect();
+                write!(f, " in leaves({})", quoted.join(", "))?;
+            }
+            Scope::Interval(iv) => write!(f, " in interval[{}, {})", iv.lo, iv.hi)?,
+        }
+        if self.predicate != drugtree_store::expr::Predicate::True {
+            write!(f, " where {}", crate::plan::fmt_pred(&self.predicate))?;
+        }
+        if let Some(pattern) = &self.substructure {
+            write!(f, " containing {}", quote(pattern))?;
+        }
+        if let Some(sim) = &self.similarity {
+            write!(
+                f,
+                " similar to {} >= {}",
+                quote(&sim.reference),
+                sim.min_tanimoto
+            )?;
+        }
+        if let QueryKind::TopK { by, k, descending } = &self.kind {
+            write!(
+                f,
+                " top {k} by {by} {}",
+                if *descending { "desc" } else { "asc" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+/// The unified column names a query predicate may reference.
+pub mod columns {
+    /// Columns served directly by assay sources (pushdown candidates).
+    pub const ACTIVITY: &[&str] = &[
+        "leaf_rank",
+        "protein_accession",
+        "ligand_id",
+        "activity_type",
+        "value_nm",
+        "p_activity",
+        "source",
+        "year",
+    ];
+    /// Columns contributed by the ligand join (always client-side).
+    pub const LIGAND: &[&str] = &["name", "smiles", "mw", "hbd", "hba", "rings"];
+
+    /// True when the column belongs to the activity half.
+    pub fn is_activity_column(name: &str) -> bool {
+        ACTIVITY.contains(&name)
+    }
+
+    /// True when the column exists at all.
+    pub fn is_known(name: &str) -> bool {
+        ACTIVITY.contains(&name) || LIGAND.contains(&name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_store::expr::CompareOp;
+
+    #[test]
+    fn builder_chains() {
+        let q = Query::activities(Scope::Subtree("cladeA".into()))
+            .filter(Predicate::cmp("p_activity", CompareOp::Ge, 6.5))
+            .filter(Predicate::cmp("mw", CompareOp::Lt, 500.0))
+            .top_k("p_activity", 10, true);
+        assert_eq!(q.scope, Scope::Subtree("cladeA".into()));
+        match &q.predicate {
+            Predicate::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert!(matches!(
+            q.kind,
+            QueryKind::TopK {
+                k: 10,
+                descending: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn similarity_attach() {
+        let q = Query::activities(Scope::Tree).similar_to("CCO", 0.7);
+        let s = q.similarity.unwrap();
+        assert_eq!(s.reference, "CCO");
+        assert_eq!(s.min_tanimoto, 0.7);
+    }
+
+    #[test]
+    fn column_classification() {
+        assert!(columns::is_activity_column("p_activity"));
+        assert!(!columns::is_activity_column("mw"));
+        assert!(columns::is_known("mw"));
+        assert!(!columns::is_known("bogus"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let queries = vec![
+            Query::activities(Scope::Tree),
+            Query::activities(Scope::Subtree("clade A".into()))
+                .filter(Predicate::cmp("p_activity", CompareOp::Ge, 6.5))
+                .filter(Predicate::cmp("mw", CompareOp::Lt, 500.0)),
+            Query::activities(Scope::Leaves(vec!["P1".into(), "it's".into()]))
+                .similar_to("CCO", 0.6),
+            Query::activities(Scope::Tree)
+                .containing("c1ccccc1")
+                .top_k("p_activity", 7, false),
+            Query::activities(Scope::Tree).aggregate(Metric::DistinctLigands),
+            Query {
+                scope: Scope::Tree,
+                predicate: Predicate::between("year", 2005i64, 2013i64),
+                similarity: None,
+                substructure: None,
+                kind: QueryKind::CountPerLeaf,
+            },
+        ];
+        for q in queries {
+            let text = q.to_string();
+            let back = Query::parse(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            assert_eq!(back, q, "{text}");
+        }
+    }
+
+    #[test]
+    fn metric_labels() {
+        assert_eq!(Metric::Count.label(), "count");
+        assert_eq!(Metric::MaxPActivity.label(), "max_p_activity");
+    }
+}

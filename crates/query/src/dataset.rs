@@ -1,0 +1,391 @@
+//! The queryable bundle: tree + index + overlay + federated sources.
+
+use crate::ast::Scope;
+use crate::{QueryError, Result};
+use drugtree_integrate::overlay::{tables, Overlay};
+use drugtree_phylo::index::{LeafInterval, TreeIndex};
+use drugtree_phylo::tree::{NodeId, Tree};
+use drugtree_sources::clock::VirtualClock;
+use drugtree_sources::federation::SourceRegistry;
+use drugtree_store::schema::{Column, Schema};
+use drugtree_store::value::{Value, ValueType};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Everything a query executes against.
+///
+/// Protein and ligand metadata are materialized locally (they are
+/// small and stable); *activity* data stays behind the federated assay
+/// sources and is fetched on demand — the access pattern whose latency
+/// the paper's optimizations target.
+pub struct Dataset {
+    /// The phylogenetic tree.
+    pub tree: Tree,
+    /// Its index (intervals, ranks, LCA).
+    pub index: TreeIndex,
+    /// Locally materialized protein/ligand tables + fingerprints.
+    pub overlay: Overlay,
+    /// Federated sources (assay sources are queried per tree
+    /// interaction).
+    pub registry: SourceRegistry,
+    /// The session's virtual clock; all simulated latency is charged
+    /// here.
+    pub clock: Arc<VirtualClock>,
+    /// Leaf rank -> protein accession.
+    accession_by_rank: Vec<Option<String>>,
+    /// Protein accession -> leaf rank.
+    rank_by_accession: FxHashMap<String, u32>,
+}
+
+impl Dataset {
+    /// Assemble a dataset. The overlay's protein table provides the
+    /// rank ↔ accession correspondence.
+    pub fn new(
+        tree: Tree,
+        index: TreeIndex,
+        overlay: Overlay,
+        registry: SourceRegistry,
+        clock: Arc<VirtualClock>,
+    ) -> Result<Dataset> {
+        let mut accession_by_rank = vec![None; index.leaf_count()];
+        let mut rank_by_accession = FxHashMap::default();
+        let proteins = overlay.catalog().table(tables::PROTEIN)?;
+        let acc_col = proteins.schema().column_index("accession")?;
+        let rank_col = proteins.schema().column_index("leaf_rank")?;
+        for (_, row) in proteins.scan() {
+            let acc = row[acc_col]
+                .as_text()
+                .ok_or_else(|| QueryError::Plan("non-text accession".into()))?
+                .to_string();
+            let rank = row[rank_col]
+                .as_int()
+                .ok_or_else(|| QueryError::Plan("non-int leaf_rank".into()))?
+                as u32;
+            if let Some(slot) = accession_by_rank.get_mut(rank as usize) {
+                *slot = Some(acc.clone());
+            }
+            rank_by_accession.insert(acc, rank);
+        }
+        Ok(Dataset {
+            tree,
+            index,
+            overlay,
+            registry,
+            clock,
+            accession_by_rank,
+            rank_by_accession,
+        })
+    }
+
+    /// Resolve a scope to (root node, leaf interval).
+    pub fn resolve_scope(&self, scope: &Scope) -> Result<(NodeId, LeafInterval)> {
+        match scope {
+            Scope::Tree => {
+                let root = self.tree.root();
+                Ok((root, self.index.interval(root)))
+            }
+            Scope::Subtree(label) => {
+                let node = self
+                    .index
+                    .by_label(label)
+                    .map_err(|_| QueryError::UnknownNode(label.clone()))?;
+                Ok((node, self.index.interval(node)))
+            }
+            Scope::Interval(iv) => {
+                let clamped = LeafInterval {
+                    lo: iv.lo.min(self.index.leaf_count() as u32),
+                    hi: iv.hi.min(self.index.leaf_count() as u32),
+                };
+                Ok((self.index.tightest_clade(&self.tree, clamped), clamped))
+            }
+            Scope::Leaves(labels) => {
+                if labels.is_empty() {
+                    return Err(QueryError::Plan("empty leaf set".into()));
+                }
+                let mut lo = u32::MAX;
+                let mut hi = 0u32;
+                for label in labels {
+                    let node = self
+                        .index
+                        .by_label(label)
+                        .map_err(|_| QueryError::UnknownNode(label.clone()))?;
+                    let iv = self.index.interval(node);
+                    lo = lo.min(iv.lo);
+                    hi = hi.max(iv.hi);
+                }
+                let iv = LeafInterval { lo, hi };
+                Ok((self.index.tightest_clade(&self.tree, iv), iv))
+            }
+        }
+    }
+
+    /// Accession of the leaf at `rank`, when one is assigned.
+    pub fn accession_of_rank(&self, rank: u32) -> Option<&str> {
+        self.accession_by_rank.get(rank as usize)?.as_deref()
+    }
+
+    /// Leaf rank of an accession.
+    pub fn rank_of_accession(&self, accession: &str) -> Option<u32> {
+        self.rank_by_accession.get(accession).copied()
+    }
+
+    /// (rank, accession) pairs for every protein-bearing leaf in an
+    /// interval, in rank order.
+    pub fn accessions_in(&self, interval: LeafInterval) -> Vec<(u32, &str)> {
+        (interval.lo..interval.hi.min(self.accession_by_rank.len() as u32))
+            .filter_map(|r| self.accession_of_rank(r).map(|a| (r, a)))
+            .collect()
+    }
+
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.index.leaf_count()
+    }
+}
+
+/// Schema of the unified (activity ⋈ ligand) rows query predicates and
+/// results range over. Ligand columns are nullable: an activity may
+/// reference a ligand absent from the ligand catalog.
+pub fn unified_schema() -> Schema {
+    Schema::new(vec![
+        Column::required("leaf_rank", ValueType::Int),
+        Column::required("protein_accession", ValueType::Text),
+        Column::required("ligand_id", ValueType::Text),
+        Column::required("activity_type", ValueType::Text),
+        Column::required("value_nm", ValueType::Float),
+        Column::required("p_activity", ValueType::Float),
+        Column::required("source", ValueType::Text),
+        Column::required("year", ValueType::Int),
+        Column::nullable("name", ValueType::Text),
+        Column::nullable("smiles", ValueType::Text),
+        Column::nullable("mw", ValueType::Float),
+        Column::nullable("hbd", ValueType::Int),
+        Column::nullable("hba", ValueType::Int),
+        Column::nullable("rings", ValueType::Int),
+    ])
+}
+
+/// Schema of the activity-only half (what sources ship, plus the
+/// locally derived leaf_rank and p_activity columns).
+pub fn activity_half_schema() -> Schema {
+    Schema::new(vec![
+        Column::required("leaf_rank", ValueType::Int),
+        Column::required("protein_accession", ValueType::Text),
+        Column::required("ligand_id", ValueType::Text),
+        Column::required("activity_type", ValueType::Text),
+        Column::required("value_nm", ValueType::Float),
+        Column::required("p_activity", ValueType::Float),
+        Column::required("source", ValueType::Text),
+        Column::required("year", ValueType::Int),
+    ])
+}
+
+/// Convert a raw assay-source row into the activity half of the
+/// unified layout, resolving the leaf rank. Returns `None` for rows
+/// whose accession is not on the tree (dropped, counted by metrics).
+pub fn unify_assay_row(dataset: &Dataset, row: &[Value]) -> Option<Vec<Value>> {
+    // Assay source order: protein_accession, ligand_id, activity_type,
+    // value_nm, source, year.
+    let acc = row.first()?.as_text()?;
+    let rank = dataset.rank_of_accession(acc)?;
+    let value_nm = row.get(3)?.as_f64()?;
+    if !(value_nm.is_finite() && value_nm > 0.0) {
+        return None;
+    }
+    let p_activity = -(value_nm * 1e-9).log10();
+    Some(vec![
+        Value::from(rank),
+        row[0].clone(),
+        row.get(1)?.clone(),
+        row.get(2)?.clone(),
+        Value::Float(value_nm),
+        Value::Float(p_activity),
+        row.get(4)?.clone(),
+        row.get(5)?.clone(),
+    ])
+}
+
+/// Small deterministic fixtures shared by this crate's tests, the
+/// downstream crates' tests, and the benchmark harness.
+pub mod test_fixtures {
+    use super::*;
+    use drugtree_chem::affinity::{ActivityRecord, ActivityType};
+    use drugtree_integrate::overlay::OverlayBuilder;
+    use drugtree_phylo::newick::parse_newick;
+    use drugtree_sources::assay_db::assay_source;
+    use drugtree_sources::latency::LatencyModel;
+    use drugtree_sources::ligand_db::LigandRecord;
+    use drugtree_sources::protein_db::ProteinRecord;
+    use drugtree_sources::source::SourceCapabilities;
+    use std::time::Duration;
+
+    /// Deterministic small latency for tests: 10 ms RTT, 1 ms/row.
+    pub fn test_latency() -> LatencyModel {
+        LatencyModel {
+            base_rtt: Duration::from_millis(10),
+            per_row: Duration::from_millis(1),
+            per_row_scanned: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A Ki activity record against `acc` for tests.
+    pub fn activity(acc: &str, ligand: &str, value_nm: f64, year: u16) -> ActivityRecord {
+        ActivityRecord {
+            protein_accession: acc.into(),
+            ligand_id: ligand.into(),
+            activity_type: ActivityType::Ki,
+            value_nm,
+            source: "sim".into(),
+            year,
+        }
+    }
+
+    /// A fixed 4-leaf dataset:
+    ///
+    /// ```text
+    ///          root
+    ///         /    \
+    ///    cladeA    cladeB
+    ///     /  \      /  \
+    ///    P1  P2    P3  P4
+    /// ```
+    ///
+    /// Activities (Ki, nM): P1-L1 10, P1-L2 2000, P2-L1 100, P3-L3 1.
+    /// P4 has none. Ligands: L1 aspirin, L2 ethanol, L3 caffeine.
+    pub fn small_dataset(caps: SourceCapabilities) -> Dataset {
+        let tree = parse_newick("((P1:1,P2:1)cladeA:1,(P3:1,P4:1)cladeB:1)root;").unwrap();
+        let index = TreeIndex::build(&tree);
+        let proteins: Vec<ProteinRecord> = ["P1", "P2", "P3", "P4"]
+            .iter()
+            .map(|acc| ProteinRecord {
+                accession: (*acc).into(),
+                name: format!("protein {acc}"),
+                organism: "synthetic".into(),
+                sequence: "MKVLAT".into(),
+                gene: None,
+            })
+            .collect();
+        let ligands = vec![
+            LigandRecord::from_smiles("L1", "aspirin", "CC(=O)Oc1ccccc1C(=O)O").unwrap(),
+            LigandRecord::from_smiles("L2", "ethanol", "CCO").unwrap(),
+            LigandRecord::from_smiles("L3", "caffeine", "Cn1cnc2c1c(=O)n(C)c(=O)n2C").unwrap(),
+        ];
+        let acts = vec![
+            activity("P1", "L1", 10.0, 2012),
+            activity("P1", "L2", 2000.0, 2011),
+            activity("P2", "L1", 100.0, 2012),
+            activity("P3", "L3", 1.0, 2013),
+        ];
+        // Overlay materializes proteins + ligands locally; activities
+        // live only in the simulated remote source.
+        let overlay = OverlayBuilder::new(&tree, &index)
+            .build(&proteins, &ligands, &[])
+            .unwrap();
+        let mut registry = SourceRegistry::new();
+        registry
+            .register(Arc::new(
+                assay_source("assay-sim", &acts, caps, test_latency()).unwrap(),
+            ))
+            .unwrap();
+        Dataset::new(tree, index, overlay, registry, VirtualClock::new()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::small_dataset;
+    use super::*;
+    use drugtree_sources::source::SourceCapabilities;
+
+    #[test]
+    fn scope_resolution() {
+        let d = small_dataset(SourceCapabilities::full());
+        let (root, iv) = d.resolve_scope(&Scope::Tree).unwrap();
+        assert_eq!(root, d.tree.root());
+        assert_eq!(iv, LeafInterval { lo: 0, hi: 4 });
+
+        let (node, iv) = d.resolve_scope(&Scope::Subtree("cladeB".into())).unwrap();
+        assert_eq!(iv, LeafInterval { lo: 2, hi: 4 });
+        assert_eq!(d.index.by_label("cladeB").unwrap(), node);
+
+        assert!(matches!(
+            d.resolve_scope(&Scope::Subtree("nope".into())),
+            Err(QueryError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn interval_scope_clamped() {
+        let d = small_dataset(SourceCapabilities::full());
+        let (_, iv) = d
+            .resolve_scope(&Scope::Interval(LeafInterval { lo: 1, hi: 99 }))
+            .unwrap();
+        assert_eq!(iv, LeafInterval { lo: 1, hi: 4 });
+    }
+
+    #[test]
+    fn leaves_scope_spans_min_interval() {
+        let d = small_dataset(SourceCapabilities::full());
+        let (node, iv) = d
+            .resolve_scope(&Scope::Leaves(vec!["P1".into(), "P2".into()]))
+            .unwrap();
+        assert_eq!(iv, LeafInterval { lo: 0, hi: 2 });
+        assert_eq!(node, d.index.by_label("cladeA").unwrap());
+        // Spanning both clades widens to the root.
+        let (node, _) = d
+            .resolve_scope(&Scope::Leaves(vec!["P1".into(), "P4".into()]))
+            .unwrap();
+        assert_eq!(node, d.tree.root());
+        assert!(d.resolve_scope(&Scope::Leaves(vec![])).is_err());
+    }
+
+    #[test]
+    fn accession_maps() {
+        let d = small_dataset(SourceCapabilities::full());
+        assert_eq!(d.accession_of_rank(0), Some("P1"));
+        assert_eq!(d.rank_of_accession("P3"), Some(2));
+        assert_eq!(d.rank_of_accession("ZZ"), None);
+        let accs = d.accessions_in(LeafInterval { lo: 1, hi: 3 });
+        assert_eq!(accs, vec![(1, "P2"), (2, "P3")]);
+        assert_eq!(d.leaf_count(), 4);
+    }
+
+    #[test]
+    fn unify_assay_rows() {
+        let d = small_dataset(SourceCapabilities::full());
+        let raw = vec![
+            Value::from("P2"),
+            Value::from("L1"),
+            Value::from("Ki"),
+            Value::Float(1000.0),
+            Value::from("sim"),
+            Value::Int(2012),
+        ];
+        let row = unify_assay_row(&d, &raw).unwrap();
+        assert_eq!(row[0], Value::Int(1)); // P2's rank
+        assert!((row[5].as_f64().unwrap() - 6.0).abs() < 1e-9);
+        // Unknown accession -> dropped.
+        let mut bad = raw.clone();
+        bad[0] = Value::from("QX");
+        assert!(unify_assay_row(&d, &bad).is_none());
+        // Non-positive value -> dropped.
+        let mut bad = raw;
+        bad[3] = Value::Float(0.0);
+        assert!(unify_assay_row(&d, &bad).is_none());
+    }
+
+    #[test]
+    fn unified_schema_covers_declared_columns() {
+        let s = unified_schema();
+        for c in crate::ast::columns::ACTIVITY
+            .iter()
+            .chain(crate::ast::columns::LIGAND)
+        {
+            assert!(s.column_index(c).is_ok(), "missing column {c}");
+        }
+        assert_eq!(s.arity(), 14);
+        assert_eq!(activity_half_schema().arity(), 8);
+    }
+}

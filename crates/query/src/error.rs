@@ -1,0 +1,99 @@
+//! Error type for the query layer.
+
+use std::fmt;
+
+/// Errors from parsing, planning, or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Query text could not be parsed.
+    Parse {
+        /// Byte offset of the error.
+        offset: usize,
+        /// What was expected.
+        message: String,
+    },
+    /// The query references an unknown tree node.
+    UnknownNode(String),
+    /// The query references an unknown column.
+    UnknownColumn(String),
+    /// The query references an unknown ligand.
+    UnknownLigand(String),
+    /// A similarity reference's SMILES failed to parse.
+    BadSimilarityReference(String),
+    /// A substructure pattern is neither a known ligand nor valid SMILES.
+    BadSubstructurePattern(String),
+    /// Plan construction or execution failed internally.
+    Plan(String),
+    /// Underlying store failure.
+    Store(String),
+    /// Underlying source failure.
+    Source(String),
+    /// Underlying tree failure.
+    Phylo(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::UnknownNode(n) => write!(f, "unknown tree node {n:?}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            QueryError::UnknownLigand(l) => write!(f, "unknown ligand {l:?}"),
+            QueryError::BadSimilarityReference(s) => {
+                write!(
+                    f,
+                    "similarity reference is not valid SMILES or ligand id: {s:?}"
+                )
+            }
+            QueryError::BadSubstructurePattern(s) => {
+                write!(
+                    f,
+                    "substructure pattern is not valid SMILES or ligand id: {s:?}"
+                )
+            }
+            QueryError::Plan(msg) => write!(f, "planning error: {msg}"),
+            QueryError::Store(msg) => write!(f, "store error: {msg}"),
+            QueryError::Source(msg) => write!(f, "source error: {msg}"),
+            QueryError::Phylo(msg) => write!(f, "tree error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<drugtree_store::StoreError> for QueryError {
+    fn from(e: drugtree_store::StoreError) -> Self {
+        QueryError::Store(e.to_string())
+    }
+}
+
+impl From<drugtree_sources::SourceError> for QueryError {
+    fn from(e: drugtree_sources::SourceError) -> Self {
+        QueryError::Source(e.to_string())
+    }
+}
+
+impl From<drugtree_phylo::PhyloError> for QueryError {
+    fn from(e: drugtree_phylo::PhyloError) -> Self {
+        QueryError::Phylo(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = QueryError::Parse {
+            offset: 5,
+            message: "expected scope".into(),
+        };
+        assert!(e.to_string().contains("byte 5"));
+        assert!(QueryError::UnknownNode("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

@@ -1,0 +1,802 @@
+//! The query executor.
+//!
+//! Interprets a [`PhysicalPlan`] against a [`Dataset`], charging all
+//! simulated source latency to the session's virtual clock and
+//! reporting per-query metrics (round-trips, rows shipped, cache
+//! behaviour) — the quantities every experiment in EXPERIMENTS.md
+//! reports.
+
+use crate::ast::{Metric, Query};
+use crate::cache::{CacheConfig, CacheStats, SemanticCache};
+use crate::dataset::{unified_schema, unify_assay_row, Dataset};
+use crate::matview::MaterializedAggregates;
+use crate::optimizer::Optimizer;
+use crate::plan::{Access, FetchPlan, Finish, PhysicalPlan};
+use crate::stats::OverlayStats;
+use crate::{QueryError, Result};
+use drugtree_chem::similarity::tanimoto;
+use drugtree_integrate::overlay::tables;
+pub use drugtree_sources::batcher::RetryPolicy;
+use drugtree_sources::batcher::{
+    batched_lookup_with_retry, singleton_lookups_with_retry, Dispatch,
+};
+use drugtree_sources::clock::VirtualInstant;
+use drugtree_store::expr::Predicate;
+use drugtree_store::value::Value;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::time::Duration;
+
+/// Per-query execution metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Virtual time charged for this query.
+    pub virtual_cost: Duration,
+    /// Virtual clock when the query started.
+    pub started: VirtualInstant,
+    /// Virtual clock when the query finished.
+    pub finished: VirtualInstant,
+    /// Source round-trips issued.
+    pub source_requests: usize,
+    /// Activity rows shipped from sources.
+    pub rows_fetched: usize,
+    /// Fetched rows dropped because their accession is not on the tree.
+    pub rows_unmapped: usize,
+    /// Cache outcome: `None` when the plan had no cache probe.
+    pub cache_hit: Option<bool>,
+    /// Leaves pruned by statistics.
+    pub pruned_leaves: usize,
+    /// Transient source failures retried.
+    pub retries: usize,
+    /// Optimizer notes (rule applications).
+    pub notes: Vec<String>,
+}
+
+/// A finished query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Result column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Execution metrics.
+    pub metrics: ExecMetrics,
+}
+
+/// The executor: optimizer + semantic cache + statistics + views.
+pub struct Executor {
+    optimizer: Optimizer,
+    cache: Mutex<SemanticCache>,
+    stats: Option<OverlayStats>,
+    matview: Option<MaterializedAggregates>,
+    retry: RetryPolicy,
+}
+
+impl Executor {
+    /// Build with an optimizer and default cache sizing.
+    pub fn new(optimizer: Optimizer) -> Executor {
+        Executor::with_cache_config(optimizer, CacheConfig::default())
+    }
+
+    /// Build with explicit cache sizing.
+    pub fn with_cache_config(optimizer: Optimizer, cache: CacheConfig) -> Executor {
+        Executor {
+            optimizer,
+            cache: Mutex::new(SemanticCache::new(cache)),
+            stats: None,
+            matview: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replace the transient-failure retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Collect (or refresh) overlay statistics. Charges the collection
+    /// scan to the dataset clock.
+    pub fn collect_stats(&mut self, dataset: &Dataset) -> Result<()> {
+        let stats = OverlayStats::collect(dataset)?;
+        dataset.clock.advance(stats.collection_cost);
+        self.stats = Some(stats);
+        Ok(())
+    }
+
+    /// Build (or rebuild) the materialized aggregate view. Charges the
+    /// build scan to the dataset clock.
+    pub fn build_matview(&mut self, dataset: &Dataset) -> Result<Duration> {
+        let view = MaterializedAggregates::build(dataset)?;
+        let cost = view.build_cost;
+        dataset.clock.advance(cost);
+        self.matview = Some(view);
+        Ok(cost)
+    }
+
+    /// Drop all cached results (call after a source refresh).
+    pub fn invalidate(&self) {
+        self.cache.lock().invalidate_all();
+    }
+
+    /// Cumulative cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Current statistics, if collected.
+    pub fn stats(&self) -> Option<&OverlayStats> {
+        self.stats.as_ref()
+    }
+
+    /// The planner in use.
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// EXPLAIN a query without executing it.
+    pub fn explain(&self, dataset: &Dataset, query: &Query) -> Result<String> {
+        let plan =
+            self.optimizer
+                .plan(dataset, self.stats.as_ref(), self.matview.as_ref(), query)?;
+        Ok(plan.explain())
+    }
+
+    /// Plan and execute a query.
+    pub fn execute(&self, dataset: &Dataset, query: &Query) -> Result<QueryResult> {
+        let plan =
+            self.optimizer
+                .plan(dataset, self.stats.as_ref(), self.matview.as_ref(), query)?;
+        let started = dataset.clock.now();
+
+        let mut m = ExecMetrics {
+            virtual_cost: Duration::ZERO,
+            started,
+            finished: started,
+            source_requests: 0,
+            rows_fetched: 0,
+            rows_unmapped: 0,
+            cache_hit: None,
+            pruned_leaves: plan.pruned_leaves,
+            retries: 0,
+            notes: plan.notes.clone(),
+        };
+
+        // 1. Obtain activity-half rows.
+        let activity_rows: Vec<Vec<Value>> = match &plan.access {
+            Access::ProvedEmpty => Vec::new(),
+            Access::MaterializedView => Vec::new(), // finish reads the view directly
+            Access::Fetch {
+                fetches,
+                concurrent_sources,
+            } => self.run_fetches(dataset, fetches, *concurrent_sources, &mut m)?,
+            Access::CacheProbe {
+                pushdown,
+                on_miss,
+                insert_on_miss,
+                concurrent_sources,
+            } => {
+                let probe = self.cache.lock().probe(plan.interval, pushdown.as_ref());
+                match probe {
+                    Some(hit) => {
+                        m.cache_hit = Some(true);
+                        hit.rows
+                    }
+                    None => {
+                        m.cache_hit = Some(false);
+                        let rows =
+                            self.run_fetches(dataset, on_miss, *concurrent_sources, &mut m)?;
+                        if *insert_on_miss {
+                            self.cache
+                                .lock()
+                                .insert(plan.interval, pushdown.clone(), rows.clone());
+                        }
+                        rows
+                    }
+                }
+            }
+        };
+
+        // 2. Widen to unified rows (ligand join when required).
+        let mut rows = self.widen_rows(dataset, activity_rows, plan.ligand_join)?;
+
+        // 3. Residual filter.
+        if plan.residual != Predicate::True {
+            let bound = plan.residual.bind(&unified_schema())?;
+            rows.retain(|r| bound.matches(r));
+        }
+
+        // 4. Similarity filter.
+        if let Some(sim) = &plan.similarity {
+            rows.retain(|r| {
+                r[2].as_text()
+                    .and_then(|lig| dataset.overlay.fingerprint(lig))
+                    .is_some_and(|fp| tanimoto(fp, &sim.fingerprint) >= sim.min_tanimoto)
+            });
+        }
+
+        // 5. Substructure filter: fingerprint prescreen, then exact
+        // subgraph match, memoized per distinct ligand.
+        if let Some(sub) = &plan.substructure {
+            let mut verdicts: FxHashMap<String, bool> = FxHashMap::default();
+            rows.retain(|r| {
+                let Some(lig) = r[2].as_text() else {
+                    return false;
+                };
+                *verdicts.entry(lig.to_string()).or_insert_with(|| {
+                    let Some(fp) = dataset.overlay.fingerprint(lig) else {
+                        return false;
+                    };
+                    if !drugtree_chem::substructure::fingerprint_prescreen(&sub.pattern_fp, fp) {
+                        return false;
+                    }
+                    dataset.overlay.molecule(lig).is_some_and(|m| {
+                        drugtree_chem::substructure::is_substructure(&sub.pattern, m)
+                    })
+                })
+            });
+        }
+
+        // 6. Finish.
+        let (columns, out_rows) = self.finish(dataset, &plan, rows)?;
+
+        m.finished = dataset.clock.now();
+        m.virtual_cost = m.finished.since(m.started);
+        Ok(QueryResult {
+            columns,
+            rows: out_rows,
+            metrics: m,
+        })
+    }
+
+    fn run_fetches(
+        &self,
+        dataset: &Dataset,
+        fetches: &[FetchPlan],
+        concurrent_sources: bool,
+        m: &mut ExecMetrics,
+    ) -> Result<Vec<Vec<Value>>> {
+        let mut per_source_rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(fetches.len());
+        let mut per_source_cost = Vec::with_capacity(fetches.len());
+        for f in fetches {
+            let source = dataset.registry.by_name(&f.source)?;
+            let dispatch = if f.concurrent {
+                Dispatch::Concurrent
+            } else {
+                Dispatch::Sequential
+            };
+            let resp = if f.batched {
+                batched_lookup_with_retry(
+                    source.as_ref(),
+                    &f.keys,
+                    f.pushdown.as_ref(),
+                    dispatch,
+                    self.retry,
+                )?
+            } else {
+                singleton_lookups_with_retry(
+                    source.as_ref(),
+                    &f.keys,
+                    f.pushdown.as_ref(),
+                    self.retry,
+                )?
+            };
+            m.retries += resp.retries as usize;
+            m.source_requests += resp.requests;
+            m.rows_fetched += resp.rows.len();
+            let mut unified = Vec::with_capacity(resp.rows.len());
+            for raw in &resp.rows {
+                match unify_assay_row(dataset, raw) {
+                    Some(row) => unified.push(row),
+                    None => m.rows_unmapped += 1,
+                }
+            }
+            per_source_rows.push(unified);
+            per_source_cost.push(resp.cost);
+        }
+
+        let total_cost = if concurrent_sources {
+            per_source_cost.into_iter().max().unwrap_or(Duration::ZERO)
+        } else {
+            per_source_cost.into_iter().sum()
+        };
+        dataset.clock.advance(total_cost);
+
+        // Cross-source conflict resolution: identical (rank, ligand,
+        // type) measurements keep the most recent year.
+        let mut rows: Vec<Vec<Value>> = per_source_rows.into_iter().flatten().collect();
+        if fetches.len() > 1 {
+            rows = dedupe_most_recent(rows);
+        }
+        rows.sort_by_key(|r| r[0].as_int().unwrap_or(i64::MAX));
+        Ok(rows)
+    }
+
+    /// Pad activity rows to the unified 14-column layout, joining the
+    /// local ligand table when required.
+    fn widen_rows(
+        &self,
+        dataset: &Dataset,
+        activity_rows: Vec<Vec<Value>>,
+        join: bool,
+    ) -> Result<Vec<Vec<Value>>> {
+        let ligand_cols = crate::ast::columns::LIGAND.len();
+        if !join {
+            return Ok(activity_rows
+                .into_iter()
+                .map(|mut r| {
+                    r.extend(std::iter::repeat_with(|| Value::Null).take(ligand_cols));
+                    r
+                })
+                .collect());
+        }
+        let ligands = dataset.overlay.catalog().table(tables::LIGAND)?;
+        // ligand table columns: ligand_id, name, smiles, mw, hbd, hba, rings.
+        let mut cache: FxHashMap<String, Option<Vec<Value>>> = FxHashMap::default();
+        let mut out = Vec::with_capacity(activity_rows.len());
+        for mut row in activity_rows {
+            let ligand_id = row[2]
+                .as_text()
+                .ok_or_else(|| QueryError::Plan("non-text ligand_id".into()))?
+                .to_string();
+            let entry = cache.entry(ligand_id.clone()).or_insert_with(|| {
+                ligands
+                    .lookup_eq("ligand_id", &Value::from(ligand_id.clone()))
+                    .ok()
+                    .and_then(|ids| ids.first().copied())
+                    .and_then(|id| ligands.get(id).ok())
+                    .map(|r| r[1..].to_vec())
+            });
+            match entry {
+                Some(cols) => row.extend(cols.iter().cloned()),
+                None => row.extend(std::iter::repeat_with(|| Value::Null).take(ligand_cols)),
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    fn finish(
+        &self,
+        dataset: &Dataset,
+        plan: &PhysicalPlan,
+        mut rows: Vec<Vec<Value>>,
+    ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        let unified_columns: Vec<String> = unified_schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        Ok(match &plan.finish {
+            Finish::Collect => (unified_columns, rows),
+            Finish::TopK {
+                column,
+                k,
+                descending,
+            } => {
+                rows.sort_by(|a, b| {
+                    let ord = a[*column].cmp(&b[*column]);
+                    if *descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+                rows.truncate(*k);
+                (unified_columns, rows)
+            }
+            Finish::AggregateChildren { children, metric } => {
+                let columns = vec![
+                    "clade".to_string(),
+                    "leaf_lo".to_string(),
+                    "leaf_hi".to_string(),
+                    metric.label().to_string(),
+                ];
+                let out = if plan.access == Access::MaterializedView {
+                    let view = self
+                        .matview
+                        .as_ref()
+                        .ok_or_else(|| QueryError::Plan("matview plan without view".into()))?;
+                    children
+                        .iter()
+                        .map(|(node, label, iv)| {
+                            vec![
+                                Value::from(label.clone()),
+                                Value::from(iv.lo),
+                                Value::from(iv.hi),
+                                view.value(*node, *metric),
+                            ]
+                        })
+                        .collect()
+                } else {
+                    children
+                        .iter()
+                        .map(|(_, label, iv)| {
+                            let group: Vec<&Vec<Value>> = rows
+                                .iter()
+                                .filter(|r| {
+                                    r[0].as_int()
+                                        .is_some_and(|rank| iv.contains_rank(rank as u32))
+                                })
+                                .collect();
+                            vec![
+                                Value::from(label.clone()),
+                                Value::from(iv.lo),
+                                Value::from(iv.hi),
+                                aggregate_group(&group, *metric),
+                            ]
+                        })
+                        .collect()
+                };
+                (columns, out)
+            }
+            Finish::CountPerLeaf => {
+                let columns = vec![
+                    "leaf_rank".to_string(),
+                    "accession".to_string(),
+                    "count".to_string(),
+                ];
+                let mut counts: FxHashMap<u32, i64> = FxHashMap::default();
+                for r in &rows {
+                    if let Some(rank) = r[0].as_int() {
+                        *counts.entry(rank as u32).or_default() += 1;
+                    }
+                }
+                let out = (plan.interval.lo..plan.interval.hi)
+                    .map(|rank| {
+                        vec![
+                            Value::from(rank),
+                            dataset
+                                .accession_of_rank(rank)
+                                .map_or(Value::Null, Value::from),
+                            Value::Int(counts.get(&rank).copied().unwrap_or(0)),
+                        ]
+                    })
+                    .collect();
+                (columns, out)
+            }
+        })
+    }
+}
+
+/// Keep the most recent measurement per (rank, ligand, type).
+fn dedupe_most_recent(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    let mut best: FxHashMap<(i64, String, String), Vec<Value>> = FxHashMap::default();
+    for row in rows {
+        let key = (
+            row[0].as_int().unwrap_or(-1),
+            row[2].as_text().unwrap_or_default().to_string(),
+            row[3].as_text().unwrap_or_default().to_string(),
+        );
+        match best.get(&key) {
+            Some(existing) if existing[7].as_int().unwrap_or(0) >= row[7].as_int().unwrap_or(0) => {
+            }
+            _ => {
+                best.insert(key, row);
+            }
+        }
+    }
+    best.into_values().collect()
+}
+
+fn aggregate_group(group: &[&Vec<Value>], metric: Metric) -> Value {
+    match metric {
+        Metric::Count => Value::Int(group.len() as i64),
+        Metric::DistinctLigands => {
+            let distinct: std::collections::HashSet<&str> =
+                group.iter().filter_map(|r| r[2].as_text()).collect();
+            Value::Int(distinct.len() as i64)
+        }
+        Metric::MaxPActivity => group
+            .iter()
+            .filter_map(|r| r[5].as_f64())
+            .fold(None, |acc: Option<f64>, p| {
+                Some(acc.map_or(p, |a| a.max(p)))
+            })
+            .map_or(Value::Null, Value::Float),
+        Metric::MeanPActivity => {
+            let ps: Vec<f64> = group.iter().filter_map(|r| r[5].as_f64()).collect();
+            if ps.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(ps.iter().sum::<f64>() / ps.len() as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Query, Scope};
+    use crate::dataset::test_fixtures::small_dataset;
+    use crate::optimizer::OptimizerConfig;
+    use drugtree_sources::source::SourceCapabilities;
+    use drugtree_store::expr::CompareOp;
+
+    fn executor(config: OptimizerConfig) -> Executor {
+        Executor::new(Optimizer::new(config))
+    }
+
+    fn full_executor_with_stats(dataset: &Dataset) -> Executor {
+        let mut e = executor(OptimizerConfig::full());
+        e.collect_stats(dataset).unwrap();
+        e
+    }
+
+    #[test]
+    fn naive_and_optimized_agree_on_results() {
+        let d = small_dataset(SourceCapabilities::full());
+        let naive = executor(OptimizerConfig::naive());
+        let full = full_executor_with_stats(&d);
+        for query in [
+            Query::activities(Scope::Tree),
+            Query::activities(Scope::Subtree("cladeA".into())),
+            Query::activities(Scope::Tree).filter(Predicate::cmp("p_activity", CompareOp::Ge, 6.5)),
+            Query::activities(Scope::Tree).filter(Predicate::cmp("mw", CompareOp::Lt, 100.0)),
+            Query::activities(Scope::Tree).top_k("p_activity", 2, true),
+        ] {
+            let a = naive.execute(&d, &query).unwrap();
+            let b = full.execute(&d, &query).unwrap();
+            assert_eq!(a.columns, b.columns);
+            assert_eq!(a.rows, b.rows, "query {query:?}");
+        }
+    }
+
+    #[test]
+    fn optimized_costs_less_virtual_time() {
+        let d = small_dataset(SourceCapabilities::full());
+        let naive = executor(OptimizerConfig::naive());
+        let full = full_executor_with_stats(&d);
+        let q = Query::activities(Scope::Tree);
+        let a = naive.execute(&d, &q).unwrap();
+        let b = full.execute(&d, &q).unwrap();
+        assert!(
+            b.metrics.virtual_cost < a.metrics.virtual_cost,
+            "optimized {:?} vs naive {:?}",
+            b.metrics.virtual_cost,
+            a.metrics.virtual_cost
+        );
+        assert!(b.metrics.source_requests < a.metrics.source_requests);
+    }
+
+    #[test]
+    fn activities_rows_are_joined_and_ordered() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = executor(OptimizerConfig::naive());
+        let r = e.execute(&d, &Query::activities(Scope::Tree)).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.columns.len(), 14);
+        // Rank-ordered.
+        let ranks: Vec<i64> = r.rows.iter().map(|x| x[0].as_int().unwrap()).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort();
+        assert_eq!(ranks, sorted);
+        // Ligand join filled mw for aspirin rows.
+        let aspirin_row = r.rows.iter().find(|x| x[2] == Value::from("L1")).unwrap();
+        assert!(aspirin_row[10].as_f64().unwrap() > 100.0);
+    }
+
+    #[test]
+    fn cache_hit_on_drilldown() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = full_executor_with_stats(&d);
+        let parent = Query::activities(Scope::Tree);
+        let child = Query::activities(Scope::Subtree("cladeA".into()));
+
+        let r1 = e.execute(&d, &parent).unwrap();
+        assert_eq!(r1.metrics.cache_hit, Some(false));
+        assert!(r1.metrics.source_requests > 0);
+
+        let r2 = e.execute(&d, &child).unwrap();
+        assert_eq!(r2.metrics.cache_hit, Some(true));
+        assert_eq!(r2.metrics.source_requests, 0, "drill-down hits the cache");
+        assert_eq!(r2.metrics.virtual_cost, Duration::ZERO);
+        assert_eq!(r2.rows.len(), 3);
+
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn invalidation_forces_refetch() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = full_executor_with_stats(&d);
+        let q = Query::activities(Scope::Tree);
+        e.execute(&d, &q).unwrap();
+        e.invalidate();
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.metrics.cache_hit, Some(false));
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = executor(OptimizerConfig::full());
+        let q = Query::activities(Scope::Tree).top_k("p_activity", 2, true);
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        // Best potency first: P3-L3 at 1 nM (p=9), then P1-L1 at 10 nM (p=8).
+        assert_eq!(r.rows[0][2], Value::from("L3"));
+        assert_eq!(r.rows[1][2], Value::from("L1"));
+        // Ascending flips it.
+        let q = Query::activities(Scope::Tree).top_k("p_activity", 1, false);
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.rows[0][2], Value::from("L2"), "weakest first ascending");
+    }
+
+    #[test]
+    fn aggregate_children() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = executor(OptimizerConfig::naive());
+        let q = Query::activities(Scope::Tree).aggregate(Metric::Count);
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.columns, vec!["clade", "leaf_lo", "leaf_hi", "count"]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::from("cladeA"));
+        assert_eq!(r.rows[0][3], Value::Int(3));
+        assert_eq!(r.rows[1][3], Value::Int(1));
+    }
+
+    #[test]
+    fn aggregate_served_by_matview() {
+        let d = small_dataset(SourceCapabilities::full());
+        let mut e = executor(OptimizerConfig::full());
+        e.build_matview(&d).unwrap();
+        let q = Query::activities(Scope::Tree).aggregate(Metric::Count);
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.metrics.source_requests, 0, "view answers without fetch");
+        assert_eq!(r.rows[0][3], Value::Int(3));
+        assert_eq!(r.rows[1][3], Value::Int(1));
+        assert!(r.metrics.notes.iter().any(|n| n.contains("matview")));
+    }
+
+    #[test]
+    fn count_per_leaf() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = executor(OptimizerConfig::full());
+        let q = Query {
+            scope: Scope::Tree,
+            predicate: Predicate::True,
+            similarity: None,
+            substructure: None,
+            kind: crate::ast::QueryKind::CountPerLeaf,
+        };
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        let counts: Vec<i64> = r.rows.iter().map(|x| x[2].as_int().unwrap()).collect();
+        assert_eq!(counts, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn similarity_filters_rows() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = executor(OptimizerConfig::full());
+        // Exactly ethanol: only the P1-L2 record survives.
+        let q = Query::activities(Scope::Tree).similar_to("CCO", 0.999);
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][2], Value::from("L2"));
+        // Threshold zero keeps everything with a fingerprint.
+        let q = Query::activities(Scope::Tree).similar_to("CCO", 0.0);
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.rows.len(), 4);
+    }
+
+    #[test]
+    fn proved_empty_returns_no_rows_and_no_cost() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = full_executor_with_stats(&d);
+        let before = d.clock.now();
+        let q = Query::activities(Scope::Subtree("P4".into()));
+        let r = e.execute(&d, &q).unwrap();
+        assert!(r.rows.is_empty());
+        assert_eq!(r.metrics.source_requests, 0);
+        assert_eq!(d.clock.now(), before);
+    }
+
+    #[test]
+    fn explain_without_execution() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = executor(OptimizerConfig::full());
+        let text = e.explain(&d, &Query::activities(Scope::Tree)).unwrap();
+        assert!(text.contains("CacheProbe"));
+        assert!(
+            e.cache_stats().misses == 0,
+            "explain must not touch the cache"
+        );
+    }
+
+    #[test]
+    fn pushdown_of_derived_column_executes_on_cold_cache() {
+        // Regression: p_activity does not exist in the remote assay
+        // schema; the optimizer must ship a value_nm translation. A
+        // fresh executor guarantees the fetch path actually runs
+        // (earlier this bug was masked by cache hits).
+        let d = small_dataset(SourceCapabilities::full());
+        let mut e = executor(OptimizerConfig::full());
+        e.collect_stats(&d).unwrap();
+        let q =
+            Query::activities(Scope::Tree).filter(Predicate::cmp("p_activity", CompareOp::Ge, 6.5));
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.metrics.cache_hit, Some(false), "must hit the sources");
+        // P1-L1 (p=8), P2-L1 (p=7), P3-L3 (p=9) qualify; P1-L2 (p≈5.7) not.
+        assert_eq!(r.rows.len(), 3);
+        // The pushdown actually reduced shipped rows below the total.
+        assert!(r.metrics.rows_fetched <= 3);
+    }
+
+    #[test]
+    fn pushdown_boundary_rows_survive() {
+        // A measurement exactly at the translated boundary must not be
+        // lost to float error: p_activity >= 6 vs the 1000 nM record.
+        let d = small_dataset(SourceCapabilities::full());
+        let e = executor(OptimizerConfig::full());
+        let q =
+            Query::activities(Scope::Tree).filter(Predicate::cmp("p_activity", CompareOp::Ge, 8.0));
+        let r = e.execute(&d, &q).unwrap();
+        // P1-L1 at exactly 10 nM (p = 8.0) must be included.
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| row[2] == Value::from("L1") && row[4] == Value::Float(10.0)));
+    }
+
+    #[test]
+    fn substructure_filters_by_scaffold() {
+        let d = small_dataset(SourceCapabilities::full());
+        let e = executor(OptimizerConfig::full());
+        // Phenyl ring: only aspirin (L1) contains it.
+        let q = Query::activities(Scope::Tree).containing("c1ccccc1");
+        let r = e.execute(&d, &q).unwrap();
+        assert_eq!(r.rows.len(), 2, "both L1 records survive");
+        assert!(r.rows.iter().all(|row| row[2] == Value::from("L1")));
+        // Using a ligand id as the pattern: structures containing
+        // ethanol's C-C-O chain.
+        let q = Query::activities(Scope::Tree).containing("L2");
+        let r = e.execute(&d, &q).unwrap();
+        assert!(r.rows.iter().any(|row| row[2] == Value::from("L2")));
+        // A scaffold nobody has: empty result.
+        let q = Query::activities(Scope::Tree).containing("C#N");
+        assert!(e.execute(&d, &q).unwrap().rows.is_empty());
+        // Invalid pattern: clean error.
+        let q = Query::activities(Scope::Tree).containing("((((");
+        assert!(matches!(
+            e.execute(&d, &q),
+            Err(crate::QueryError::BadSubstructurePattern(_))
+        ));
+    }
+
+    #[test]
+    fn substructure_explain_and_agreement_with_naive() {
+        let d = small_dataset(SourceCapabilities::full());
+        let full = executor(OptimizerConfig::full());
+        let naive = executor(OptimizerConfig::naive());
+        let q = Query::activities(Scope::Tree).containing("c1ccccc1");
+        assert_eq!(
+            naive.execute(&d, &q).unwrap().rows,
+            full.execute(&d, &q).unwrap().rows
+        );
+        let text = full.explain(&d, &q).unwrap();
+        assert!(text.contains("Substructure"), "{text}");
+    }
+
+    #[test]
+    fn dedupe_keeps_most_recent() {
+        let mk = |year: i64| {
+            vec![
+                Value::Int(0),
+                Value::from("P1"),
+                Value::from("L1"),
+                Value::from("Ki"),
+                Value::Float(10.0),
+                Value::Float(8.0),
+                Value::from("s"),
+                Value::Int(year),
+            ]
+        };
+        let out = dedupe_most_recent(vec![mk(2010), mk(2013), mk(2011)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][7], Value::Int(2013));
+    }
+}

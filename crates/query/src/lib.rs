@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! The DrugTree query layer — the paper's primary contribution.
+//!
+//! Queries address the *overlay*: activity records attached to the
+//! leaves of the protein tree, joined with ligand metadata, scoped to a
+//! subtree. In the unoptimized system every tree interaction issued one
+//! sequential round-trip per visible leaf against every assay source —
+//! the "lags concerning querying the tree" the paper opens with.
+//!
+//! The optimizer applies *standards* (predicate pushdown, interval
+//! rewriting of subtree scopes, cost-ordered residual filters,
+//! materialized aggregate views) and the poster's *novel mechanisms*
+//! for an interactive tree UI (semantic caching of subtree results
+//! with containment-based reuse, statistics-based subtree/source
+//! pruning, batched concurrent fetch):
+//!
+//! * [`ast`] — the query model.
+//! * [`parser`] — a small text query language.
+//! * [`dataset`] — the queryable bundle (tree + overlay + sources).
+//! * [`stats`] — overlay statistics driving pruning and selectivity.
+//! * [`plan`] — physical plans and EXPLAIN rendering.
+//! * [`optimizer`] — the rewrite pipeline, rule-by-rule switchable so
+//!   experiment E4 can ablate each one.
+//! * [`cache`] — the semantic result cache (design decision D2).
+//! * [`exec`] — the executor and its metrics.
+//! * [`matview`] — materialized per-subtree aggregate views.
+
+pub mod ast;
+pub mod cache;
+pub mod dataset;
+pub mod error;
+pub mod exec;
+pub mod matview;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod stats;
+
+pub use ast::{Query, QueryKind, Scope};
+pub use dataset::Dataset;
+pub use error::QueryError;
+pub use exec::{ExecMetrics, Executor, QueryResult};
+pub use optimizer::{Optimizer, OptimizerConfig};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,914 @@
+//! The rewrite pipeline that turns a [`Query`] into a [`PhysicalPlan`].
+//!
+//! Every rule is individually switchable so experiment E4 can measure
+//! its contribution. `OptimizerConfig::naive()` reproduces the
+//! unoptimized DrugTree described in the paper's opening: one
+//! sequential round-trip per leaf per source, all filtering
+//! client-side, no caching, no pruning.
+//!
+//! Rules, in application order:
+//!
+//! 1. **Interval rewrite** (structural, always on): the scope resolves
+//!    to a leaf interval via the tree index — the "standard" from tree/
+//!    XML databases (design decision D1).
+//! 2. **Statistics pruning** (D4): leaves proven empty (zero records,
+//!    or max pActivity below a `p_activity >=` bound) are dropped from
+//!    the key set; an interval proven empty skips access entirely.
+//! 3. **Predicate pushdown**: the conjuncts over activity columns that
+//!    *every* assay source can evaluate remotely are pushed into the
+//!    fetches (uniform across sources, so cached results remain
+//!    reusable under one predicate key).
+//! 4. **Batching + concurrent dispatch** (D3): key lookups coalesce to
+//!    the source's max batch size and batches/sources go out together.
+//! 5. **Semantic cache** (D2): the fetch is wrapped in a cache probe.
+//! 6. **Materialized view**: unfiltered per-clade aggregates are
+//!    answered from the view when it is fresh.
+//! 7. **Selectivity ordering**: residual conjuncts are reordered
+//!    most-selective-first using the histogram statistics.
+
+use crate::ast::{columns, Query, QueryKind, SimilaritySpec};
+use crate::dataset::{unified_schema, Dataset};
+use crate::matview::MaterializedAggregates;
+use crate::plan::{
+    Access, FetchPlan, Finish, PhysicalPlan, ResolvedSimilarity, ResolvedSubstructure,
+};
+use crate::stats::OverlayStats;
+use crate::{QueryError, Result};
+use drugtree_chem::fingerprint::Fingerprint;
+use drugtree_chem::smiles::parse_smiles;
+use drugtree_phylo::index::LeafInterval;
+use drugtree_sources::source::SourceKind;
+use drugtree_store::expr::{CompareOp, Predicate};
+use drugtree_store::value::Value;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which rewrites are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptimizerConfig {
+    /// Push supported predicate conjuncts into source fetches.
+    pub pushdown: bool,
+    /// Coalesce key lookups into batches.
+    pub batching: bool,
+    /// Dispatch batches and sources concurrently.
+    pub concurrent_dispatch: bool,
+    /// Prune leaves/subtrees via statistics.
+    pub stats_pruning: bool,
+    /// Probe and populate the semantic cache.
+    pub semantic_cache: bool,
+    /// Reorder residual conjuncts by selectivity.
+    pub selectivity_ordering: bool,
+    /// Answer eligible aggregates from the materialized view.
+    pub use_matview: bool,
+    /// Serve each declared replica group from its cheapest member
+    /// instead of fetching every copy.
+    pub replica_selection: bool,
+}
+
+impl OptimizerConfig {
+    /// Everything on.
+    pub fn full() -> OptimizerConfig {
+        OptimizerConfig {
+            pushdown: true,
+            batching: true,
+            concurrent_dispatch: true,
+            stats_pruning: true,
+            semantic_cache: true,
+            selectivity_ordering: true,
+            use_matview: true,
+            replica_selection: true,
+        }
+    }
+
+    /// The unoptimized baseline.
+    pub fn naive() -> OptimizerConfig {
+        OptimizerConfig {
+            pushdown: false,
+            batching: false,
+            concurrent_dispatch: false,
+            stats_pruning: false,
+            semantic_cache: false,
+            selectivity_ordering: false,
+            use_matview: false,
+            replica_selection: false,
+        }
+    }
+
+    /// `full()` with one named rule disabled — the E4 ablation helper.
+    pub fn ablate(rule: &str) -> OptimizerConfig {
+        let mut c = OptimizerConfig::full();
+        match rule {
+            "pushdown" => c.pushdown = false,
+            "batching" => c.batching = false,
+            "concurrent_dispatch" => c.concurrent_dispatch = false,
+            "stats_pruning" => c.stats_pruning = false,
+            "semantic_cache" => c.semantic_cache = false,
+            "selectivity_ordering" => c.selectivity_ordering = false,
+            "use_matview" => c.use_matview = false,
+            "replica_selection" => c.replica_selection = false,
+            other => panic!("unknown optimizer rule {other:?}"),
+        }
+        c
+    }
+
+    /// The names accepted by [`OptimizerConfig::ablate`].
+    pub const RULES: &'static [&'static str] = &[
+        "pushdown",
+        "batching",
+        "concurrent_dispatch",
+        "stats_pruning",
+        "semantic_cache",
+        "selectivity_ordering",
+        "use_matview",
+        "replica_selection",
+    ];
+}
+
+/// The planner.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// Build with a configuration.
+    pub fn new(config: OptimizerConfig) -> Optimizer {
+        Optimizer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> OptimizerConfig {
+        self.config
+    }
+
+    /// Plan a query.
+    pub fn plan(
+        &self,
+        dataset: &Dataset,
+        stats: Option<&OverlayStats>,
+        matview: Option<&MaterializedAggregates>,
+        query: &Query,
+    ) -> Result<PhysicalPlan> {
+        validate(query)?;
+        let mut notes = Vec::new();
+
+        // 1. Interval rewrite.
+        let (scope_node, interval) = dataset.resolve_scope(&query.scope)?;
+        notes.push(format!(
+            "interval-rewrite: scope -> [{}, {})",
+            interval.lo, interval.hi
+        ));
+
+        // Similarity resolution (needed before pushdown decisions to
+        // know the ligand join is required).
+        let similarity = match &query.similarity {
+            Some(spec) => Some(resolve_similarity(dataset, spec)?),
+            None => None,
+        };
+        let substructure = match &query.substructure {
+            Some(pattern) => Some(resolve_substructure(dataset, pattern)?),
+            None => None,
+        };
+
+        // Residual predicate (full query predicate, re-applied client-
+        // side; pushdown only reduces shipped rows, never correctness).
+        let mut residual = query.predicate.clone();
+        if self.config.selectivity_ordering {
+            if let Some(stats) = stats {
+                residual = order_by_selectivity(residual, stats);
+                notes.push("selectivity-ordering: residual conjuncts reordered".into());
+            }
+        }
+
+        // 2. Statistics pruning.
+        let mut keys: Vec<(u32, Value)> = dataset
+            .accessions_in(interval)
+            .into_iter()
+            .map(|(rank, acc)| (rank, Value::from(acc)))
+            .collect();
+        let total_leaves = keys.len();
+        let mut pruned = 0;
+        let mut proved_empty = false;
+        let mut pruning_bound: Option<f64> = None;
+        if self.config.stats_pruning {
+            if let Some(stats) = stats {
+                if stats.interval_count(interval) == 0 {
+                    proved_empty = true;
+                    notes.push("stats-pruning: interval proven empty".into());
+                } else {
+                    let p_bound = min_p_activity_bound(&query.predicate);
+                    pruning_bound = p_bound;
+                    keys.retain(|(rank, _)| {
+                        let leaf_iv = LeafInterval {
+                            lo: *rank,
+                            hi: rank + 1,
+                        };
+                        if stats.interval_count(leaf_iv) == 0 {
+                            return false;
+                        }
+                        if let Some(bound) = p_bound {
+                            if stats.interval_max_p(leaf_iv).is_none_or(|m| m < bound) {
+                                return false;
+                            }
+                        }
+                        true
+                    });
+                    pruned = total_leaves - keys.len();
+                    if pruned > 0 {
+                        notes.push(format!("stats-pruning: {pruned} leaves dropped"));
+                    }
+                }
+            }
+        }
+
+        // 3. Pushdown: conjuncts translated into the remote assay
+        // schema (derived columns like p_activity become value_nm
+        // bounds) and supported by every assay source.
+        let assay_sources = dataset.registry.by_kind(SourceKind::Assay);
+        if assay_sources.is_empty() {
+            return Err(QueryError::Plan("no assay sources registered".into()));
+        }
+        let pushdown: Option<Predicate> = if self.config.pushdown {
+            let eligible: Vec<Predicate> = conjuncts_of(&query.predicate)
+                .into_iter()
+                .filter_map(remote_form)
+                .filter(|c| {
+                    assay_sources
+                        .iter()
+                        .all(|s| s.capabilities().supports_predicate(c))
+                })
+                .collect();
+            if eligible.is_empty() {
+                None
+            } else {
+                let combined = eligible.into_iter().fold(Predicate::True, Predicate::and);
+                notes.push(format!("pushdown: {}", crate::plan::fmt_pred(&combined)));
+                Some(combined)
+            }
+        } else {
+            None
+        };
+
+        // 4. Replica selection (cost-based): from each declared
+        // replica group, fetch only the member with the cheapest
+        // estimated access; ungrouped sources all participate.
+        let chosen_sources: Vec<&std::sync::Arc<dyn drugtree_sources::DataSource>> =
+            if self.config.replica_selection {
+                let mut chosen = Vec::new();
+                let mut handled_groups: Vec<&[String]> = Vec::new();
+                for s in &assay_sources {
+                    match dataset.registry.replica_group_of(s.name()) {
+                        None => chosen.push(s),
+                        Some(group) => {
+                            if handled_groups.contains(&group) {
+                                continue;
+                            }
+                            handled_groups.push(group);
+                            let cheapest = assay_sources
+                                .iter()
+                                .filter(|c| group.iter().any(|n| n == c.name()))
+                                .min_by_key(|c| {
+                                    let m = c.latency_model();
+                                    m.base_rtt + m.per_row * 100
+                                })
+                                .expect("group has members");
+                            notes.push(format!(
+                                "replica-selection: {} chosen from {group:?}",
+                                cheapest.name()
+                            ));
+                            chosen.push(cheapest);
+                        }
+                    }
+                }
+                chosen
+            } else {
+                assay_sources.iter().collect()
+            };
+
+        // 5. Batching + dispatch.
+        let fetches: Vec<FetchPlan> = chosen_sources
+            .iter()
+            .map(|s| FetchPlan {
+                source: s.name().to_string(),
+                keys: keys.iter().map(|(_, k)| k.clone()).collect(),
+                pushdown: pushdown.clone(),
+                batched: self.config.batching,
+                concurrent: self.config.concurrent_dispatch,
+            })
+            .collect();
+        if self.config.batching {
+            notes.push("batching: keyed lookups coalesced".into());
+        }
+
+        // Finish operator.
+        let finish = build_finish(dataset, scope_node, query)?;
+
+        // Ligand join requirement.
+        let residual_needs_ligand = query
+            .predicate
+            .columns()
+            .iter()
+            .any(|c| columns::LIGAND.contains(c));
+        let output_needs_ligand =
+            matches!(query.kind, QueryKind::Activities | QueryKind::TopK { .. });
+        let ligand_join = residual_needs_ligand
+            || output_needs_ligand
+            || similarity.is_some()
+            || substructure.is_some();
+
+        // 5/6. Access selection.
+        let access = if proved_empty {
+            Access::ProvedEmpty
+        } else if self.config.use_matview
+            && matview.is_some_and(|v| v.is_fresh(dataset))
+            && matches!(query.kind, QueryKind::AggregateChildren { .. })
+            && query.predicate == Predicate::True
+            && similarity.is_none()
+            && substructure.is_none()
+        {
+            notes.push("matview: aggregate served from materialized view".into());
+            Access::MaterializedView
+        } else if self.config.semantic_cache {
+            // The cache key must capture every row-reducing effect of
+            // this plan's fetch: the source pushdown AND any
+            // statistics-pruning potency bound (pruned leaves' weak
+            // rows are absent from the fetched set, so an entry without
+            // the bound in its key would wrongly answer unfiltered
+            // probes).
+            let mut key = pushdown.clone().unwrap_or(Predicate::True);
+            if let Some(bound) = pruning_bound {
+                key = key.and(Predicate::cmp("p_activity", CompareOp::Ge, bound));
+            }
+            let cache_key = match key {
+                Predicate::True => None,
+                other => Some(other),
+            };
+            Access::CacheProbe {
+                pushdown: cache_key,
+                on_miss: fetches,
+                insert_on_miss: true,
+                concurrent_sources: self.config.concurrent_dispatch,
+            }
+        } else {
+            Access::Fetch {
+                fetches,
+                concurrent_sources: self.config.concurrent_dispatch,
+            }
+        };
+
+        // Cost estimate (for EXPLAIN and for future plan choices).
+        let estimated_cost = estimate_access_cost(dataset, stats, &access, interval, &pushdown);
+
+        Ok(PhysicalPlan {
+            scope_node,
+            interval,
+            pruned_leaves: pruned,
+            access,
+            residual,
+            ligand_join,
+            similarity,
+            substructure,
+            finish,
+            notes,
+            estimated_cost,
+        })
+    }
+}
+
+/// Reject queries referencing unknown columns early, with a good error.
+fn validate(query: &Query) -> Result<()> {
+    for col in query.predicate.columns() {
+        if !columns::is_known(col) {
+            return Err(QueryError::UnknownColumn(col.to_string()));
+        }
+    }
+    if let QueryKind::TopK { by, .. } = &query.kind {
+        if !columns::is_known(by) {
+            return Err(QueryError::UnknownColumn(by.clone()));
+        }
+    }
+    if let Some(sim) = &query.similarity {
+        if !(0.0..=1.0).contains(&sim.min_tanimoto) {
+            return Err(QueryError::Plan(format!(
+                "similarity threshold {} outside [0, 1]",
+                sim.min_tanimoto
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Resolve a similarity reference: a known ligand id first, otherwise
+/// parsed as SMILES.
+fn resolve_similarity(dataset: &Dataset, spec: &SimilaritySpec) -> Result<ResolvedSimilarity> {
+    let fingerprint = match dataset.overlay.fingerprint(&spec.reference) {
+        Some(fp) => fp.clone(),
+        None => match parse_smiles(&spec.reference) {
+            Ok(mol) => Fingerprint::of_molecule(&mol),
+            Err(_) => return Err(QueryError::BadSimilarityReference(spec.reference.clone())),
+        },
+    };
+    Ok(ResolvedSimilarity {
+        fingerprint,
+        min_tanimoto: spec.min_tanimoto,
+    })
+}
+
+/// Resolve a substructure pattern: a known ligand id's structure
+/// first, otherwise parsed as SMILES.
+fn resolve_substructure(dataset: &Dataset, pattern: &str) -> Result<ResolvedSubstructure> {
+    let molecule = match dataset.overlay.molecule(pattern) {
+        Some(m) => m.clone(),
+        None => parse_smiles(pattern)
+            .map_err(|_| QueryError::BadSubstructurePattern(pattern.to_string()))?,
+    };
+    let pattern_fp = Fingerprint::of_molecule(&molecule);
+    Ok(ResolvedSubstructure {
+        pattern: molecule,
+        pattern_fp,
+    })
+}
+
+/// The tightest `p_activity >= c` (or `> c`) bound in the predicate's
+/// top-level conjuncts, used for max-pActivity pruning.
+fn min_p_activity_bound(pred: &Predicate) -> Option<f64> {
+    conjuncts_of(pred)
+        .into_iter()
+        .filter_map(|c| match c {
+            Predicate::Compare { column, op, value }
+                if column == "p_activity" && matches!(op, CompareOp::Ge | CompareOp::Gt) =>
+            {
+                value.as_f64()
+            }
+            _ => None,
+        })
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
+}
+
+/// Columns that physically exist in the remote assay schema.
+const REMOTE_COLUMNS: &[&str] = &[
+    "protein_accession",
+    "ligand_id",
+    "activity_type",
+    "value_nm",
+    "source",
+    "year",
+];
+
+/// Translate one conjunct into its remote evaluable form, or `None`
+/// when it cannot be pushed.
+///
+/// `p_activity` is derived locally (`-log10(value_nm * 1e-9)`), so its
+/// bounds translate into `value_nm` bounds with the comparison flipped
+/// (larger pActivity = smaller concentration). Translated bounds are
+/// widened by one part in 10^9 so floating-point error at the boundary
+/// can only ship an extra row (dropped by the residual), never lose
+/// one. Equality on a derived float is not translated.
+fn remote_form(conjunct: &Predicate) -> Option<Predicate> {
+    match conjunct {
+        Predicate::Compare { column, op, value } if column == "p_activity" => {
+            let p = value.as_f64()?;
+            let (op, slack) = match op {
+                CompareOp::Ge => (CompareOp::Le, 1.0 + 1e-9),
+                CompareOp::Gt => (CompareOp::Lt, 1.0 + 1e-9),
+                CompareOp::Le => (CompareOp::Ge, 1.0 - 1e-9),
+                CompareOp::Lt => (CompareOp::Gt, 1.0 - 1e-9),
+                CompareOp::Eq | CompareOp::Ne => return None,
+            };
+            Some(Predicate::Compare {
+                column: "value_nm".into(),
+                op,
+                value: Value::Float(p_to_nm(p) * slack),
+            })
+        }
+        Predicate::Between { column, lo, hi } if column == "p_activity" => {
+            let (lo, hi) = (lo.as_f64()?, hi.as_f64()?);
+            Some(Predicate::Between {
+                column: "value_nm".into(),
+                lo: Value::Float(p_to_nm(hi) * (1.0 - 1e-9)),
+                hi: Value::Float(p_to_nm(lo) * (1.0 + 1e-9)),
+            })
+        }
+        other => {
+            let remote = other.columns().iter().all(|c| REMOTE_COLUMNS.contains(c));
+            remote.then(|| other.clone())
+        }
+    }
+}
+
+/// Concentration (nM) at a given pActivity.
+fn p_to_nm(p: f64) -> f64 {
+    10f64.powf(9.0 - p)
+}
+
+fn conjuncts_of(p: &Predicate) -> Vec<&Predicate> {
+    match p {
+        Predicate::And(ps) => ps.iter().flat_map(conjuncts_of).collect(),
+        Predicate::True => Vec::new(),
+        other => vec![other],
+    }
+}
+
+/// Reorder a conjunction most-selective-first; other shapes unchanged.
+fn order_by_selectivity(pred: Predicate, stats: &OverlayStats) -> Predicate {
+    match pred {
+        Predicate::And(mut ps) => {
+            ps.sort_by(|a, b| {
+                stats
+                    .predicate_selectivity(a)
+                    .total_cmp(&stats.predicate_selectivity(b))
+            });
+            Predicate::And(ps)
+        }
+        other => other,
+    }
+}
+
+/// Build the finish operator.
+fn build_finish(
+    dataset: &Dataset,
+    scope_node: drugtree_phylo::tree::NodeId,
+    query: &Query,
+) -> Result<Finish> {
+    Ok(match &query.kind {
+        QueryKind::Activities => Finish::Collect,
+        QueryKind::TopK { by, k, descending } => Finish::TopK {
+            column: unified_schema().column_index(by)?,
+            k: *k,
+            descending: *descending,
+        },
+        QueryKind::AggregateChildren { metric } => {
+            let children = dataset
+                .tree
+                .node_unchecked(scope_node)
+                .children
+                .iter()
+                .map(|&c| {
+                    let label = dataset
+                        .tree
+                        .node_unchecked(c)
+                        .label
+                        .clone()
+                        .unwrap_or_else(|| format!("n{}", c.0));
+                    (c, label, dataset.index.interval(c))
+                })
+                .collect();
+            Finish::AggregateChildren {
+                children,
+                metric: *metric,
+            }
+        }
+        QueryKind::CountPerLeaf => Finish::CountPerLeaf,
+    })
+}
+
+/// Cost model: expected virtual latency of the access path.
+fn estimate_access_cost(
+    dataset: &Dataset,
+    stats: Option<&OverlayStats>,
+    access: &Access,
+    interval: LeafInterval,
+    pushdown: &Option<Predicate>,
+) -> Duration {
+    let fetches = match access {
+        Access::Fetch {
+            fetches,
+            concurrent_sources,
+        } => (fetches, *concurrent_sources),
+        // The cache hit path costs ~nothing; estimate the miss path so
+        // EXPLAIN shows the worst case.
+        Access::CacheProbe {
+            on_miss,
+            concurrent_sources,
+            ..
+        } => (on_miss, *concurrent_sources),
+        Access::MaterializedView | Access::ProvedEmpty => return Duration::ZERO,
+    };
+    let (fetches, concurrent_sources) = fetches;
+
+    let expected_rows = stats.map_or(interval.len() as u64, |s| {
+        let base = s.interval_count(interval);
+        let sel = pushdown
+            .as_ref()
+            .map_or(1.0, |p| s.predicate_selectivity(p));
+        (base as f64 * sel).ceil() as u64
+    });
+
+    let mut per_source = Vec::with_capacity(fetches.len());
+    for f in fetches {
+        let Ok(source) = dataset.registry.by_name(&f.source) else {
+            continue;
+        };
+        let model = source.latency_model();
+        let requests = if f.batched {
+            f.keys
+                .len()
+                .div_ceil(source.capabilities().max_batch.max(1))
+        } else {
+            f.keys.len()
+        }
+        .max(1);
+        let transfer = model.per_row * (expected_rows as u32);
+        let cost = if f.concurrent {
+            // All requests in flight: one RTT plus the transfer.
+            model.base_rtt + transfer
+        } else {
+            model.base_rtt * requests as u32 + transfer
+        };
+        per_source.push(cost);
+    }
+    if concurrent_sources {
+        per_source.into_iter().max().unwrap_or(Duration::ZERO)
+    } else {
+        per_source.into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Metric, Scope};
+    use crate::dataset::test_fixtures::small_dataset;
+    use drugtree_sources::source::SourceCapabilities;
+
+    fn dataset() -> Dataset {
+        small_dataset(SourceCapabilities::full())
+    }
+
+    #[test]
+    fn naive_plan_shape() {
+        let d = dataset();
+        let q = Query::activities(Scope::Tree);
+        let plan = Optimizer::new(OptimizerConfig::naive())
+            .plan(&d, None, None, &q)
+            .unwrap();
+        match &plan.access {
+            Access::Fetch {
+                fetches,
+                concurrent_sources,
+            } => {
+                assert!(!concurrent_sources);
+                assert_eq!(fetches.len(), 1);
+                assert_eq!(fetches[0].keys.len(), 4);
+                assert!(!fetches[0].batched);
+                assert!(fetches[0].pushdown.is_none());
+            }
+            other => panic!("expected Fetch, got {other:?}"),
+        }
+        assert_eq!(plan.pruned_leaves, 0);
+        assert!(plan.ligand_join);
+    }
+
+    #[test]
+    fn full_plan_uses_cache_and_pushdown() {
+        let d = dataset();
+        let stats = OverlayStats::collect(&d).unwrap();
+        let q = Query::activities(Scope::Subtree("cladeA".into())).filter(Predicate::cmp(
+            "p_activity",
+            CompareOp::Ge,
+            6.5,
+        ));
+        let plan = Optimizer::new(OptimizerConfig::full())
+            .plan(&d, Some(&stats), None, &q)
+            .unwrap();
+        match &plan.access {
+            Access::CacheProbe {
+                pushdown,
+                on_miss,
+                insert_on_miss,
+                ..
+            } => {
+                assert!(insert_on_miss);
+                assert!(pushdown.is_some(), "p_activity filter is pushable");
+                assert!(on_miss.iter().all(|f| f.batched && f.concurrent));
+            }
+            other => panic!("expected CacheProbe, got {other:?}"),
+        }
+        assert!(plan.explain().contains("pushdown"));
+    }
+
+    #[test]
+    fn ligand_columns_not_pushed_down() {
+        let d = dataset();
+        let q = Query::activities(Scope::Tree)
+            .filter(Predicate::cmp("mw", CompareOp::Lt, 500.0))
+            .filter(Predicate::cmp("year", CompareOp::Ge, 2012i64));
+        let plan = Optimizer::new(OptimizerConfig::full())
+            .plan(&d, None, None, &q)
+            .unwrap();
+        let pushdown = match &plan.access {
+            Access::CacheProbe { pushdown, .. } => pushdown.clone(),
+            other => panic!("{other:?}"),
+        };
+        // Only the year conjunct is pushable.
+        let p = pushdown.expect("year pushable");
+        assert!(crate::plan::fmt_pred(&p).contains("year"));
+        assert!(!crate::plan::fmt_pred(&p).contains("mw"));
+    }
+
+    #[test]
+    fn incapable_sources_receive_no_pushdown() {
+        let d = small_dataset(SourceCapabilities::minimal());
+        let q =
+            Query::activities(Scope::Tree).filter(Predicate::cmp("year", CompareOp::Ge, 2012i64));
+        let plan = Optimizer::new(OptimizerConfig::full())
+            .plan(&d, None, None, &q)
+            .unwrap();
+        match &plan.access {
+            Access::CacheProbe { pushdown, .. } => assert!(pushdown.is_none()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_pruning_drops_empty_leaves() {
+        let d = dataset();
+        let stats = OverlayStats::collect(&d).unwrap();
+        // P4 (rank 3) has no activities.
+        let q = Query::activities(Scope::Tree);
+        let plan = Optimizer::new(OptimizerConfig::full())
+            .plan(&d, Some(&stats), None, &q)
+            .unwrap();
+        assert_eq!(plan.pruned_leaves, 1);
+        match &plan.access {
+            Access::CacheProbe { on_miss, .. } => {
+                assert_eq!(on_miss[0].keys.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn p_activity_bound_prunes_by_range_max() {
+        let d = dataset();
+        let stats = OverlayStats::collect(&d).unwrap();
+        // Only P3 (1 nM -> p=9) clears p >= 8.5; P1/P2/P4 pruned.
+        let q =
+            Query::activities(Scope::Tree).filter(Predicate::cmp("p_activity", CompareOp::Ge, 8.5));
+        let plan = Optimizer::new(OptimizerConfig::full())
+            .plan(&d, Some(&stats), None, &q)
+            .unwrap();
+        assert_eq!(plan.pruned_leaves, 3);
+    }
+
+    #[test]
+    fn empty_interval_proved_empty() {
+        let d = dataset();
+        let stats = OverlayStats::collect(&d).unwrap();
+        // cladeB's P4 side: leaves [3, 4) hold nothing.
+        let q = Query::activities(Scope::Subtree("P4".into()));
+        let plan = Optimizer::new(OptimizerConfig::full())
+            .plan(&d, Some(&stats), None, &q)
+            .unwrap();
+        assert_eq!(plan.access, Access::ProvedEmpty);
+        assert_eq!(plan.estimated_cost, Duration::ZERO);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let d = dataset();
+        let opt = Optimizer::new(OptimizerConfig::full());
+        let q = Query::activities(Scope::Tree).filter(Predicate::eq("bogus", 1i64));
+        assert!(matches!(
+            opt.plan(&d, None, None, &q),
+            Err(QueryError::UnknownColumn(_))
+        ));
+        let q = Query::activities(Scope::Tree).top_k("nope", 5, true);
+        assert!(matches!(
+            opt.plan(&d, None, None, &q),
+            Err(QueryError::UnknownColumn(_))
+        ));
+        let q = Query::activities(Scope::Tree).similar_to("CCO", 1.5);
+        assert!(opt.plan(&d, None, None, &q).is_err());
+        let q = Query::activities(Scope::Tree).similar_to("((((", 0.5);
+        assert!(matches!(
+            opt.plan(&d, None, None, &q),
+            Err(QueryError::BadSimilarityReference(_))
+        ));
+    }
+
+    #[test]
+    fn similarity_resolves_ligand_id_or_smiles() {
+        let d = dataset();
+        let opt = Optimizer::new(OptimizerConfig::full());
+        // Known ligand id.
+        let q = Query::activities(Scope::Tree).similar_to("L1", 0.5);
+        let plan = opt.plan(&d, None, None, &q).unwrap();
+        assert!(plan.similarity.is_some());
+        // Raw SMILES.
+        let q = Query::activities(Scope::Tree).similar_to("CCO", 0.5);
+        let plan = opt.plan(&d, None, None, &q).unwrap();
+        let sim = plan.similarity.unwrap();
+        let ethanol_fp = d.overlay.fingerprint("L2").unwrap();
+        assert_eq!(&sim.fingerprint, ethanol_fp, "SMILES CCO == ligand L2");
+    }
+
+    #[test]
+    fn aggregate_children_enumerated() {
+        let d = dataset();
+        let q = Query::activities(Scope::Tree).aggregate(Metric::Count);
+        let plan = Optimizer::new(OptimizerConfig::naive())
+            .plan(&d, None, None, &q)
+            .unwrap();
+        match &plan.finish {
+            Finish::AggregateChildren { children, .. } => {
+                let labels: Vec<&str> = children.iter().map(|(_, l, _)| l.as_str()).collect();
+                assert_eq!(labels, ["cladeA", "cladeB"]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Aggregates without ligand predicates skip the join.
+        assert!(!plan.ligand_join);
+    }
+
+    #[test]
+    fn selectivity_ordering_reorders_residual() {
+        let d = dataset();
+        let stats = OverlayStats::collect(&d).unwrap();
+        let wide = Predicate::cmp("p_activity", CompareOp::Ge, 5.0);
+        let narrow = Predicate::cmp("p_activity", CompareOp::Ge, 8.9);
+        let q = Query::activities(Scope::Tree)
+            .filter(wide.clone())
+            .filter(narrow.clone());
+        let plan = Optimizer::new(OptimizerConfig::full())
+            .plan(&d, Some(&stats), None, &q)
+            .unwrap();
+        match &plan.residual {
+            Predicate::And(ps) => {
+                assert_eq!(ps[0], narrow, "most selective first");
+                assert_eq!(ps[1], wide);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_estimate_orders_plans_sanely() {
+        let d = dataset();
+        let stats = OverlayStats::collect(&d).unwrap();
+        let q = Query::activities(Scope::Tree);
+        let naive = Optimizer::new(OptimizerConfig::naive())
+            .plan(&d, Some(&stats), None, &q)
+            .unwrap();
+        let full = Optimizer::new(OptimizerConfig::full())
+            .plan(&d, Some(&stats), None, &q)
+            .unwrap();
+        assert!(
+            full.estimated_cost < naive.estimated_cost,
+            "optimized estimate {:?} not below naive {:?}",
+            full.estimated_cost,
+            naive.estimated_cost
+        );
+    }
+
+    #[test]
+    fn ablation_helper() {
+        for rule in OptimizerConfig::RULES {
+            let c = OptimizerConfig::ablate(rule);
+            assert_ne!(c, OptimizerConfig::full(), "{rule} should change config");
+        }
+    }
+
+    #[test]
+    fn remote_form_translates_derived_columns() {
+        // p_activity >= 8  <=>  value_nm <= 10 (widened by 1e-9).
+        let p = Predicate::cmp("p_activity", CompareOp::Ge, 8.0);
+        match remote_form(&p).unwrap() {
+            Predicate::Compare { column, op, value } => {
+                assert_eq!(column, "value_nm");
+                assert_eq!(op, CompareOp::Le);
+                let v = value.as_f64().unwrap();
+                assert!((v - 10.0).abs() < 1e-6 && v >= 10.0, "got {v}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Between flips and swaps bounds.
+        let p = Predicate::between("p_activity", 6.0, 8.0);
+        match remote_form(&p).unwrap() {
+            Predicate::Between { column, lo, hi } => {
+                assert_eq!(column, "value_nm");
+                assert!(lo.as_f64().unwrap() < hi.as_f64().unwrap());
+                assert!((lo.as_f64().unwrap() - 10.0).abs() < 1e-6);
+                assert!((hi.as_f64().unwrap() - 1000.0).abs() < 1e-3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Equality on a derived float is never pushed.
+        assert!(remote_form(&Predicate::eq("p_activity", 8.0)).is_none());
+        // Local-only coordinates are never pushed.
+        assert!(remote_form(&Predicate::eq("leaf_rank", 3i64)).is_none());
+        // Ligand columns are never pushed.
+        assert!(remote_form(&Predicate::cmp("mw", CompareOp::Lt, 500.0)).is_none());
+        // Native remote columns pass through unchanged.
+        let p = Predicate::eq("year", 2012i64);
+        assert_eq!(remote_form(&p).unwrap(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown optimizer rule")]
+    fn ablate_unknown_rule_panics() {
+        let _ = OptimizerConfig::ablate("warp-drive");
+    }
+}

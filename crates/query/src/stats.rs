@@ -1,0 +1,358 @@
+//! Overlay statistics: the optimizer's knowledge of the data.
+//!
+//! Collected once after integration (one scan per assay source — an
+//! ingest-time cost the paper's interactive queries amortize), the
+//! statistics answer two planning questions:
+//!
+//! 1. **Pruning (D4)** — "can this subtree/leaf contribute at all?"
+//!    via per-leaf record counts (prefix sums → O(1) per interval) and
+//!    per-leaf maximum pActivity (sparse table → O(1) range max).
+//! 2. **Selectivity** — "how selective is this predicate?" via
+//!    equi-width histograms on the numeric columns.
+
+use crate::dataset::{unify_assay_row, Dataset};
+use crate::Result;
+use drugtree_phylo::index::LeafInterval;
+use drugtree_sources::source::{FetchRequest, SourceKind};
+use drugtree_store::expr::{CompareOp, Predicate};
+use drugtree_store::value::Value;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// An equi-width histogram over one numeric column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Build from observed values with `nbuckets` buckets.
+    pub fn build(values: impl IntoIterator<Item = f64>, nbuckets: usize) -> Histogram {
+        let values: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        let nbuckets = nbuckets.max(1);
+        if values.is_empty() {
+            return Histogram {
+                min: 0.0,
+                max: 0.0,
+                buckets: vec![0; nbuckets],
+                total: 0,
+            };
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut buckets = vec![0u64; nbuckets];
+        let width = ((max - min) / nbuckets as f64).max(f64::MIN_POSITIVE);
+        for v in &values {
+            let b = (((v - min) / width) as usize).min(nbuckets - 1);
+            buckets[b] += 1;
+        }
+        Histogram {
+            min,
+            max,
+            buckets,
+            total: values.len() as u64,
+        }
+    }
+
+    /// Number of observed values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated fraction of values satisfying `op value` (in [0, 1]).
+    pub fn selectivity(&self, op: CompareOp, value: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let frac_below = self.fraction_below(value);
+        // Point-equality mass estimated as one bucket's share.
+        let point = 1.0 / self.buckets.len() as f64;
+        match op {
+            CompareOp::Lt => frac_below,
+            CompareOp::Le => (frac_below + point).min(1.0),
+            CompareOp::Gt => 1.0 - (frac_below + point).min(1.0),
+            CompareOp::Ge => 1.0 - frac_below,
+            CompareOp::Eq => point.min(1.0),
+            CompareOp::Ne => 1.0 - point.min(1.0),
+        }
+        .clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of values strictly below `value`.
+    fn fraction_below(&self, value: f64) -> f64 {
+        if self.total == 0 || value <= self.min {
+            return 0.0;
+        }
+        if value > self.max {
+            return 1.0;
+        }
+        let width = ((self.max - self.min) / self.buckets.len() as f64).max(f64::MIN_POSITIVE);
+        let pos = (value - self.min) / width;
+        let full = pos.floor() as usize;
+        let below: u64 = self.buckets.iter().take(full.min(self.buckets.len())).sum();
+        let partial = if full < self.buckets.len() {
+            self.buckets[full] as f64 * (pos - pos.floor())
+        } else {
+            0.0
+        };
+        ((below as f64 + partial) / self.total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// O(1) range-maximum over a fixed array (sparse table).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RangeMax {
+    /// table[k][i] = max of [i, i + 2^k).
+    table: Vec<Vec<f64>>,
+}
+
+impl RangeMax {
+    /// Build over the values.
+    pub fn build(values: &[f64]) -> RangeMax {
+        let n = values.len();
+        let mut table = vec![values.to_vec()];
+        let mut k = 1;
+        while (1 << k) <= n {
+            let prev = &table[k - 1];
+            let half = 1 << (k - 1);
+            let row: Vec<f64> = (0..=(n - (1 << k)))
+                .map(|i| prev[i].max(prev[i + half]))
+                .collect();
+            table.push(row);
+            k += 1;
+        }
+        RangeMax { table }
+    }
+
+    /// Maximum over `[lo, hi)`; `None` for an empty range.
+    pub fn max(&self, lo: u32, hi: u32) -> Option<f64> {
+        let (lo, hi) = (lo as usize, hi as usize);
+        let n = self.table.first().map_or(0, Vec::len);
+        if lo >= hi || lo >= n {
+            return None;
+        }
+        let hi = hi.min(n);
+        let len = hi - lo;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        Some(self.table[k][lo].max(self.table[k][hi - (1 << k)]))
+    }
+}
+
+/// The statistics bundle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OverlayStats {
+    /// Per-leaf activity record counts.
+    counts: Vec<u64>,
+    /// Prefix sums of `counts` (length n+1).
+    prefix: Vec<u64>,
+    /// Per-leaf maximum pActivity (NEG_INFINITY for empty leaves).
+    max_p: RangeMax,
+    /// pActivity histogram.
+    pub p_activity: Histogram,
+    /// Molecular-weight histogram (from the local ligand table).
+    pub mw: Histogram,
+    /// Simulated cost of the collection pass.
+    pub collection_cost: Duration,
+}
+
+impl OverlayStats {
+    /// Collect statistics with one scan per assay source.
+    pub fn collect(dataset: &Dataset) -> Result<OverlayStats> {
+        let n = dataset.leaf_count();
+        let mut counts = vec![0u64; n];
+        let mut max_p = vec![f64::NEG_INFINITY; n];
+        let mut p_values = Vec::new();
+        let mut cost = Duration::ZERO;
+
+        for source in dataset.registry.distinct_by_kind(SourceKind::Assay) {
+            let resp = source.fetch(&FetchRequest::scan())?;
+            cost += resp.cost;
+            for raw in &resp.rows {
+                if let Some(row) = unify_assay_row(dataset, raw) {
+                    let rank = row[0].as_int().expect("rank is int") as usize;
+                    let p = row[5].as_f64().expect("p_activity is float");
+                    counts[rank] += 1;
+                    max_p[rank] = max_p[rank].max(p);
+                    p_values.push(p);
+                }
+            }
+        }
+
+        let mut prefix = vec![0u64; n + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            prefix[i + 1] = prefix[i] + c;
+        }
+
+        // Ligand MW histogram from the local table.
+        let ligands = dataset
+            .overlay
+            .catalog()
+            .table(drugtree_integrate::overlay::tables::LIGAND)?;
+        let mw_col = ligands.schema().column_index("mw")?;
+        let mws: Vec<f64> = ligands
+            .scan()
+            .filter_map(|(_, r)| r[mw_col].as_f64())
+            .collect();
+
+        Ok(OverlayStats {
+            counts,
+            prefix,
+            max_p: RangeMax::build(&max_p),
+            p_activity: Histogram::build(p_values, 32),
+            mw: Histogram::build(mws, 32),
+            collection_cost: cost,
+        })
+    }
+
+    /// Activity records attached to one leaf.
+    pub fn leaf_count(&self, rank: u32) -> u64 {
+        self.counts.get(rank as usize).copied().unwrap_or(0)
+    }
+
+    /// Total records under an interval, O(1).
+    pub fn interval_count(&self, iv: LeafInterval) -> u64 {
+        let lo = (iv.lo as usize).min(self.prefix.len() - 1);
+        let hi = (iv.hi as usize).min(self.prefix.len() - 1);
+        if lo >= hi {
+            0
+        } else {
+            self.prefix[hi] - self.prefix[lo]
+        }
+    }
+
+    /// Maximum pActivity under an interval, O(1); `None` when the
+    /// interval holds no records.
+    pub fn interval_max_p(&self, iv: LeafInterval) -> Option<f64> {
+        match self.max_p.max(iv.lo, iv.hi) {
+            Some(v) if v.is_finite() => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Total records overall.
+    pub fn total_count(&self) -> u64 {
+        *self.prefix.last().unwrap_or(&0)
+    }
+
+    /// Estimate the fraction of activity rows a predicate keeps.
+    /// Conjunctions multiply (independence assumption), disjunctions
+    /// saturate-add; unknown shapes estimate 1.0 (no reduction).
+    pub fn predicate_selectivity(&self, pred: &Predicate) -> f64 {
+        match pred {
+            Predicate::True => 1.0,
+            Predicate::Compare { column, op, value } => {
+                let v = match value {
+                    Value::Int(i) => *i as f64,
+                    Value::Float(f) => *f,
+                    _ => return 0.5,
+                };
+                match column.as_str() {
+                    "p_activity" => self.p_activity.selectivity(*op, v),
+                    "mw" => self.mw.selectivity(*op, v),
+                    _ => 0.5,
+                }
+            }
+            Predicate::Between { column, lo, hi } => {
+                let ge = Predicate::Compare {
+                    column: column.clone(),
+                    op: CompareOp::Ge,
+                    value: lo.clone(),
+                };
+                let le = Predicate::Compare {
+                    column: column.clone(),
+                    op: CompareOp::Le,
+                    value: hi.clone(),
+                };
+                (self.predicate_selectivity(&ge) + self.predicate_selectivity(&le) - 1.0)
+                    .clamp(0.0, 1.0)
+            }
+            Predicate::InSet { values, .. } => (values.len() as f64 * 0.05).clamp(0.0, 1.0),
+            Predicate::IsNull { .. } => 0.05,
+            Predicate::And(ps) => ps.iter().map(|p| self.predicate_selectivity(p)).product(),
+            Predicate::Or(ps) => ps
+                .iter()
+                .map(|p| self.predicate_selectivity(p))
+                .fold(0.0, |acc, s| (acc + s).min(1.0)),
+            Predicate::Not(p) => 1.0 - self.predicate_selectivity(p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::small_dataset;
+    use drugtree_sources::source::SourceCapabilities;
+
+    #[test]
+    fn histogram_selectivity() {
+        let h = Histogram::build((0..100).map(f64::from), 10);
+        assert_eq!(h.total(), 100);
+        let s = h.selectivity(CompareOp::Lt, 50.0);
+        assert!((s - 0.5).abs() < 0.06, "got {s}");
+        assert!(h.selectivity(CompareOp::Lt, -5.0) == 0.0);
+        assert!(h.selectivity(CompareOp::Ge, -5.0) == 1.0);
+        assert!(h.selectivity(CompareOp::Gt, 200.0) <= 0.11);
+        let eq = h.selectivity(CompareOp::Eq, 42.0);
+        assert!(eq > 0.0 && eq <= 0.11);
+    }
+
+    #[test]
+    fn histogram_empty_and_constant() {
+        let h = Histogram::build(std::iter::empty(), 8);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.selectivity(CompareOp::Lt, 1.0), 0.0);
+        let h = Histogram::build([5.0, 5.0, 5.0], 8);
+        assert_eq!(h.total(), 3);
+        assert!(h.selectivity(CompareOp::Ge, 5.0) > 0.9);
+    }
+
+    #[test]
+    fn range_max() {
+        let rm = RangeMax::build(&[1.0, 5.0, 2.0, 9.0, 3.0]);
+        assert_eq!(rm.max(0, 5), Some(9.0));
+        assert_eq!(rm.max(0, 3), Some(5.0));
+        assert_eq!(rm.max(2, 3), Some(2.0));
+        assert_eq!(rm.max(4, 5), Some(3.0));
+        assert_eq!(rm.max(3, 3), None);
+        assert_eq!(rm.max(9, 12), None);
+        let empty = RangeMax::build(&[]);
+        assert_eq!(empty.max(0, 1), None);
+    }
+
+    #[test]
+    fn collect_from_sources() {
+        let d = small_dataset(SourceCapabilities::full());
+        let stats = OverlayStats::collect(&d).unwrap();
+        assert_eq!(stats.total_count(), 4);
+        assert_eq!(stats.leaf_count(0), 2); // P1 has two records
+        assert_eq!(stats.leaf_count(3), 0); // P4 is empty
+        assert_eq!(stats.interval_count(LeafInterval { lo: 0, hi: 2 }), 3);
+        assert_eq!(stats.interval_count(LeafInterval { lo: 3, hi: 4 }), 0);
+        assert!(stats.collection_cost > Duration::ZERO);
+        // P3-L3 at 1 nM -> pActivity 9 is the global max.
+        let max = stats.interval_max_p(LeafInterval { lo: 0, hi: 4 }).unwrap();
+        assert!((max - 9.0).abs() < 1e-9);
+        assert!(stats
+            .interval_max_p(LeafInterval { lo: 3, hi: 4 })
+            .is_none());
+    }
+
+    #[test]
+    fn predicate_selectivity_composition() {
+        let d = small_dataset(SourceCapabilities::full());
+        let stats = OverlayStats::collect(&d).unwrap();
+        let narrow = Predicate::cmp("p_activity", CompareOp::Ge, 8.5);
+        let wide = Predicate::cmp("p_activity", CompareOp::Ge, 5.0);
+        assert!(stats.predicate_selectivity(&narrow) < stats.predicate_selectivity(&wide));
+        assert_eq!(stats.predicate_selectivity(&Predicate::True), 1.0);
+        let conj = narrow.clone().and(wide.clone());
+        assert!(stats.predicate_selectivity(&conj) <= stats.predicate_selectivity(&narrow) + 1e-12);
+        let not = Predicate::Not(Box::new(narrow.clone()));
+        let s = stats.predicate_selectivity(&narrow) + stats.predicate_selectivity(&not);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic virtual clock.
+//!
+//! All simulated latencies (source round-trips, mobile network
+//! transfers) are *charged* to a shared virtual clock instead of being
+//! slept. This keeps the whole benchmark suite deterministic and lets
+//! wall-clock benchmarks (Criterion) measure pure CPU cost while the
+//! experiment harness reports virtual end-to-end latency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A point on the virtual timeline, in nanoseconds since session start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VirtualInstant(pub u64);
+
+impl VirtualInstant {
+    /// Duration elapsed since an earlier instant (saturating).
+    pub fn since(self, earlier: VirtualInstant) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for VirtualInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:?}", Duration::from_nanos(self.0))
+    }
+}
+
+/// A shared, thread-safe virtual clock.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at t=0, wrapped for sharing.
+    pub fn new() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::default())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualInstant {
+        VirtualInstant(self.nanos.load(Ordering::SeqCst))
+    }
+
+    /// Advance the clock by a duration, returning the new time.
+    pub fn advance(&self, d: Duration) -> VirtualInstant {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        VirtualInstant(self.nanos.fetch_add(nanos, Ordering::SeqCst) + nanos)
+    }
+
+    /// Advance the clock to at least `target` (no-op if already past).
+    /// Returns the resulting time. Used when modeling parallel requests:
+    /// each branch computes its own completion instant and the caller
+    /// advances to the maximum.
+    pub fn advance_to(&self, target: VirtualInstant) -> VirtualInstant {
+        let mut current = self.nanos.load(Ordering::SeqCst);
+        while current < target.0 {
+            match self
+                .nanos
+                .compare_exchange(current, target.0, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return target,
+                Err(actual) => current = actual,
+            }
+        }
+        VirtualInstant(current)
+    }
+}
+
+/// Combine the costs of requests issued *concurrently*: completion is
+/// the maximum individual cost (all start together), not the sum.
+pub fn parallel_cost(costs: impl IntoIterator<Item = Duration>) -> Duration {
+    costs.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+/// Combine the costs of requests issued *sequentially*.
+pub fn sequential_cost(costs: impl IntoIterator<Item = Duration>) -> Duration {
+    costs.into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), VirtualInstant(0));
+        clock.advance(Duration::from_millis(5));
+        clock.advance(Duration::from_micros(1));
+        assert_eq!(clock.now(), VirtualInstant(5_001_000));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = VirtualInstant(100);
+        let b = VirtualInstant(40);
+        assert_eq!(a.since(b), Duration::from_nanos(60));
+        assert_eq!(b.since(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let clock = VirtualClock::new();
+        clock.advance(Duration::from_nanos(100));
+        // Going backwards is a no-op.
+        assert_eq!(clock.advance_to(VirtualInstant(50)), VirtualInstant(100));
+        assert_eq!(clock.now(), VirtualInstant(100));
+        // Going forwards jumps.
+        assert_eq!(clock.advance_to(VirtualInstant(500)), VirtualInstant(500));
+        assert_eq!(clock.now(), VirtualInstant(500));
+    }
+
+    #[test]
+    fn parallel_vs_sequential() {
+        let costs = [
+            Duration::from_millis(10),
+            Duration::from_millis(30),
+            Duration::from_millis(20),
+        ];
+        assert_eq!(parallel_cost(costs), Duration::from_millis(30));
+        assert_eq!(sequential_cost(costs), Duration::from_millis(60));
+        assert_eq!(parallel_cost([]), Duration::ZERO);
+        assert_eq!(sequential_cost([]), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_advance_is_consistent() {
+        let clock = VirtualClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let clock = &clock;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        clock.advance(Duration::from_nanos(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.now(), VirtualInstant(4000));
+    }
+}

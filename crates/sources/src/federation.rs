@@ -1,0 +1,210 @@
+//! The source registry the mediator resolves sources from.
+
+use crate::source::{DataSource, SourceKind};
+use crate::{Result, SourceError};
+use std::sync::Arc;
+
+/// A named collection of registered sources.
+#[derive(Default, Clone)]
+pub struct SourceRegistry {
+    sources: Vec<Arc<dyn DataSource>>,
+    /// Groups of source names that hold the *same* data (replicas);
+    /// the optimizer may serve a query from any one member.
+    replica_groups: Vec<Vec<String>>,
+}
+
+impl SourceRegistry {
+    /// An empty registry.
+    pub fn new() -> SourceRegistry {
+        SourceRegistry::default()
+    }
+
+    /// Register a source; names must be unique.
+    pub fn register(&mut self, source: Arc<dyn DataSource>) -> Result<()> {
+        if self.sources.iter().any(|s| s.name() == source.name()) {
+            return Err(SourceError::DuplicateSource(source.name().to_string()));
+        }
+        self.sources.push(source);
+        Ok(())
+    }
+
+    /// Look up a source by name.
+    pub fn by_name(&self, name: &str) -> Result<Arc<dyn DataSource>> {
+        self.sources
+            .iter()
+            .find(|s| s.name() == name)
+            .cloned()
+            .ok_or_else(|| SourceError::UnknownSource(name.to_string()))
+    }
+
+    /// All sources of a kind, in registration order.
+    pub fn by_kind(&self, kind: SourceKind) -> Vec<Arc<dyn DataSource>> {
+        self.sources
+            .iter()
+            .filter(|s| s.kind() == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// The single source of a kind, when exactly one is registered.
+    pub fn single(&self, kind: SourceKind) -> Result<Arc<dyn DataSource>> {
+        let mut matches = self.by_kind(kind);
+        match matches.len() {
+            1 => Ok(matches.pop().expect("len checked")),
+            0 => Err(SourceError::UnknownSource(format!("{kind:?}"))),
+            n => Err(SourceError::UnknownSource(format!(
+                "{kind:?} is ambiguous ({n} registered)"
+            ))),
+        }
+    }
+
+    /// All sources.
+    pub fn all(&self) -> &[Arc<dyn DataSource>] {
+        &self.sources
+    }
+
+    /// Declare that the named sources are replicas of each other
+    /// (every member serves the full record set). Unknown names are
+    /// rejected; groups of fewer than two members are pointless and
+    /// rejected too.
+    pub fn declare_replicas(&mut self, names: Vec<String>) -> Result<()> {
+        if names.len() < 2 {
+            return Err(SourceError::UnknownSource(
+                "replica group needs at least two members".into(),
+            ));
+        }
+        for name in &names {
+            self.by_name(name)?;
+        }
+        self.replica_groups.push(names);
+        Ok(())
+    }
+
+    /// Sources of a kind with replica groups collapsed to one member
+    /// each (the cheapest by nominal RTT) — the set a whole-dataset
+    /// scan (statistics, view builds) should touch to see every record
+    /// exactly once.
+    pub fn distinct_by_kind(&self, kind: SourceKind) -> Vec<Arc<dyn DataSource>> {
+        let mut out: Vec<Arc<dyn DataSource>> = Vec::new();
+        let mut handled: Vec<&[String]> = Vec::new();
+        for s in self.sources.iter().filter(|s| s.kind() == kind) {
+            match self.replica_group_of(s.name()) {
+                None => out.push(s.clone()),
+                Some(group) => {
+                    if handled.contains(&group) {
+                        continue;
+                    }
+                    handled.push(group);
+                    let cheapest = self
+                        .sources
+                        .iter()
+                        .filter(|c| group.iter().any(|n| n == c.name()))
+                        .min_by_key(|c| c.latency_model().base_rtt)
+                        .expect("group members registered");
+                    out.push(cheapest.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The replica group containing `name`, if any.
+    pub fn replica_group_of(&self, name: &str) -> Option<&[String]> {
+        self.replica_groups
+            .iter()
+            .find(|g| g.iter().any(|n| n == name))
+            .map(Vec::as_slice)
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SourceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.sources.iter().map(|s| (s.name(), s.kind())))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::protein_db::{protein_source, ProteinRecord};
+    use crate::source::SourceCapabilities;
+
+    fn protein(name: &str) -> Arc<dyn DataSource> {
+        Arc::new(
+            protein_source(
+                name,
+                &[ProteinRecord {
+                    accession: "P1".into(),
+                    name: "x".into(),
+                    organism: "o".into(),
+                    sequence: "MK".into(),
+                    gene: None,
+                }],
+                SourceCapabilities::full(),
+                LatencyModel::free(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut reg = SourceRegistry::new();
+        reg.register(protein("a")).unwrap();
+        reg.register(protein("b")).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.by_name("a").unwrap().name(), "a");
+        assert!(reg.by_name("zz").is_err());
+        assert_eq!(reg.by_kind(SourceKind::Protein).len(), 2);
+        assert!(reg.by_kind(SourceKind::Assay).is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut reg = SourceRegistry::new();
+        reg.register(protein("a")).unwrap();
+        assert!(matches!(
+            reg.register(protein("a")),
+            Err(SourceError::DuplicateSource(_))
+        ));
+    }
+
+    #[test]
+    fn replica_groups() {
+        let mut reg = SourceRegistry::new();
+        reg.register(protein("a")).unwrap();
+        reg.register(protein("b")).unwrap();
+        assert!(reg.declare_replicas(vec!["a".into()]).is_err(), "too small");
+        assert!(
+            reg.declare_replicas(vec!["a".into(), "zz".into()]).is_err(),
+            "unknown member"
+        );
+        reg.declare_replicas(vec!["a".into(), "b".into()]).unwrap();
+        assert_eq!(reg.replica_group_of("a").unwrap(), ["a", "b"]);
+        assert_eq!(reg.replica_group_of("b").unwrap(), ["a", "b"]);
+        assert!(reg.replica_group_of("c").is_none());
+    }
+
+    #[test]
+    fn single_resolution() {
+        let mut reg = SourceRegistry::new();
+        assert!(reg.single(SourceKind::Protein).is_err());
+        reg.register(protein("a")).unwrap();
+        assert!(reg.single(SourceKind::Protein).is_ok());
+        reg.register(protein("b")).unwrap();
+        assert!(reg.single(SourceKind::Protein).is_err(), "ambiguous");
+    }
+}

@@ -1,0 +1,194 @@
+//! Failure injection: a decorator that makes any source transiently
+//! unreliable.
+//!
+//! 2013-era public web databases failed *constantly* — timeouts, 503s,
+//! rate-limit rejections. A mediator that cannot ride through them is
+//! not usable from a phone. [`FlakySource`] wraps a real source and
+//! fails a deterministic pseudo-random fraction of requests with
+//! [`SourceError::Transient`], charging the timeout cost so retry
+//! policies pay realistic virtual time.
+
+use crate::latency::LatencyModel;
+use crate::source::{
+    DataSource, FetchRequest, FetchResponse, MetricsSnapshot, SourceCapabilities, SourceKind,
+};
+use crate::{Result, SourceError};
+use drugtree_store::schema::Schema;
+use drugtree_store::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A source that transiently fails a fraction of its requests.
+pub struct FlakySource {
+    inner: Arc<dyn DataSource>,
+    /// Probability a request fails, in `[0, 1]`.
+    failure_rate: f64,
+    /// Virtual cost of a failed request (the client's timeout).
+    failure_cost: Duration,
+    seed: u64,
+    attempts: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl FlakySource {
+    /// Wrap a source with a failure rate and a timeout cost.
+    pub fn new(
+        inner: Arc<dyn DataSource>,
+        failure_rate: f64,
+        failure_cost: Duration,
+        seed: u64,
+    ) -> FlakySource {
+        FlakySource {
+            inner,
+            failure_rate: failure_rate.clamp(0.0, 1.0),
+            failure_cost,
+            seed,
+            attempts: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests attempted (including failed ones).
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Requests that were injected as failures.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    fn roll(&self, attempt: u64) -> bool {
+        // splitmix64 → uniform in [0, 1).
+        let mut x = self.seed ^ attempt.wrapping_mul(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.failure_rate
+    }
+}
+
+impl DataSource for FlakySource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> SourceKind {
+        self.inner.kind()
+    }
+
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn key_column(&self) -> &str {
+        self.inner.key_column()
+    }
+
+    fn capabilities(&self) -> SourceCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn fetch(&self, request: &FetchRequest) -> Result<FetchResponse> {
+        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
+        if self.roll(attempt) {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return Err(SourceError::Transient {
+                source: self.inner.name().to_string(),
+                cost: self.failure_cost,
+            });
+        }
+        self.inner.fetch(request)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
+    }
+
+    fn record_count(&self) -> usize {
+        self.inner.record_count()
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        self.inner.latency_model()
+    }
+
+    fn ingest(&self, row: Vec<Value>) -> Result<()> {
+        self.inner.ingest(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::protein_db::{protein_source, ProteinRecord};
+
+    fn inner() -> Arc<dyn DataSource> {
+        Arc::new(
+            protein_source(
+                "p",
+                &[ProteinRecord {
+                    accession: "P1".into(),
+                    name: "x".into(),
+                    organism: "o".into(),
+                    sequence: "MK".into(),
+                    gene: None,
+                }],
+                SourceCapabilities::full(),
+                LatencyModel::free(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let s = FlakySource::new(inner(), 0.0, Duration::from_secs(1), 7);
+        for _ in 0..50 {
+            s.fetch(&FetchRequest::scan()).unwrap();
+        }
+        assert_eq!(s.failures(), 0);
+        assert_eq!(s.attempts(), 50);
+    }
+
+    #[test]
+    fn full_rate_always_fails_with_cost() {
+        let s = FlakySource::new(inner(), 1.0, Duration::from_secs(2), 7);
+        match s.fetch(&FetchRequest::scan()) {
+            Err(SourceError::Transient { source, cost }) => {
+                assert_eq!(source, "p");
+                assert_eq!(cost, Duration::from_secs(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn intermediate_rate_is_deterministic_and_close() {
+        let run = || {
+            let s = FlakySource::new(inner(), 0.3, Duration::from_millis(10), 42);
+            let outcomes: Vec<bool> = (0..200)
+                .map(|_| s.fetch(&FetchRequest::scan()).is_err())
+                .collect();
+            (outcomes, s.failures())
+        };
+        let (a, failures) = run();
+        let (b, _) = run();
+        assert_eq!(a, b, "failure pattern must be deterministic");
+        let rate = failures as f64 / 200.0;
+        assert!((0.2..0.4).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn delegates_everything_else() {
+        let s = FlakySource::new(inner(), 0.0, Duration::ZERO, 1);
+        assert_eq!(s.name(), "p");
+        assert_eq!(s.kind(), SourceKind::Protein);
+        assert_eq!(s.key_column(), "accession");
+        assert_eq!(s.record_count(), 1);
+        assert!(s.capabilities().eq_pushdown);
+    }
+}

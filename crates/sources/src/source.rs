@@ -1,0 +1,532 @@
+//! The data-source abstraction and the generic simulated source.
+
+use crate::latency::{LatencyModel, RequestCounter};
+use crate::{Result, SourceError};
+use drugtree_store::expr::{CompareOp, Predicate};
+use drugtree_store::schema::Schema;
+use drugtree_store::table::{IndexKind, Table};
+use drugtree_store::value::Value;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What a source holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// Protein/sequence records (UniProt-like).
+    Protein,
+    /// Ligand/compound records (ChEMBL-like).
+    Ligand,
+    /// Assay/activity records (BindingDB-like).
+    Assay,
+}
+
+/// What query shapes a source can evaluate remotely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceCapabilities {
+    /// Equality predicates (`col = v`, `col IN (…)`).
+    pub eq_pushdown: bool,
+    /// Range predicates (`col < v`, `BETWEEN`).
+    pub range_pushdown: bool,
+    /// Maximum number of keys per batched lookup request.
+    pub max_batch: usize,
+}
+
+impl SourceCapabilities {
+    /// A fully capable source.
+    pub fn full() -> SourceCapabilities {
+        SourceCapabilities {
+            eq_pushdown: true,
+            range_pushdown: true,
+            max_batch: 100,
+        }
+    }
+
+    /// A dump-only source: no remote filtering, singleton lookups.
+    pub fn minimal() -> SourceCapabilities {
+        SourceCapabilities {
+            eq_pushdown: false,
+            range_pushdown: false,
+            max_batch: 1,
+        }
+    }
+
+    /// Whether the whole predicate can be evaluated remotely.
+    pub fn supports_predicate(&self, pred: &Predicate) -> bool {
+        match pred {
+            Predicate::True => true,
+            Predicate::Compare { op, .. } => match op {
+                CompareOp::Eq => self.eq_pushdown,
+                CompareOp::Ne => self.eq_pushdown,
+                _ => self.range_pushdown,
+            },
+            Predicate::Between { .. } => self.range_pushdown,
+            Predicate::InSet { .. } => self.eq_pushdown,
+            // Conservative: NULL tests and arbitrary boolean structure
+            // stay client-side except conjunctions of supported parts.
+            Predicate::IsNull { .. } => false,
+            Predicate::And(ps) => ps.iter().all(|p| self.supports_predicate(p)),
+            Predicate::Or(_) | Predicate::Not(_) => false,
+        }
+    }
+}
+
+/// A fetch request sent to one source.
+#[derive(Debug, Clone, Default)]
+pub struct FetchRequest {
+    /// Key-column lookups (batched). `None` means scan.
+    pub keys: Option<Vec<Value>>,
+    /// Predicate evaluated *at the source* (must be supported).
+    pub predicate: Option<Predicate>,
+    /// Columns to return; `None` = all.
+    pub projection: Option<Vec<String>>,
+}
+
+impl FetchRequest {
+    /// A full-scan request.
+    pub fn scan() -> FetchRequest {
+        FetchRequest::default()
+    }
+
+    /// A batched key lookup.
+    pub fn lookup(keys: Vec<Value>) -> FetchRequest {
+        FetchRequest {
+            keys: Some(keys),
+            ..FetchRequest::default()
+        }
+    }
+
+    /// Attach a pushdown predicate.
+    pub fn with_predicate(mut self, pred: Predicate) -> FetchRequest {
+        self.predicate = Some(pred);
+        self
+    }
+
+    /// Attach a projection.
+    pub fn with_projection(mut self, columns: Vec<String>) -> FetchRequest {
+        self.projection = Some(columns);
+        self
+    }
+}
+
+/// The rows and simulated cost of one fetch.
+#[derive(Debug, Clone)]
+pub struct FetchResponse {
+    /// Returned column names, in row order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Rows the source had to examine server-side.
+    pub rows_scanned: usize,
+    /// Simulated wall time of the request (charge to a clock).
+    pub cost: Duration,
+}
+
+/// Cumulative per-source counters.
+#[derive(Debug, Default)]
+pub struct SourceMetrics {
+    requests: AtomicU64,
+    rows_returned: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+/// A snapshot of [`SourceMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests served.
+    pub requests: u64,
+    /// Total rows shipped.
+    pub rows_returned: u64,
+    /// Total simulated busy time.
+    pub busy: Duration,
+}
+
+impl SourceMetrics {
+    fn record(&self, rows: usize, cost: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.rows_returned.fetch_add(rows as u64, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Read the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rows_returned: self.rows_returned.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A remote data source.
+pub trait DataSource: Send + Sync {
+    /// Unique source name.
+    fn name(&self) -> &str;
+    /// What the source holds.
+    fn kind(&self) -> SourceKind;
+    /// Record schema.
+    fn schema(&self) -> &Schema;
+    /// Name of the key column batched lookups address.
+    fn key_column(&self) -> &str;
+    /// Remote evaluation capabilities.
+    fn capabilities(&self) -> SourceCapabilities;
+    /// Execute one request.
+    fn fetch(&self, request: &FetchRequest) -> Result<FetchResponse>;
+    /// Cumulative counters.
+    fn metrics(&self) -> MetricsSnapshot;
+    /// Number of records currently held (used for planning statistics).
+    fn record_count(&self) -> usize;
+    /// The latency profile the mediator assumes for this source (a real
+    /// deployment measures this; the simulation reports its model).
+    fn latency_model(&self) -> LatencyModel;
+    /// Append a record at the source (simulating the remote database
+    /// receiving new depositions). Sources that cannot accept writes
+    /// return an error; the default does.
+    fn ingest(&self, _row: Vec<Value>) -> Result<()> {
+        Err(SourceError::Store("source does not accept ingests".into()))
+    }
+}
+
+/// A table-backed simulated source with a latency model.
+pub struct SimulatedSource {
+    name: String,
+    kind: SourceKind,
+    table: parking_lot::RwLock<Table>,
+    /// Copy of the table schema (immutable after construction), so
+    /// `schema()` can hand out a reference without holding the lock.
+    schema: Schema,
+    key_column: String,
+    capabilities: SourceCapabilities,
+    latency: LatencyModel,
+    counter: RequestCounter,
+    metrics: SourceMetrics,
+}
+
+impl SimulatedSource {
+    /// Build a source around a table. The key column gets a hash index
+    /// so keyed lookups cost `O(matches)` server-side, mirroring a real
+    /// service's primary-key access path.
+    pub fn new(
+        name: impl Into<String>,
+        kind: SourceKind,
+        mut table: Table,
+        key_column: impl Into<String>,
+        capabilities: SourceCapabilities,
+        latency: LatencyModel,
+    ) -> Result<SimulatedSource> {
+        let key_column = key_column.into();
+        // The schema must contain the key column.
+        table.schema().column_index(&key_column)?;
+        if !table.has_index(&key_column) {
+            table.create_index(&key_column, IndexKind::Hash)?;
+        }
+        let schema = table.schema().clone();
+        Ok(SimulatedSource {
+            name: name.into(),
+            kind,
+            table: parking_lot::RwLock::new(table),
+            schema,
+            key_column,
+            capabilities,
+            latency,
+            counter: RequestCounter::default(),
+            metrics: SourceMetrics::default(),
+        })
+    }
+}
+
+impl DataSource for SimulatedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> SourceKind {
+        self.kind
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn key_column(&self) -> &str {
+        &self.key_column
+    }
+
+    fn capabilities(&self) -> SourceCapabilities {
+        self.capabilities
+    }
+
+    fn fetch(&self, request: &FetchRequest) -> Result<FetchResponse> {
+        let table = self.table.read();
+        let schema = table.schema().clone();
+
+        // Capability enforcement: a real service rejects filters it
+        // cannot evaluate.
+        if let Some(pred) = &request.predicate {
+            if !self.capabilities.supports_predicate(pred) {
+                return Err(SourceError::UnsupportedPushdown {
+                    source: self.name.clone(),
+                    reason: format!("{pred:?}"),
+                });
+            }
+        }
+
+        let (candidate_ids, rows_scanned) = match &request.keys {
+            Some(keys) => {
+                if keys.len() > self.capabilities.max_batch {
+                    return Err(SourceError::BatchTooLarge {
+                        source: self.name.clone(),
+                        max: self.capabilities.max_batch,
+                        got: keys.len(),
+                    });
+                }
+                let mut ids = Vec::new();
+                for key in keys {
+                    ids.extend(table.lookup_eq(&self.key_column, key)?);
+                }
+                let scanned = ids.len().max(keys.len());
+                (ids, scanned)
+            }
+            None => {
+                let all: Vec<_> = table.scan().map(|(id, _)| id).collect();
+                let scanned = all.len();
+                (all, scanned)
+            }
+        };
+
+        let bound = match &request.predicate {
+            Some(p) => Some(p.bind(&schema)?),
+            None => None,
+        };
+
+        let projection_idx: Option<Vec<usize>> = match &request.projection {
+            Some(cols) => Some(
+                cols.iter()
+                    .map(|c| schema.column_index(c))
+                    .collect::<std::result::Result<Vec<_>, _>>()?,
+            ),
+            None => None,
+        };
+        let columns: Vec<String> = match &request.projection {
+            Some(cols) => cols.clone(),
+            None => schema.columns().iter().map(|c| c.name.clone()).collect(),
+        };
+
+        let mut rows = Vec::new();
+        for id in candidate_ids {
+            let row = table.get(id)?;
+            if bound.as_ref().is_some_and(|p| !p.matches(row)) {
+                continue;
+            }
+            let out = match &projection_idx {
+                Some(idx) => idx.iter().map(|&i| row[i].clone()).collect(),
+                None => row.to_vec(),
+            };
+            rows.push(out);
+        }
+
+        let cost = self
+            .latency
+            .request_cost(rows_scanned, rows.len(), self.counter.next());
+        self.metrics.record(rows.len(), cost);
+        Ok(FetchResponse {
+            columns,
+            rows,
+            rows_scanned,
+            cost,
+        })
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn record_count(&self) -> usize {
+        self.table.read().len()
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        self.latency.clone()
+    }
+
+    /// Appends a record (simulating a new remote deposition); used by
+    /// the materialized-view staleness experiment.
+    fn ingest(&self, row: Vec<Value>) -> Result<()> {
+        self.table.write().insert(row)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_store::schema::Column;
+    use drugtree_store::value::ValueType;
+
+    fn sample_source(caps: SourceCapabilities) -> SimulatedSource {
+        let schema = Schema::new(vec![
+            Column::required("acc", ValueType::Text),
+            Column::required("len", ValueType::Int),
+        ]);
+        let mut t = Table::new("proteins", schema);
+        for (acc, len) in [("P1", 100i64), ("P2", 200), ("P3", 300)] {
+            t.insert(vec![Value::from(acc), Value::Int(len)]).unwrap();
+        }
+        SimulatedSource::new(
+            "uniprot-sim",
+            SourceKind::Protein,
+            t,
+            "acc",
+            caps,
+            LatencyModel::free(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_returns_everything() {
+        let s = sample_source(SourceCapabilities::full());
+        let resp = s.fetch(&FetchRequest::scan()).unwrap();
+        assert_eq!(resp.rows.len(), 3);
+        assert_eq!(resp.rows_scanned, 3);
+        assert_eq!(resp.columns, vec!["acc", "len"]);
+        assert_eq!(s.record_count(), 3);
+    }
+
+    #[test]
+    fn keyed_lookup() {
+        let s = sample_source(SourceCapabilities::full());
+        let resp = s
+            .fetch(&FetchRequest::lookup(vec![
+                Value::from("P2"),
+                Value::from("P3"),
+            ]))
+            .unwrap();
+        assert_eq!(resp.rows.len(), 2);
+        // Keyed access examines only matches, not the whole table.
+        assert_eq!(resp.rows_scanned, 2);
+        // Missing keys return nothing but still count as probes.
+        let resp = s
+            .fetch(&FetchRequest::lookup(vec![Value::from("P9")]))
+            .unwrap();
+        assert!(resp.rows.is_empty());
+        assert_eq!(resp.rows_scanned, 1);
+    }
+
+    #[test]
+    fn pushdown_filters_remotely() {
+        let s = sample_source(SourceCapabilities::full());
+        let req = FetchRequest::scan().with_predicate(Predicate::cmp("len", CompareOp::Gt, 150i64));
+        let resp = s.fetch(&req).unwrap();
+        assert_eq!(resp.rows.len(), 2);
+        assert_eq!(resp.rows_scanned, 3, "server still scanned everything");
+    }
+
+    #[test]
+    fn pushdown_rejected_without_capability() {
+        let s = sample_source(SourceCapabilities::minimal());
+        let req = FetchRequest::scan().with_predicate(Predicate::eq("acc", "P1"));
+        assert!(matches!(
+            s.fetch(&req),
+            Err(SourceError::UnsupportedPushdown { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_limit_enforced() {
+        let s = sample_source(SourceCapabilities {
+            max_batch: 1,
+            ..SourceCapabilities::full()
+        });
+        let err = s
+            .fetch(&FetchRequest::lookup(vec![
+                Value::from("P1"),
+                Value::from("P2"),
+            ]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SourceError::BatchTooLarge { max: 1, got: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn projection() {
+        let s = sample_source(SourceCapabilities::full());
+        let resp = s
+            .fetch(&FetchRequest::scan().with_projection(vec!["len".into()]))
+            .unwrap();
+        assert_eq!(resp.columns, vec!["len"]);
+        assert!(resp.rows.iter().all(|r| r.len() == 1));
+        let bad = s.fetch(&FetchRequest::scan().with_projection(vec!["bogus".into()]));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let s = sample_source(SourceCapabilities::full());
+        s.fetch(&FetchRequest::scan()).unwrap();
+        s.fetch(&FetchRequest::lookup(vec![Value::from("P1")]))
+            .unwrap();
+        let m = s.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.rows_returned, 4);
+    }
+
+    #[test]
+    fn capability_predicate_analysis() {
+        let full = SourceCapabilities::full();
+        let eq_only = SourceCapabilities {
+            range_pushdown: false,
+            ..SourceCapabilities::full()
+        };
+        let eq = Predicate::eq("a", 1i64);
+        let range = Predicate::cmp("a", CompareOp::Lt, 1i64);
+        let both = eq.clone().and(range.clone());
+        assert!(full.supports_predicate(&both));
+        assert!(eq_only.supports_predicate(&eq));
+        assert!(!eq_only.supports_predicate(&range));
+        assert!(!eq_only.supports_predicate(&both));
+        assert!(!full.supports_predicate(&Predicate::Or(vec![eq.clone()])));
+        assert!(!full.supports_predicate(&Predicate::IsNull { column: "a".into() }));
+        assert!(full.supports_predicate(&Predicate::True));
+    }
+
+    #[test]
+    fn ingest_visible_to_next_fetch() {
+        let s = sample_source(SourceCapabilities::full());
+        s.ingest(vec![Value::from("P4"), Value::Int(400)]).unwrap();
+        let resp = s
+            .fetch(&FetchRequest::lookup(vec![Value::from("P4")]))
+            .unwrap();
+        assert_eq!(resp.rows.len(), 1);
+    }
+
+    #[test]
+    fn cost_charged_per_request() {
+        let schema = Schema::new(vec![Column::required("k", ValueType::Int)]);
+        let mut t = Table::new("t", schema);
+        for i in 0..10i64 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        let s = SimulatedSource::new(
+            "slow",
+            SourceKind::Assay,
+            t,
+            "k",
+            SourceCapabilities::full(),
+            LatencyModel {
+                base_rtt: Duration::from_millis(10),
+                per_row: Duration::from_millis(1),
+                per_row_scanned: Duration::ZERO,
+                jitter: 0.0,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        let resp = s.fetch(&FetchRequest::scan()).unwrap();
+        assert_eq!(resp.cost, Duration::from_millis(20));
+        assert_eq!(s.metrics().busy, Duration::from_millis(20));
+    }
+}

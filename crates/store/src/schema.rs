@@ -1,0 +1,182 @@
+//! Column and table schemas.
+
+use crate::value::{Value, ValueType};
+use crate::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (unique within the schema).
+    pub name: String,
+    /// Cell type.
+    pub ty: ValueType,
+    /// Whether NULL cells are accepted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn required(name: impl Into<String>, ty: ValueType) -> Column {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, ty: ValueType) -> Column {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema; panics on duplicate column names (a programming
+    /// error, caught at table-definition time).
+    pub fn new(columns: Vec<Column>) -> Schema {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|other| other.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Schema { columns }
+    }
+
+    /// Columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StoreError::UnknownColumn(name.to_string()))
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.column_index(name)?])
+    }
+
+    /// Validate a row against the schema (arity, types, nullability).
+    pub fn validate_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StoreError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (cell, col) in row.iter().zip(&self.columns) {
+            if cell.is_null() {
+                if !col.nullable {
+                    return Err(StoreError::NullViolation(col.name.clone()));
+                }
+                continue;
+            }
+            let got = cell.value_type();
+            // Ints are accepted in Float columns (common numeric
+            // widening); everything else must match exactly.
+            let compatible = got == col.ty || (col.ty == ValueType::Float && got == ValueType::Int);
+            if !compatible {
+                return Err(StoreError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.ty,
+                    got,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::required("id", ValueType::Int),
+            Column::required("name", ValueType::Text),
+            Column::nullable("mw", ValueType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_index("mw").unwrap(), 2);
+        assert!(matches!(
+            s.column_index("zz"),
+            Err(StoreError::UnknownColumn(_))
+        ));
+        assert_eq!(s.column("name").unwrap().ty, ValueType::Text);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        Schema::new(vec![
+            Column::required("x", ValueType::Int),
+            Column::required("x", ValueType::Text),
+        ]);
+    }
+
+    #[test]
+    fn validation() {
+        let s = schema();
+        assert!(s
+            .validate_row(&[Value::Int(1), Value::from("a"), Value::Float(2.0)])
+            .is_ok());
+        // NULL allowed only in nullable column.
+        assert!(s
+            .validate_row(&[Value::Int(1), Value::from("a"), Value::Null])
+            .is_ok());
+        assert!(matches!(
+            s.validate_row(&[Value::Null, Value::from("a"), Value::Null]),
+            Err(StoreError::NullViolation(_))
+        ));
+        // Arity.
+        assert!(matches!(
+            s.validate_row(&[Value::Int(1)]),
+            Err(StoreError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
+        ));
+        // Type.
+        assert!(matches!(
+            s.validate_row(&[Value::from("x"), Value::from("a"), Value::Null]),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        // Int widens into Float column.
+        assert!(s
+            .validate_row(&[Value::Int(1), Value::from("a"), Value::Int(3)])
+            .is_ok());
+        // But not the reverse.
+        assert!(matches!(
+            s.validate_row(&[Value::Float(1.0), Value::from("a"), Value::Null]),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+    }
+}

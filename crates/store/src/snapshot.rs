@@ -1,0 +1,127 @@
+//! JSON snapshot persistence for catalogs.
+//!
+//! DrugTree's mediator warms its local store from sources once, then
+//! snapshots it so later sessions (and the benchmark harness) can skip
+//! the integration pass.
+
+use crate::catalog::Catalog;
+use crate::table::{Table, TableSnapshot};
+use crate::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+
+/// Serializable catalog state.
+#[derive(Debug, Serialize, Deserialize)]
+struct CatalogSnapshot {
+    /// Format version for forward compatibility.
+    version: u32,
+    tables: Vec<TableSnapshot>,
+}
+
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serialize a catalog to a JSON string.
+pub fn save_catalog(catalog: &Catalog) -> Result<String> {
+    let mut tables: Vec<TableSnapshot> = catalog.iter().map(Table::to_snapshot).collect();
+    // Deterministic output regardless of hash-map order.
+    tables.sort_by(|a, b| a.name.cmp(&b.name));
+    serde_json::to_string(&CatalogSnapshot {
+        version: SNAPSHOT_VERSION,
+        tables,
+    })
+    .map_err(|e| StoreError::Snapshot(e.to_string()))
+}
+
+/// Restore a catalog from a JSON string produced by [`save_catalog`].
+pub fn load_catalog(json: &str) -> Result<Catalog> {
+    let snap: CatalogSnapshot =
+        serde_json::from_str(json).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+    if snap.version != SNAPSHOT_VERSION {
+        return Err(StoreError::Snapshot(format!(
+            "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+            snap.version
+        )));
+    }
+    let mut catalog = Catalog::new();
+    for table_snap in snap.tables {
+        catalog.create_table(Table::from_snapshot(table_snap)?)?;
+    }
+    Ok(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::table::IndexKind;
+    use crate::value::{Value, ValueType};
+
+    fn sample_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Column::required("id", ValueType::Int),
+            Column::nullable("name", ValueType::Text),
+        ]);
+        let mut t = Table::new("ligand", schema);
+        t.create_index("id", IndexKind::BTree).unwrap();
+        t.insert(vec![Value::Int(1), Value::from("aspirin")])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        c.create_table(t).unwrap();
+        c.create_table(Table::new(
+            "empty",
+            Schema::new(vec![Column::required("x", ValueType::Float)]),
+        ))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample_catalog();
+        let json = save_catalog(&c).unwrap();
+        let back = load_catalog(&json).unwrap();
+        assert_eq!(back.table_names(), vec!["empty", "ligand"]);
+        let t = back.table("ligand").unwrap();
+        assert_eq!(t.len(), 2);
+        // Index definitions survive and are functional.
+        assert!(t.has_range_index("id"));
+        assert_eq!(t.lookup_eq("id", &Value::Int(2)).unwrap().len(), 1);
+        // Null cells survive.
+        let null_rows: Vec<_> = t.scan().filter(|(_, r)| r[1].is_null()).collect();
+        assert_eq!(null_rows.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = save_catalog(&sample_catalog()).unwrap();
+        let b = save_catalog(&sample_catalog()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn version_check() {
+        let json = save_catalog(&sample_catalog())
+            .unwrap()
+            .replace("\"version\":1", "\"version\":99");
+        assert!(matches!(load_catalog(&json), Err(StoreError::Snapshot(_))));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            load_catalog("{not json"),
+            Err(StoreError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn tombstones_compact_on_save() {
+        let mut c = sample_catalog();
+        let t = c.table_mut("ligand").unwrap();
+        let id = t.insert(vec![Value::Int(3), Value::from("x")]).unwrap();
+        t.delete(id).unwrap();
+        let json = save_catalog(&c).unwrap();
+        let back = load_catalog(&json).unwrap();
+        assert_eq!(back.table("ligand").unwrap().len(), 2);
+    }
+}

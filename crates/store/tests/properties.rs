@@ -1,0 +1,167 @@
+//! Property-based tests for the embedded store.
+
+use drugtree_store::expr::{CompareOp, Predicate};
+use drugtree_store::schema::{Column, Schema};
+use drugtree_store::snapshot::{load_catalog, save_catalog};
+use drugtree_store::table::{IndexKind, RowId, Table};
+use drugtree_store::value::{Value, ValueType};
+use drugtree_store::Catalog;
+use proptest::prelude::*;
+use std::ops::Bound;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::Int),
+        (-50.0f64..50.0).prop_map(Value::Float),
+        "[a-e]{0,3}".prop_map(Value::Text),
+        any::<bool>().prop_map(Value::Bool),
+        Just(Value::Null),
+    ]
+}
+
+fn test_schema() -> Schema {
+    Schema::new(vec![
+        Column::required("k", ValueType::Int),
+        Column::nullable("v", ValueType::Float),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn value_ordering_is_total_and_consistent(
+        a in arb_value(), b in arb_value(), c in arb_value()
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity (spot check through sort stability).
+        let mut v = [a.clone(), b.clone(), c.clone()];
+        v.sort();
+        prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        // Reflexivity.
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish(), "{:?} vs {:?}", a, b);
+        }
+    }
+
+    #[test]
+    fn index_agrees_with_scan(
+        rows in proptest::collection::vec((-20i64..20, proptest::option::of(-5.0f64..5.0)), 0..60),
+        probe in -20i64..20,
+        lo in -5.0f64..5.0,
+        span in 0.0f64..5.0,
+    ) {
+        let mut indexed = Table::new("t", test_schema());
+        indexed.create_index("k", IndexKind::BTree).unwrap();
+        indexed.create_index("v", IndexKind::BTree).unwrap();
+        let mut plain = Table::new("t", test_schema());
+        for (k, v) in &rows {
+            let row = vec![Value::Int(*k), v.map_or(Value::Null, Value::Float)];
+            indexed.insert(row.clone()).unwrap();
+            plain.insert(row).unwrap();
+        }
+
+        // Equality.
+        let key = Value::Int(probe);
+        let mut a = indexed.lookup_eq("k", &key).unwrap();
+        let mut b = plain.lookup_eq("k", &key).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+
+        // Range over the float column. NULLs must be excluded by both
+        // paths; the B-tree never stores a NULL match for a float range
+        // because Null sorts below every float we probe with.
+        let lo_v = Value::Float(lo);
+        let hi_v = Value::Float(lo + span);
+        let mut a = indexed
+            .lookup_range("v", Bound::Included(&lo_v), Bound::Included(&hi_v))
+            .unwrap();
+        let mut b = plain
+            .lookup_range("v", Bound::Included(&lo_v), Bound::Included(&hi_v))
+            .unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predicate_push_equivalence(
+        rows in proptest::collection::vec((-20i64..20, proptest::option::of(-5.0f64..5.0)), 0..50),
+        threshold in -5.0f64..5.0,
+    ) {
+        // select(pred) must equal filtering a full scan by hand.
+        let mut t = Table::new("t", test_schema());
+        for (k, v) in &rows {
+            t.insert(vec![Value::Int(*k), v.map_or(Value::Null, Value::Float)]).unwrap();
+        }
+        let pred = Predicate::cmp("v", CompareOp::Ge, threshold).bind(t.schema()).unwrap();
+        let selected = t.select(&pred);
+        let manual: Vec<RowId> = t
+            .scan()
+            .filter(|(_, r)| r[1].as_f64().is_some_and(|v| v >= threshold))
+            .map(|(id, _)| id)
+            .collect();
+        prop_assert_eq!(selected, manual);
+    }
+
+    #[test]
+    fn snapshot_roundtrip(
+        rows in proptest::collection::vec((-20i64..20, proptest::option::of(-5.0f64..5.0)), 0..40)
+    ) {
+        let mut c = Catalog::new();
+        let mut t = Table::new("t", test_schema());
+        t.create_index("k", IndexKind::Hash).unwrap();
+        for (k, v) in &rows {
+            t.insert(vec![Value::Int(*k), v.map_or(Value::Null, Value::Float)]).unwrap();
+        }
+        c.create_table(t).unwrap();
+
+        let json = save_catalog(&c).unwrap();
+        let back = load_catalog(&json).unwrap();
+        let t1 = c.table("t").unwrap();
+        let t2 = back.table("t").unwrap();
+        prop_assert_eq!(t1.len(), t2.len());
+        let rows1: Vec<Vec<Value>> = t1.scan().map(|(_, r)| r.to_vec()).collect();
+        let rows2: Vec<Vec<Value>> = t2.scan().map(|(_, r)| r.to_vec()).collect();
+        prop_assert_eq!(rows1, rows2);
+        // Double round-trip is byte-identical.
+        prop_assert_eq!(save_catalog(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn deletes_never_resurface(
+        rows in proptest::collection::vec(-20i64..20, 1..40),
+        delete_mask in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut t = Table::new("t", test_schema());
+        t.create_index("k", IndexKind::BTree).unwrap();
+        let mut ids = Vec::new();
+        for k in &rows {
+            ids.push(t.insert(vec![Value::Int(*k), Value::Null]).unwrap());
+        }
+        let mut live = rows.len();
+        for (i, (&id, del)) in ids.iter().zip(&delete_mask).enumerate() {
+            if *del {
+                t.delete(id).unwrap();
+                live -= 1;
+                // Deleted row gone from index and scan.
+                prop_assert!(!t.lookup_eq("k", &Value::Int(rows[i])).unwrap().contains(&id));
+                prop_assert!(t.get(id).is_err());
+            }
+        }
+        prop_assert_eq!(t.len(), live);
+        prop_assert_eq!(t.scan().count(), live);
+    }
+}

@@ -1,0 +1,212 @@
+//! Clade-correlated activity generation.
+//!
+//! Real protein-ligand data is not uniform: a ligand scaffold binds a
+//! *family* of related proteins. The generator assigns each ligand a
+//! home clade; leaves inside the clade receive potent measurements,
+//! with occasional weak off-target records elsewhere. Per-leaf record
+//! counts follow the clade structure, producing the skew (hot clades,
+//! empty leaves) that statistics pruning and semantic caching exploit.
+
+use drugtree_chem::affinity::{ActivityRecord, ActivityType};
+use drugtree_phylo::index::TreeIndex;
+use drugtree_phylo::tree::{NodeId, Tree};
+use drugtree_sources::ligand_db::LigandRecord;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Assay generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssaySpec {
+    /// Mean records per (ligand, home-clade leaf) pair.
+    pub hit_density: f64,
+    /// Probability of an off-target record per (ligand, outside leaf).
+    pub off_target_rate: f64,
+    /// Fraction of leaves left without any record.
+    pub empty_leaf_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AssaySpec {
+    fn default() -> AssaySpec {
+        AssaySpec {
+            hit_density: 0.8,
+            off_target_rate: 0.002,
+            empty_leaf_fraction: 0.25,
+            seed: 11,
+        }
+    }
+}
+
+/// Generate activity records against the tree's leaf accessions.
+pub fn random_assays(
+    tree: &Tree,
+    index: &TreeIndex,
+    ligands: &[LigandRecord],
+    spec: &AssaySpec,
+) -> Vec<ActivityRecord> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xA55A);
+    let n_leaves = index.leaf_count() as u32;
+    let leaf_label = |rank: u32| {
+        let leaf = index.leaf_at(rank).expect("rank in range");
+        tree.node_unchecked(leaf)
+            .label
+            .clone()
+            .expect("leaves labeled")
+    };
+
+    // Permanently empty leaves (proteins nobody has assayed).
+    let empty: Vec<bool> = (0..n_leaves)
+        .map(|_| rng.gen::<f64>() < spec.empty_leaf_fraction)
+        .collect();
+
+    // Candidate home clades: internal nodes covering 2..~n/4 leaves.
+    let clades: Vec<NodeId> = tree
+        .node_ids()
+        .filter(|&id| {
+            let len = index.interval(id).len();
+            !tree.node_unchecked(id).is_leaf() && len >= 2 && len <= (n_leaves / 2).max(2)
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for ligand in ligands {
+        let home = clades[rng.gen_range(0..clades.len())];
+        let home_iv = index.interval(home);
+        // Potency scale of this scaffold against its family.
+        let family_p = rng.gen_range(6.0..9.5);
+        for rank in 0..n_leaves {
+            if empty[rank as usize] {
+                continue;
+            }
+            let in_home = home_iv.contains_rank(rank);
+            let p_record = if in_home {
+                spec.hit_density
+            } else {
+                spec.off_target_rate
+            };
+            if rng.gen::<f64>() >= p_record {
+                continue;
+            }
+            // Potent in the home clade, weak outside.
+            let p_activity = if in_home {
+                family_p + rng.gen_range(-0.8..0.8)
+            } else {
+                rng.gen_range(3.5..5.5)
+            };
+            let value_nm = 10f64.powf(9.0 - p_activity);
+            out.push(ActivityRecord {
+                protein_accession: leaf_label(rank),
+                ligand_id: ligand.ligand_id.clone(),
+                activity_type: match rng.gen_range(0..4) {
+                    0 => ActivityType::Ki,
+                    1 => ActivityType::Kd,
+                    2 => ActivityType::Ic50,
+                    _ => ActivityType::Ec50,
+                },
+                value_nm,
+                source: "synthetic-assays".into(),
+                year: rng.gen_range(1995..=2013),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ligands::random_ligands;
+    use crate::phylogeny::random_tree;
+    use rustc_hash::FxHashMap;
+
+    fn setup() -> (Tree, TreeIndex, Vec<ActivityRecord>) {
+        let tree = random_tree(64, 1);
+        let index = TreeIndex::build(&tree);
+        let ligands = random_ligands(20, 1);
+        let assays = random_assays(&tree, &index, &ligands, &AssaySpec::default());
+        (tree, index, assays)
+    }
+
+    #[test]
+    fn records_are_valid_and_nonempty() {
+        let (_, index, assays) = setup();
+        assert!(assays.len() > 40, "got {}", assays.len());
+        for a in &assays {
+            a.validate().unwrap();
+            assert!(index.by_label(&a.protein_accession).is_ok());
+            assert!((1995..=2013).contains(&a.year));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let tree = random_tree(32, 2);
+        let index = TreeIndex::build(&tree);
+        let ligands = random_ligands(10, 2);
+        let spec = AssaySpec::default();
+        assert_eq!(
+            random_assays(&tree, &index, &ligands, &spec),
+            random_assays(&tree, &index, &ligands, &spec)
+        );
+    }
+
+    #[test]
+    fn some_leaves_stay_empty() {
+        let (_, index, assays) = setup();
+        let mut per_leaf: FxHashMap<&str, usize> = FxHashMap::default();
+        for a in &assays {
+            *per_leaf.entry(a.protein_accession.as_str()).or_default() += 1;
+        }
+        let empty = (index.leaf_count()) - per_leaf.len();
+        assert!(empty > 0, "expected some empty leaves");
+    }
+
+    #[test]
+    fn activities_are_clade_correlated() {
+        let (_, index, assays) = setup();
+        // Potent records (p >= 6) should concentrate: for each ligand,
+        // the tightest clade containing its potent records should be a
+        // small fraction of the tree.
+        let mut per_ligand: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+        for a in &assays {
+            if a.p_activity() >= 6.0 {
+                let leaf = index.by_label(&a.protein_accession).unwrap();
+                per_ligand
+                    .entry(a.ligand_id.as_str())
+                    .or_default()
+                    .push(index.rank_of(leaf).unwrap());
+            }
+        }
+        let mut concentrated = 0;
+        let mut total = 0;
+        for ranks in per_ligand.values() {
+            if ranks.len() < 3 {
+                continue;
+            }
+            total += 1;
+            let lo = *ranks.iter().min().unwrap();
+            let hi = *ranks.iter().max().unwrap() + 1;
+            if (hi - lo) <= index.leaf_count() as u32 / 2 {
+                concentrated += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            concentrated * 10 >= total * 7,
+            "only {concentrated}/{total} ligands clade-concentrated"
+        );
+    }
+
+    #[test]
+    fn potency_inside_home_exceeds_off_target() {
+        let (_, _, assays) = setup();
+        let potent = assays.iter().filter(|a| a.p_activity() >= 6.0).count();
+        let weak = assays.iter().filter(|a| a.p_activity() < 6.0).count();
+        assert!(potent > 0 && weak > 0);
+        assert!(
+            potent > weak,
+            "home-clade hits should dominate: {potent} vs {weak}"
+        );
+    }
+}

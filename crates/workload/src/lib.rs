@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload generation for the DrugTree reproduction.
+//!
+//! The original evaluation used the authors' lab datasets, which are
+//! unavailable; this crate generates statistically similar substitutes
+//! with *verifiable ground truth* (DESIGN.md §6):
+//!
+//! * [`phylogeny`] — random ground-truth trees and sequences evolved
+//!   along them (so distance-based reconstruction can be checked).
+//! * [`ligands`] — random drug-like molecules, emitted as SMILES.
+//! * [`assays`] — clade-correlated activity records: ligand families
+//!   bind protein clades, giving the skewed, locality-heavy overlay
+//!   the optimizer exploits.
+//! * [`bundle`] — one-call assembly of sources, overlay, and dataset
+//!   from a [`WorkloadSpec`].
+//! * [`queries`] — seeded query workloads mixing the four query
+//!   classes over Zipf-chosen scopes.
+
+pub mod assays;
+pub mod bundle;
+pub mod ligands;
+pub mod phylogeny;
+pub mod queries;
+
+pub use bundle::{SyntheticBundle, WorkloadSpec};

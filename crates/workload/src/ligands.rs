@@ -1,0 +1,128 @@
+//! Random drug-like ligand generation.
+//!
+//! Molecules are built directly on the graph API (random carbon
+//! skeletons with hetero-atom substitutions, optional ring closures)
+//! and rendered to SMILES, so every generated ligand round-trips
+//! through the real parser and yields a fingerprint.
+
+use drugtree_chem::element::Element;
+use drugtree_chem::mol::{Atom, BondOrder, Molecule};
+use drugtree_chem::smiles::write_smiles;
+use drugtree_sources::ligand_db::LigandRecord;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate one random drug-like molecule with 6–28 heavy atoms.
+pub fn random_molecule(rng: &mut SmallRng) -> Molecule {
+    let n_atoms = rng.gen_range(6..=28);
+    let mut mol = Molecule::new();
+    let first = mol.add_atom(random_atom(rng));
+    let mut attachable = vec![first];
+
+    for _ in 1..n_atoms {
+        let atom = random_atom(rng);
+        let idx = mol.add_atom(atom);
+        // Attach to a random existing atom with spare valence.
+        for _ in 0..8 {
+            let pick = attachable[rng.gen_range(0..attachable.len())];
+            if mol.hydrogens(pick) == 0 {
+                continue;
+            }
+            let order = if atom.element == Element::C
+                && mol.atoms()[pick as usize].element == Element::C
+                && mol.hydrogens(pick) >= 2
+                && rng.gen_bool(0.12)
+            {
+                BondOrder::Double
+            } else {
+                BondOrder::Single
+            };
+            if mol.add_bond(pick, idx, order).is_ok() {
+                break;
+            }
+        }
+        // If every attempt failed the atom stays a disconnected
+        // fragment; avoid that by force-linking to the first atom when
+        // possible.
+        if mol.degree(idx) == 0 {
+            let _ = mol.add_bond(first, idx, BondOrder::Single);
+        }
+        attachable.push(idx);
+    }
+
+    // Occasional ring closure between distant atoms with spare valence.
+    for _ in 0..(n_atoms / 8) {
+        let a = rng.gen_range(0..mol.atom_count() as u32);
+        let b = rng.gen_range(0..mol.atom_count() as u32);
+        if a != b && mol.hydrogens(a) > 0 && mol.hydrogens(b) > 0 {
+            let _ = mol.add_bond(a, b, BondOrder::Single);
+        }
+    }
+    mol
+}
+
+fn random_atom(rng: &mut SmallRng) -> Atom {
+    let element = match rng.gen_range(0..100) {
+        0..=64 => Element::C,
+        65..=79 => Element::N,
+        80..=91 => Element::O,
+        92..=94 => Element::S,
+        95..=97 => Element::F,
+        _ => Element::Cl,
+    };
+    Atom::new(element)
+}
+
+/// Generate `n` ligand records with ids `L0000…`.
+pub fn random_ligands(n: usize, seed: u64) -> Vec<LigandRecord> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0011_CA4D);
+    (0..n)
+        .map(|i| {
+            let mol = random_molecule(&mut rng);
+            let smiles = write_smiles(&mol);
+            LigandRecord::from_smiles(format!("L{i:04}"), format!("compound-{i}"), smiles)
+                .expect("generated SMILES parses")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_chem::smiles::parse_smiles;
+
+    #[test]
+    fn generated_smiles_parse_back() {
+        let ligands = random_ligands(50, 1);
+        assert_eq!(ligands.len(), 50);
+        for l in &ligands {
+            let mol = parse_smiles(&l.smiles).unwrap_or_else(|e| panic!("{}: {e}", l.smiles));
+            assert!(mol.atom_count() >= 6);
+            assert!((6..=40).contains(&mol.atom_count()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_ligands(10, 3), random_ligands(10, 3));
+        assert_ne!(random_ligands(10, 3), random_ligands(10, 4));
+    }
+
+    #[test]
+    fn descriptors_vary() {
+        let ligands = random_ligands(40, 2);
+        let mws: std::collections::BTreeSet<u64> =
+            ligands.iter().map(|l| l.molecular_weight as u64).collect();
+        assert!(mws.len() > 10, "molecular weights too uniform: {mws:?}");
+        assert!(ligands.iter().any(|l| l.hbd > 0));
+        assert!(ligands.iter().any(|l| l.rings > 0));
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let ligands = random_ligands(12, 5);
+        for (i, l) in ligands.iter().enumerate() {
+            assert_eq!(l.ligand_id, format!("L{i:04}"));
+        }
+    }
+}

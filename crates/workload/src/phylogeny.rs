@@ -1,0 +1,171 @@
+//! Ground-truth tree and sequence generation.
+
+use drugtree_phylo::seq::{AminoAcid, ProteinSequence, CANONICAL};
+use drugtree_phylo::tree::{NodeId, Tree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random rooted binary tree with `n_leaves` leaves labeled
+/// `P0000…`, by repeatedly splitting a uniformly chosen leaf (a Yule
+/// process). Branch lengths are exponential with mean 0.1.
+pub fn random_tree(n_leaves: usize, seed: u64) -> Tree {
+    assert!(n_leaves >= 2, "need at least 2 leaves");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut tree = Tree::with_root(None);
+    let root = tree.root();
+    let mut leaves: Vec<NodeId> = vec![
+        tree.add_child(root, None, branch_len(&mut rng))
+            .expect("root exists"),
+        tree.add_child(root, None, branch_len(&mut rng))
+            .expect("root exists"),
+    ];
+    while leaves.len() < n_leaves {
+        let pick = rng.gen_range(0..leaves.len());
+        let split = leaves.swap_remove(pick);
+        let a = tree
+            .add_child(split, None, branch_len(&mut rng))
+            .expect("leaf exists");
+        let b = tree
+            .add_child(split, None, branch_len(&mut rng))
+            .expect("leaf exists");
+        leaves.push(a);
+        leaves.push(b);
+    }
+    // Label leaves in display order so accessions match leaf ranks
+    // deterministically; label internal nodes for subtree queries.
+    let mut leaf_counter = 0;
+    let mut clade_counter = 0;
+    for id in tree.preorder() {
+        let is_leaf = tree.node_unchecked(id).is_leaf();
+        let label = if is_leaf {
+            let l = format!("P{leaf_counter:04}");
+            leaf_counter += 1;
+            l
+        } else {
+            let l = format!("clade{clade_counter}");
+            clade_counter += 1;
+            l
+        };
+        tree.set_label(id, Some(label)).expect("id valid");
+    }
+    debug_assert!(tree.check_invariants().is_ok());
+    tree
+}
+
+fn branch_len(rng: &mut SmallRng) -> f64 {
+    // Exponential(mean 0.1) via inverse CDF.
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -0.1 * u.ln()
+}
+
+/// Evolve protein sequences down the tree: a random root sequence of
+/// `seq_len` residues mutates along each branch with per-site
+/// substitution probability `min(1, branch_length)`. Returns one
+/// sequence per leaf, labeled with the leaf's label.
+pub fn evolve_sequences(tree: &Tree, seq_len: usize, seed: u64) -> Vec<ProteinSequence> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+    let root_seq: Vec<AminoAcid> = (0..seq_len)
+        .map(|_| CANONICAL[rng.gen_range(0..20)])
+        .collect();
+
+    let mut seq_at: Vec<Option<Vec<AminoAcid>>> = vec![None; tree.len()];
+    seq_at[tree.root().index()] = Some(root_seq);
+
+    let mut out = Vec::new();
+    for id in tree.preorder() {
+        let node = tree.node_unchecked(id);
+        if let Some(parent) = node.parent {
+            let mut seq = seq_at[parent.index()]
+                .clone()
+                .expect("preorder: parent first");
+            let p_sub = node.branch_length.clamp(0.0, 1.0);
+            for site in seq.iter_mut() {
+                if rng.gen::<f64>() < p_sub {
+                    *site = CANONICAL[rng.gen_range(0..20)];
+                }
+            }
+            seq_at[id.index()] = Some(seq);
+        }
+        if node.is_leaf() {
+            let label = node.label.clone().unwrap_or_else(|| format!("n{}", id.0));
+            out.push(ProteinSequence::new(
+                label,
+                seq_at[id.index()].clone().expect("assigned above"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_phylo::index::TreeIndex;
+
+    #[test]
+    fn random_tree_shape() {
+        let t = random_tree(50, 1);
+        assert_eq!(t.leaf_count(), 50);
+        // Binary: 2n-1 nodes.
+        assert_eq!(t.len(), 99);
+        t.check_invariants().unwrap();
+        // Labels follow display order.
+        let idx = TreeIndex::build(&t);
+        for rank in 0..50u32 {
+            let leaf = idx.leaf_at(rank).unwrap();
+            assert_eq!(
+                t.node_unchecked(leaf).label.as_deref(),
+                Some(format!("P{rank:04}").as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_tree(20, 5), random_tree(20, 5));
+        assert_ne!(random_tree(20, 5), random_tree(20, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn too_small_panics() {
+        random_tree(1, 0);
+    }
+
+    #[test]
+    fn branch_lengths_positive() {
+        let t = random_tree(30, 2);
+        for id in t.node_ids() {
+            if id != t.root() {
+                assert!(t.node_unchecked(id).branch_length > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_evolve_with_distance() {
+        let t = random_tree(16, 3);
+        let seqs = evolve_sequences(&t, 120, 3);
+        assert_eq!(seqs.len(), 16);
+        assert!(seqs.iter().all(|s| s.len() == 120));
+        // Sibling leaves should be more similar than distant leaves on
+        // average; check the weaker invariant that not everything is
+        // identical and not everything is noise.
+        let identity = |a: &ProteinSequence, b: &ProteinSequence| {
+            a.residues()
+                .iter()
+                .zip(b.residues())
+                .filter(|(x, y)| x == y)
+                .count() as f64
+                / a.len() as f64
+        };
+        let id01 = identity(&seqs[0], &seqs[1]);
+        assert!(id01 > 0.2, "sequences unexpectedly unrelated: {id01}");
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let t = random_tree(8, 4);
+        assert_eq!(evolve_sequences(&t, 50, 9), evolve_sequences(&t, 50, 9));
+    }
+}

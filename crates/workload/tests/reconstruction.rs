@@ -1,0 +1,94 @@
+//! Ground-truth validation: sequences evolved along a known tree,
+//! reconstructed with the full alignment → distance → NJ pipeline,
+//! compared by Robinson–Foulds distance.
+
+use drugtree_phylo::align::GapPenalty;
+use drugtree_phylo::compare::{normalized_robinson_foulds, recovered_splits};
+use drugtree_phylo::distance::{pairwise_distances, DistanceModel};
+use drugtree_phylo::matrices::ScoringMatrix;
+use drugtree_phylo::nj::neighbor_joining;
+use drugtree_workload::phylogeny::{evolve_sequences, random_tree};
+
+#[test]
+fn nj_reconstruction_recovers_most_of_the_true_tree() {
+    // Long sequences + moderate divergence = strong signal.
+    let truth = random_tree(24, 99);
+    let seqs = evolve_sequences(&truth, 400, 99);
+    let dm = pairwise_distances(
+        &seqs,
+        &ScoringMatrix::blosum62(),
+        GapPenalty::BLOSUM62_DEFAULT,
+        DistanceModel::Poisson,
+    )
+    .unwrap();
+    let estimate = neighbor_joining(&dm).unwrap();
+
+    let norm = normalized_robinson_foulds(&truth, &estimate).unwrap();
+    assert!(
+        norm < 0.35,
+        "reconstruction too far from truth: normalized RF = {norm:.2}"
+    );
+    let (recovered, total) = recovered_splits(&truth, &estimate).unwrap();
+    assert!(
+        recovered * 3 >= total * 2,
+        "only {recovered}/{total} true splits recovered"
+    );
+}
+
+#[test]
+fn more_signal_means_better_reconstruction() {
+    // Averaged over seeds, longer sequences must not reconstruct worse.
+    let mean_rf = |seq_len: usize| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..4u64 {
+            let truth = random_tree(16, 100 + seed);
+            let seqs = evolve_sequences(&truth, seq_len, 100 + seed);
+            let dm = pairwise_distances(
+                &seqs,
+                &ScoringMatrix::blosum62(),
+                GapPenalty::BLOSUM62_DEFAULT,
+                DistanceModel::Poisson,
+            )
+            .unwrap();
+            let estimate = neighbor_joining(&dm).unwrap();
+            total += normalized_robinson_foulds(&truth, &estimate).unwrap();
+        }
+        total / 4.0
+    };
+    let short = mean_rf(30);
+    let long = mean_rf(300);
+    assert!(
+        long <= short + 0.05,
+        "long sequences reconstructed worse: {long:.2} vs {short:.2}"
+    );
+}
+
+#[test]
+fn distance_model_choice_matters_at_high_divergence() {
+    // With heavy divergence, Poisson-corrected distances should not be
+    // worse than raw p-distances (correction linearizes the tree
+    // metric). Averaged over seeds to stabilize.
+    let mean_rf = |model: DistanceModel| -> f64 {
+        let mut total = 0.0;
+        for seed in 0..4u64 {
+            let truth = random_tree(16, 200 + seed);
+            let seqs = evolve_sequences(&truth, 250, 200 + seed);
+            let dm = pairwise_distances(
+                &seqs,
+                &ScoringMatrix::blosum62(),
+                GapPenalty::BLOSUM62_DEFAULT,
+                model,
+            )
+            .unwrap();
+            let estimate = neighbor_joining(&dm).unwrap();
+            total += normalized_robinson_foulds(&truth, &estimate).unwrap();
+        }
+        total / 4.0
+    };
+    let poisson = mean_rf(DistanceModel::Poisson);
+    let raw = mean_rf(DistanceModel::PDistance);
+    assert!(
+        poisson <= raw + 0.1,
+        "Poisson correction notably worse than raw: {poisson:.2} vs {raw:.2}"
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: stand up a synthetic DrugTree deployment and query it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use drugtree::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a synthetic deployment: a 128-leaf protein family,
+    //    32 ligands, clade-correlated assay records behind a simulated
+    //    web-API latency source.
+    let bundle =
+        SyntheticBundle::generate(&WorkloadSpec::default().leaves(128).ligands(32).seed(7));
+    println!(
+        "generated: {} proteins, {} ligands, {} activity records",
+        bundle.proteins.len(),
+        bundle.ligands.len(),
+        bundle.activities.len()
+    );
+
+    // 2. Assemble the system with the full optimizer.
+    let system = DrugTree::builder()
+        .dataset(bundle.build_dataset())
+        .optimizer(OptimizerConfig::full())
+        .build()?;
+    println!("\n{}\n", system.report());
+
+    // 3. Text queries.
+    for text in [
+        "activities in subtree('clade1') where p_activity >= 6.5",
+        "activities where p_activity >= 7 top 5 by p_activity desc",
+        "aggregate count in tree",
+        "count per leaf in subtree('clade2')",
+    ] {
+        let result = system.query(text)?;
+        println!(
+            "{text}\n  -> {} rows, {:?} virtual latency, {} source round-trips, cache_hit={:?}",
+            result.rows.len(),
+            result.metrics.virtual_cost,
+            result.metrics.source_requests,
+            result.metrics.cache_hit,
+        );
+    }
+
+    // 4. The same subtree again: the semantic cache answers instantly.
+    let again = system.query("activities in subtree('clade1') where p_activity >= 6.5")?;
+    println!(
+        "\nrepeat query: cache_hit={:?}, virtual latency {:?}",
+        again.metrics.cache_hit, again.metrics.virtual_cost
+    );
+
+    // 5. EXPLAIN shows what the optimizer did.
+    println!(
+        "\nEXPLAIN:\n{}",
+        system.explain("activities in subtree('clade1') where p_activity >= 6.5")?
+    );
+
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Umbrella package for the DrugTree reproduction repository.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library
+//! surface lives in the `drugtree` crate and its substrates.
+
+pub use drugtree;

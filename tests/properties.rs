@@ -1,0 +1,119 @@
+//! Cross-crate property tests: optimizer equivalence and cache
+//! coherence on randomly generated deployments and queries.
+
+use drugtree::prelude::*;
+use proptest::prelude::*;
+
+/// Build a small deployment from proptest-chosen parameters.
+fn deployment(leaves: usize, ligands: usize, seed: u64) -> (SyntheticBundle, DrugTree, DrugTree) {
+    let spec = WorkloadSpec::default()
+        .leaves(leaves)
+        .ligands(ligands)
+        .seed(seed);
+    let bundle = SyntheticBundle::generate(&spec);
+    let naive = DrugTree::builder()
+        .dataset(bundle.build_dataset())
+        .optimizer(OptimizerConfig::naive())
+        .without_stats()
+        .build()
+        .unwrap();
+    let full = DrugTree::builder()
+        .dataset(bundle.build_dataset())
+        .optimizer(OptimizerConfig::full())
+        .build()
+        .unwrap();
+    (bundle, naive, full)
+}
+
+fn arb_query(max_leaves: usize) -> impl Strategy<Value = Query> {
+    let scope = prop_oneof![
+        Just(Scope::Tree),
+        (0u32..max_leaves as u32, 1u32..8).prop_map(move |(lo, len)| {
+            Scope::Interval(drugtree_phylo::index::LeafInterval {
+                lo,
+                hi: (lo + len).min(max_leaves as u32),
+            })
+        }),
+    ];
+    let predicate = prop_oneof![
+        Just(Predicate::True),
+        (4.0f64..9.0).prop_map(|p| Predicate::cmp("p_activity", CompareOp::Ge, p)),
+        (100.0f64..600.0).prop_map(|mw| Predicate::cmp("mw", CompareOp::Lt, mw)),
+        (1995i64..2013).prop_map(|y| Predicate::cmp("year", CompareOp::Ge, y)),
+        (4.0f64..7.0, 0.5f64..2.5)
+            .prop_map(|(lo, span)| { Predicate::between("p_activity", lo, lo + span) }),
+    ];
+    (scope, predicate, proptest::option::of(1usize..10)).prop_map(|(scope, predicate, topk)| {
+        let q = Query::activities(scope).filter(predicate);
+        match topk {
+            Some(k) => q.top_k("p_activity", k, true),
+            None => q,
+        }
+    })
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fundamental soundness property: for random queries over a
+    /// random deployment, the fully optimized executor returns exactly
+    /// what the naive executor returns.
+    #[test]
+    fn optimizer_preserves_answers(
+        seed in 0u64..500,
+        queries in proptest::collection::vec(arb_query(48), 1..6),
+    ) {
+        let (_, naive, full) = deployment(48, 12, seed);
+        for q in &queries {
+            let expected = naive.execute(q).unwrap();
+            let got = full.execute(q).unwrap();
+            if let QueryKind::TopK { .. } = q.kind {
+                // Tie-breaks may differ; compare ranking keys.
+                let keys = |r: &QueryResult| {
+                    let mut ks: Vec<Value> =
+                        r.rows.iter().map(|row| row[5].clone()).collect();
+                    ks.sort();
+                    ks
+                };
+                prop_assert_eq!(keys(&expected), keys(&got), "{:?}", q);
+            } else {
+                prop_assert_eq!(
+                    sorted(expected.rows),
+                    sorted(got.rows),
+                    "{:?}", q
+                );
+            }
+        }
+    }
+
+    /// Cache coherence: interleaving random queries, every repeat of an
+    /// earlier query returns the same rows it returned the first time.
+    #[test]
+    fn cache_is_coherent_under_interleaving(
+        seed in 0u64..200,
+        queries in proptest::collection::vec(arb_query(32), 2..8),
+        replay_order in proptest::collection::vec(0usize..8, 4..12),
+    ) {
+        let spec = WorkloadSpec::default().leaves(32).ligands(8).seed(seed);
+        let bundle = SyntheticBundle::generate(&spec);
+        let system = DrugTree::builder()
+            .dataset(bundle.build_dataset())
+            .optimizer(OptimizerConfig::full())
+            .build()
+            .unwrap();
+        let mut first_answers: Vec<Option<Vec<Vec<Value>>>> = vec![None; queries.len()];
+        for &i in &replay_order {
+            let i = i % queries.len();
+            let rows = sorted(system.execute(&queries[i]).unwrap().rows);
+            match &first_answers[i] {
+                Some(expected) => prop_assert_eq!(expected, &rows, "query {}", i),
+                None => first_answers[i] = Some(rows),
+            }
+        }
+    }
+}

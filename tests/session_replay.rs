@@ -1,0 +1,154 @@
+//! Mobile-session integration tests: deterministic replay, cache
+//! behaviour over realistic gesture scripts, and delivery-mode
+//! invariants.
+
+use drugtree::prelude::*;
+use std::time::Duration;
+
+fn bundle() -> SyntheticBundle {
+    SyntheticBundle::generate(&WorkloadSpec::default().leaves(128).ligands(32).seed(13))
+}
+
+fn system(bundle: &SyntheticBundle, config: OptimizerConfig) -> DrugTree {
+    DrugTree::builder()
+        .dataset(bundle.build_dataset())
+        .optimizer(config)
+        .build()
+        .unwrap()
+}
+
+fn script(bundle: &SyntheticBundle, seed: u64) -> Vec<Gesture> {
+    drill_down_script(
+        &bundle.tree,
+        &bundle.index,
+        &GestureConfig {
+            len: 60,
+            seed,
+            zipf_theta: 1.0,
+            revisit_prob: 0.3,
+        },
+    )
+}
+
+#[test]
+fn replaying_a_script_is_deterministic() {
+    let b = bundle();
+    let gestures = script(&b, 4);
+
+    let run = || {
+        let s = system(&b, OptimizerConfig::full());
+        let mut session = s.mobile_session(NetworkProfile::CELL_4G);
+        gestures
+            .iter()
+            .map(|g| {
+                let r = session.apply(g).unwrap();
+                (
+                    r.rows,
+                    r.first_usable,
+                    r.complete,
+                    r.payload_bytes,
+                    r.cache_hit,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn optimized_session_outperforms_naive() {
+    let b = bundle();
+    let gestures = script(&b, 8);
+
+    let total = |config: OptimizerConfig| {
+        let s = system(&b, config);
+        let mut session = s.mobile_session(NetworkProfile::CELL_4G);
+        let mut total = Duration::ZERO;
+        for g in &gestures {
+            total += session.apply(g).unwrap().complete;
+        }
+        total
+    };
+    let naive = total(OptimizerConfig::naive());
+    let optimized = total(OptimizerConfig::full());
+    assert!(
+        optimized < naive / 2,
+        "optimized session {optimized:?} should be far below naive {naive:?}"
+    );
+}
+
+#[test]
+fn drill_down_scripts_achieve_cache_hits() {
+    let b = bundle();
+    let s = system(&b, OptimizerConfig::full());
+    let mut session = s.mobile_session(NetworkProfile::WIFI);
+    for g in &script(&b, 15) {
+        session.apply(g).unwrap();
+    }
+    let stats = s.report().cache;
+    assert!(
+        stats.hits > 0,
+        "drill-down locality must produce hits: {stats:?}"
+    );
+    let queries: usize = session
+        .log()
+        .iter()
+        .filter(|r| r.cache_hit.is_some())
+        .count();
+    assert!(queries > 10, "script should contain many queries");
+}
+
+#[test]
+fn view_only_gestures_never_touch_sources() {
+    let b = bundle();
+    let s = system(&b, OptimizerConfig::full());
+    let requests_before: u64 = s
+        .dataset()
+        .registry
+        .all()
+        .iter()
+        .map(|src| src.metrics().requests)
+        .sum();
+    let mut session = s.mobile_session(NetworkProfile::WIFI);
+    session.apply(&Gesture::Pan { dy: 5.0 }).unwrap();
+    session.apply(&Gesture::ZoomIn { focus_y: 10.0 }).unwrap();
+    session.apply(&Gesture::ZoomOut { focus_y: 10.0 }).unwrap();
+    let requests_after: u64 = s
+        .dataset()
+        .registry
+        .all()
+        .iter()
+        .map(|src| src.metrics().requests)
+        .sum();
+    assert_eq!(
+        requests_before, requests_after,
+        "pan/zoom are pure client-side view changes"
+    );
+}
+
+#[test]
+fn slower_networks_cost_more_never_change_results() {
+    let b = bundle();
+    let mut row_counts: Vec<Vec<usize>> = Vec::new();
+    let mut totals: Vec<Duration> = Vec::new();
+    for profile in NetworkProfile::ALL {
+        let s = system(&b, OptimizerConfig::full());
+        let mut session = s.mobile_session(profile);
+        let mut rows = Vec::new();
+        let mut total = Duration::ZERO;
+        for g in &script(&b, 22) {
+            let r = session.apply(g).unwrap();
+            rows.push(r.rows);
+            total += r.complete;
+        }
+        row_counts.push(rows);
+        totals.push(total);
+    }
+    // Identical answers across networks.
+    assert!(row_counts.windows(2).all(|w| w[0] == w[1]));
+    // Monotonically slower networks.
+    assert!(
+        totals.windows(2).all(|w| w[0] <= w[1]),
+        "totals not monotone: {totals:?}"
+    );
+}
