@@ -4,6 +4,9 @@
 //! Source latency is virtual (never slept), so these numbers are pure
 //! CPU cost: what the client/mediator itself burns per interaction.
 
+// Bench target over self-generated inputs: unwraps mark harness bugs.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use drugtree::prelude::*;
 use drugtree_mobile::layout::TreeLayout;
@@ -15,7 +18,7 @@ use std::hint::black_box;
 fn bench_parser(c: &mut Criterion) {
     let text = "activities in subtree('clade12') where p_activity >= 6.5 and mw < 500 and year between 2005 and 2013 top 20 by p_activity desc";
     c.bench_function("parser/full_query", |b| {
-        b.iter(|| Query::parse(black_box(text)).unwrap())
+        b.iter(|| Query::parse(black_box(text)).unwrap());
     });
 }
 
@@ -36,13 +39,13 @@ fn bench_planning_and_execution(c: &mut Criterion) {
                     "activities in subtree('clade1') where p_activity >= 6",
                 ))
                 .unwrap()
-        })
+        });
     });
 
     // Warm the cache once; the hot path is then pure client CPU.
     system.execute(&query).unwrap();
     c.bench_function("executor/cache_hit_512_leaves", |b| {
-        b.iter(|| system.execute(black_box(&query)).unwrap())
+        b.iter(|| system.execute(black_box(&query)).unwrap());
     });
 
     // Cold path: invalidate before each execution (timed together —
@@ -51,7 +54,7 @@ fn bench_planning_and_execution(c: &mut Criterion) {
         b.iter(|| {
             system.executor().invalidate();
             system.execute(black_box(&query)).unwrap()
-        })
+        });
     });
 }
 
@@ -60,7 +63,7 @@ fn bench_matview(c: &mut Criterion) {
         SyntheticBundle::generate(&WorkloadSpec::default().leaves(1024).ligands(64).seed(43));
     let dataset = bundle.build_dataset();
     c.bench_function("matview/build_1024_leaves", |b| {
-        b.iter(|| MaterializedAggregates::build(black_box(&dataset)).unwrap())
+        b.iter(|| MaterializedAggregates::build(black_box(&dataset)).unwrap());
     });
 }
 
@@ -77,10 +80,10 @@ fn bench_mobile_render(c: &mut Criterion) {
                 &viewport,
                 &layout,
             )
-        })
+        });
     });
     c.bench_function("mobile/layout_8192_leaves", |b| {
-        b.iter(|| TreeLayout::compute(black_box(&bundle.tree), black_box(&bundle.index)))
+        b.iter(|| TreeLayout::compute(black_box(&bundle.tree), black_box(&bundle.index)));
     });
 }
 

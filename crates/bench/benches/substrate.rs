@@ -1,6 +1,9 @@
 //! E9 (Table 4a): substrate micro-benchmarks — the CPU kernels behind
 //! the virtual-latency experiments.
 
+// Bench target over self-generated inputs: unwraps mark harness bugs.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use drugtree_chem::canonical::canonical_smiles;
 use drugtree_chem::fingerprint::Fingerprint;
@@ -32,7 +35,7 @@ fn bench_alignment(c: &mut Criterion) {
                 GapPenalty::BLOSUM62_DEFAULT,
             )
             .unwrap()
-        })
+        });
     });
 }
 
@@ -47,17 +50,17 @@ fn bench_tree_construction(c: &mut Criterion) {
     )
     .unwrap();
     c.bench_function("tree/neighbor_joining_48_taxa", |b| {
-        b.iter(|| neighbor_joining(black_box(&dm)).unwrap())
+        b.iter(|| neighbor_joining(black_box(&dm)).unwrap());
     });
     c.bench_function("tree/upgma_48_taxa", |b| {
-        b.iter(|| upgma(black_box(&dm)).unwrap())
+        b.iter(|| upgma(black_box(&dm)).unwrap());
     });
 }
 
 fn bench_tree_index(c: &mut Criterion) {
     let tree = random_tree(1024, 3);
     c.bench_function("index/build_1024_leaves", |b| {
-        b.iter(|| TreeIndex::build(black_box(&tree)))
+        b.iter(|| TreeIndex::build(black_box(&tree)));
     });
     let index = TreeIndex::build(&tree);
     let nodes: Vec<_> = tree.node_ids().collect();
@@ -68,7 +71,7 @@ fn bench_tree_index(c: &mut Criterion) {
             let z = nodes[(i * 7 + 13) % nodes.len()];
             i += 1;
             black_box(index.lca(a, z))
-        })
+        });
     });
 }
 
@@ -76,24 +79,24 @@ fn bench_newick(c: &mut Criterion) {
     let tree = random_tree(512, 4);
     let text = to_newick(&tree);
     c.bench_function("newick/parse_512_leaves", |b| {
-        b.iter(|| parse_newick(black_box(&text)).unwrap())
+        b.iter(|| parse_newick(black_box(&text)).unwrap());
     });
     c.bench_function("newick/write_512_leaves", |b| {
-        b.iter(|| to_newick(black_box(&tree)))
+        b.iter(|| to_newick(black_box(&tree)));
     });
 }
 
 fn bench_chem(c: &mut Criterion) {
     let caffeine = "Cn1cnc2c1c(=O)n(C)c(=O)n2C";
     c.bench_function("smiles/parse_caffeine", |b| {
-        b.iter(|| parse_smiles(black_box(caffeine)).unwrap())
+        b.iter(|| parse_smiles(black_box(caffeine)).unwrap());
     });
     let mol = parse_smiles(caffeine).unwrap();
     c.bench_function("smiles/write_caffeine", |b| {
-        b.iter(|| write_smiles(black_box(&mol)))
+        b.iter(|| write_smiles(black_box(&mol)));
     });
     c.bench_function("fingerprint/caffeine", |b| {
-        b.iter(|| Fingerprint::of_molecule(black_box(&mol)))
+        b.iter(|| Fingerprint::of_molecule(black_box(&mol)));
     });
 
     let ligands = random_ligands(256, 5);
@@ -112,7 +115,7 @@ fn bench_chem(c: &mut Criterion) {
                 black_box(best)
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -136,11 +139,11 @@ fn bench_substructure_and_canonical(c: &mut Criterion) {
                 })
                 .count();
             black_box(hits)
-        })
+        });
     });
     c.bench_function("canonical/caffeine", |b| {
         let caffeine = parse_smiles("Cn1cnc2c1c(=O)n(C)c(=O)n2C").unwrap();
-        b.iter(|| canonical_smiles(black_box(&caffeine)))
+        b.iter(|| canonical_smiles(black_box(&caffeine)));
     });
 }
 
@@ -148,7 +151,7 @@ fn bench_tree_compare(c: &mut Criterion) {
     let a = random_tree(256, 11);
     let b_tree = random_tree(256, 12);
     c.bench_function("compare/robinson_foulds_256_leaves", |b| {
-        b.iter(|| robinson_foulds(black_box(&a), black_box(&b_tree)).unwrap())
+        b.iter(|| robinson_foulds(black_box(&a), black_box(&b_tree)).unwrap());
     });
 }
 

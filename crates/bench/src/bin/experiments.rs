@@ -47,7 +47,7 @@ fn main() {
         if !(all || selected.contains(&name)) {
             continue;
         }
-        let started = std::time::Instant::now();
+        let started = drugtree_sources::clock::wall_now();
         let table = runner(config);
         println!("{}", table.render());
         println!("(harness wall time: {:?})\n", started.elapsed());

@@ -89,14 +89,18 @@ pub fn canonical_ranks(mol: &Molecule) -> Vec<u32> {
         for (i, &c) in classes.iter().enumerate() {
             by_class.entry(c).or_default().push(i as u32);
         }
-        let victim = by_class
+        // The while condition guarantees a duplicated class; bail out
+        // rather than panic if that invariant ever breaks.
+        let Some(victim) = by_class
             .values()
             .find(|members| members.len() > 1)
             .map(|members| members[0])
-            .expect("a duplicated class exists");
+        else {
+            break;
+        };
         // Give the victim a fresh, smaller-than-everything class and
         // re-refine to propagate the asymmetry.
-        let max = *classes.iter().max().expect("nonempty") + 1;
+        let max = classes.iter().copied().max().unwrap_or(0) + 1;
         classes[victim as usize] = max;
         classes = densify(&classes);
         loop {
@@ -135,7 +139,11 @@ fn densify(classes: &[u64]) -> Vec<u64> {
     sorted.dedup();
     classes
         .iter()
-        .map(|c| sorted.binary_search(c).expect("present") as u64)
+        // Every class is in its own sorted dedup, so Err is
+        // unreachable; the insert position keeps the map total anyway.
+        .map(|c| match sorted.binary_search(c) {
+            Ok(i) | Err(i) => i as u64,
+        })
         .collect()
 }
 

@@ -245,7 +245,9 @@ impl Molecule {
             while let Some(top) = stack.last().copied() {
                 let (v, in_bond, slot) = top;
                 if slot < self.adjacency[v as usize].len() {
-                    stack.last_mut().expect("nonempty").2 += 1;
+                    if let Some(entry) = stack.last_mut() {
+                        entry.2 += 1;
+                    }
                     let (to, bond) = self.adjacency[v as usize][slot];
                     if Some(bond) == in_bond {
                         continue;

@@ -338,6 +338,34 @@ pub fn write_smiles_ordered(mol: &Molecule, priority: &[u32]) -> String {
     let mut tree_bond = vec![false; mol.bond_count()];
     let mut closure_of_bond: std::collections::HashMap<u32, u16> = std::collections::HashMap::new();
     {
+        // Recursive DFS mirroring the writer's order.
+        fn span(
+            mol: &Molecule,
+            v: u32,
+            priority: &[u32],
+            seen: &mut [bool],
+            tree_bond: &mut [bool],
+            closures: &mut std::collections::HashMap<u32, u16>,
+            next_num: &mut u16,
+        ) {
+            seen[v as usize] = true;
+            let mut neigh: Vec<(u32, u32)> = mol.neighbors(v).to_vec();
+            neigh.sort_by_key(|&(to, _)| priority[to as usize]);
+            for (to, bond) in neigh {
+                if seen[to as usize] {
+                    // Every non-tree edge to a seen vertex is a
+                    // back edge in an undirected DFS: a ring bond.
+                    if !tree_bond[bond as usize] && !closures.contains_key(&bond) {
+                        closures.insert(bond, *next_num);
+                        *next_num += 1;
+                    }
+                    continue;
+                }
+                tree_bond[bond as usize] = true;
+                span(mol, to, priority, seen, tree_bond, closures, next_num);
+            }
+        }
+
         let mut seen = vec![false; n];
         let mut next_num = 1u16;
         let mut roots: Vec<u32> = (0..n as u32).collect();
@@ -345,33 +373,6 @@ pub fn write_smiles_ordered(mol: &Molecule, priority: &[u32]) -> String {
         for &start in &roots {
             if seen[start as usize] {
                 continue;
-            }
-            // Recursive DFS mirroring the writer's order.
-            fn span(
-                mol: &Molecule,
-                v: u32,
-                priority: &[u32],
-                seen: &mut [bool],
-                tree_bond: &mut [bool],
-                closures: &mut std::collections::HashMap<u32, u16>,
-                next_num: &mut u16,
-            ) {
-                seen[v as usize] = true;
-                let mut neigh: Vec<(u32, u32)> = mol.neighbors(v).to_vec();
-                neigh.sort_by_key(|&(to, _)| priority[to as usize]);
-                for (to, bond) in neigh {
-                    if seen[to as usize] {
-                        // Every non-tree edge to a seen vertex is a
-                        // back edge in an undirected DFS: a ring bond.
-                        if !tree_bond[bond as usize] && !closures.contains_key(&bond) {
-                            closures.insert(bond, *next_num);
-                            *next_num += 1;
-                        }
-                        continue;
-                    }
-                    tree_bond[bond as usize] = true;
-                    span(mol, to, priority, seen, tree_bond, closures, next_num);
-                }
             }
             span(
                 mol,

@@ -1,5 +1,8 @@
 //! Property-based tests for the chemistry substrate.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree_chem::canonical::canonical_smiles;
 use drugtree_chem::descriptors::Descriptors;
 use drugtree_chem::element::Element;

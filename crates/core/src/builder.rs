@@ -387,9 +387,8 @@ mod tests {
     #[test]
     fn missing_protein_source_is_an_error() {
         let (_, _, a) = sources();
-        let err = match DrugTree::builder().register_source(a).build() {
-            Err(e) => e,
-            Ok(_) => panic!("build without a protein source must fail"),
+        let Err(err) = DrugTree::builder().register_source(a).build() else {
+            panic!("build without a protein source must fail")
         };
         assert!(matches!(err, DrugTreeError::Builder(_)));
     }

@@ -155,14 +155,16 @@ impl DrugTree {
                 .overlay
                 .catalog()
                 .table(drugtree_integrate::overlay::tables::LIGAND)
-                .map(|t| t.len())
-                .unwrap_or(0),
+                .map_or(0, drugtree_store::Table::len),
             sources: (
                 kind_count(SourceKind::Protein),
                 kind_count(SourceKind::Ligand),
                 kind_count(SourceKind::Assay),
             ),
-            activity_records: self.executor.stats().map_or(0, |s| s.total_count()),
+            activity_records: self
+                .executor
+                .stats()
+                .map_or(0, drugtree_query::stats::OverlayStats::total_count),
             cache: self.executor.cache_stats(),
             virtual_now: self.dataset.clock.now(),
         }

@@ -62,7 +62,7 @@ pub fn resolve_conflicts(
         if group.len() > 1 {
             conflicting += 1;
         }
-        out.push(pick(group, policy));
+        out.extend(pick(group, policy));
     }
     let report = ConflictReport {
         input: records.len(),
@@ -72,7 +72,9 @@ pub fn resolve_conflicts(
     (out, report)
 }
 
-fn pick(group: &[&ActivityRecord], policy: &ConflictPolicy) -> ActivityRecord {
+/// The winning record of one conflict group; `None` only for an empty
+/// group, which the grouping step never produces.
+fn pick(group: &[&ActivityRecord], policy: &ConflictPolicy) -> Option<ActivityRecord> {
     match policy {
         ConflictPolicy::SourcePriority(order) => {
             let rank = |r: &ActivityRecord| {
@@ -89,20 +91,16 @@ fn pick(group: &[&ActivityRecord], policy: &ConflictPolicy) -> ActivityRecord {
                         .then(b.year.cmp(&a.year))
                         .then(a.value_nm.total_cmp(&b.value_nm))
                 })
-                .expect("group nonempty")
-                .to_owned()
-                .clone()
+                .map(|r| (*r).clone())
         }
         ConflictPolicy::MostRecent => group
             .iter()
             .max_by(|a, b| a.year.cmp(&b.year).then(b.value_nm.total_cmp(&a.value_nm)))
-            .expect("group nonempty")
-            .to_owned()
-            .clone(),
+            .map(|r| (*r).clone()),
         ConflictPolicy::Median => {
             let mut sorted: Vec<&ActivityRecord> = group.to_vec();
             sorted.sort_by(|a, b| a.value_nm.total_cmp(&b.value_nm));
-            sorted[sorted.len() / 2].clone()
+            sorted.get(sorted.len() / 2).map(|r| (*r).clone())
         }
     }
 }

@@ -286,7 +286,7 @@ mod tests {
         let r = EntityResolver::new(Vec::new());
         match r.resolve("X").unwrap_err() {
             IntegrateError::Unresolved { best_candidate, .. } => {
-                assert_eq!(best_candidate, None)
+                assert_eq!(best_candidate, None);
             }
             other => panic!("{other:?}"),
         }

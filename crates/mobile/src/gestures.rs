@@ -135,13 +135,13 @@ pub fn lateral_script(tree: &Tree, index: &TreeIndex, config: &GestureConfig) ->
             .find(|(_, nodes)| nodes.len() >= min)
             .map(|(_, nodes)| nodes.clone())
     };
-    let row: Vec<NodeId> = pick(16)
-        .or_else(|| pick(4))
-        .map(|mut nodes| {
+    let row: Vec<NodeId> = pick(16).or_else(|| pick(4)).map_or_else(
+        || vec![tree.root()],
+        |mut nodes| {
             nodes.sort_by_key(|&n| index.interval(n).lo);
             nodes
-        })
-        .unwrap_or_else(|| vec![tree.root()]);
+        },
+    );
 
     let mut out = Vec::with_capacity(config.len);
     let mut pos = rng.gen_range(0..row.len());

@@ -34,7 +34,7 @@ impl TreeLayout {
         let n = tree.len();
         let mut x = vec![0.0f64; n];
         let mut max_depth: f64 = 0.0;
-        for &id in tree.preorder().iter() {
+        for &id in &tree.preorder() {
             if let Some(parent) = tree.node_unchecked(id).parent {
                 x[id.index()] = x[parent.index()] + tree.node_unchecked(id).branch_length.max(0.0);
                 max_depth = max_depth.max(x[id.index()]);
@@ -47,10 +47,12 @@ impl TreeLayout {
         }
 
         let mut y = vec![0.0f64; n];
-        for &id in tree.postorder().iter() {
+        for &id in &tree.postorder() {
             let node = tree.node_unchecked(id);
             if node.is_leaf() {
-                y[id.index()] = index.rank_of(id).expect("leaf has rank") as f64;
+                // Every leaf has a rank in its own index; 0.0 keeps
+                // the layout total if that invariant ever breaks.
+                y[id.index()] = index.rank_of(id).map_or(0.0, f64::from);
             } else {
                 let sum: f64 = node.children.iter().map(|c| y[c.index()]).sum();
                 y[id.index()] = sum / node.children.len() as f64;

@@ -94,8 +94,8 @@ impl Alignment {
         let mut a = String::with_capacity(self.columns.len());
         let mut b = String::with_capacity(self.columns.len());
         for (x, y) in &self.columns {
-            a.push(x.map_or('-', |r| r.to_char()));
-            b.push(y.map_or('-', |r| r.to_char()));
+            a.push(x.map_or('-', super::seq::AminoAcid::to_char));
+            b.push(y.map_or('-', super::seq::AminoAcid::to_char));
         }
         (a, b)
     }

@@ -38,7 +38,7 @@ fn splits(tree: &Tree) -> Result<BTreeSet<Vec<String>>> {
         let side: BTreeSet<String> = index
             .leaves_under(id)
             .iter()
-            .map(|&l| tree.node_unchecked(l).label.clone().expect("checked above"))
+            .filter_map(|&l| tree.node_unchecked(l).label.clone())
             .collect();
         if side.len() <= 1 || side.len() >= n - 1 {
             continue; // trivial split

@@ -114,7 +114,7 @@ impl TreeIndex {
 
         // Postorder pass assigns each internal node the union of its
         // children's intervals; leaves get [rank, rank+1).
-        for &id in tree.postorder().iter() {
+        for &id in &tree.postorder() {
             let node = tree.node_unchecked(id);
             if node.is_leaf() {
                 let r = leaf_rank[id.index()];

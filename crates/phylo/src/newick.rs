@@ -116,9 +116,7 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         if self.eat(b'(') {
             loop {
-                let child = tree
-                    .add_child(id, None, 0.0)
-                    .expect("parent id was just created");
+                let child = tree.add_child(id, None, 0.0)?;
                 self.parse_node(tree, child)?;
                 self.skip_ws();
                 if self.eat(b',') {
@@ -132,13 +130,13 @@ impl<'a> Parser<'a> {
         }
         self.skip_ws();
         if let Some(label) = self.parse_label()? {
-            tree.set_label(id, Some(label)).expect("id is in arena");
+            tree.set_label(id, Some(label))?;
         }
         self.skip_ws();
         if self.eat(b':') {
             self.skip_ws();
             let len = self.parse_number()?;
-            tree.set_branch_length(id, len).expect("id is in arena");
+            tree.set_branch_length(id, len)?;
         }
         Ok(())
     }
@@ -165,7 +163,9 @@ impl<'a> Parser<'a> {
                             let rest = &self.bytes[self.pos..];
                             let s = std::str::from_utf8(rest)
                                 .map_err(|_| self.err("invalid UTF-8 in label"))?;
-                            let ch = s.chars().next().expect("nonempty");
+                            let Some(ch) = s.chars().next() else {
+                                return Err(self.err("unterminated quoted label"));
+                            };
                             label.push(ch);
                             self.pos += ch.len_utf8();
                         }

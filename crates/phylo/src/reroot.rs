@@ -57,7 +57,7 @@ pub fn longest_leaf_path(tree: &Tree) -> Result<(NodeId, NodeId, f64)> {
             .iter()
             .map(|&l| (l, dist[l.index()]))
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("at least two leaves")
+            .unwrap_or((from, 0.0))
     };
     let (a, _) = far_leaf(leaves[0]);
     let (b, diameter) = far_leaf(a);
@@ -69,6 +69,28 @@ pub fn longest_leaf_path(tree: &Tree) -> Result<(NodeId, NodeId, f64)> {
 /// Returns a new tree over the same labels and branch lengths, with a
 /// fresh binary root splitting that edge.
 pub fn reroot_on_edge(tree: &Tree, node: NodeId, fraction: f64) -> Result<Tree> {
+    // Recursive copy of the subtree hanging off `from`, entered via
+    // `via` (which is not descended into again).
+    fn copy_subtree(
+        tree: &Tree,
+        adjacency: &[Vec<(NodeId, f64)>],
+        out: &mut Tree,
+        attach_to: NodeId,
+        from: NodeId,
+        via: NodeId,
+        branch_length: f64,
+    ) {
+        let label = tree.node_unchecked(from).label.clone();
+        let Ok(new_id) = out.add_child(attach_to, label, branch_length) else {
+            return; // attach target came from this builder; cannot fail
+        };
+        for &(next, len) in &adjacency[from.index()] {
+            if next != via {
+                copy_subtree(tree, adjacency, out, new_id, next, from, len);
+            }
+        }
+    }
+
     // A unary root is an unlabeled degree-1 vertex in the unrooted
     // view; left in place it would dangle as a spurious leaf after
     // re-rooting. Callers re-rooting such trees should [`normalize`]
@@ -91,28 +113,6 @@ pub fn reroot_on_edge(tree: &Tree, node: NodeId, fraction: f64) -> Result<Tree> 
 
     let mut out = Tree::with_root(None);
     let root = out.root();
-
-    // Recursive copy of the subtree hanging off `from`, entered via
-    // `via` (which is not descended into again).
-    fn copy_subtree(
-        tree: &Tree,
-        adjacency: &[Vec<(NodeId, f64)>],
-        out: &mut Tree,
-        attach_to: NodeId,
-        from: NodeId,
-        via: NodeId,
-        branch_length: f64,
-    ) {
-        let label = tree.node_unchecked(from).label.clone();
-        let new_id = out
-            .add_child(attach_to, label, branch_length)
-            .expect("attach target exists");
-        for &(next, len) in &adjacency[from.index()] {
-            if next != via {
-                copy_subtree(tree, adjacency, out, new_id, next, from, len);
-            }
-        }
-    }
 
     copy_subtree(
         tree,
@@ -158,10 +158,9 @@ pub fn midpoint_root(tree: &Tree) -> Result<Tree> {
     let up_a = tree.ancestors(a)?;
     let up_b = tree.ancestors(b)?;
     let set_a: std::collections::HashSet<NodeId> = up_a.iter().copied().collect();
-    let lca = *up_b
-        .iter()
-        .find(|n| set_a.contains(n))
-        .expect("two nodes of one tree always share an ancestor");
+    let lca = *up_b.iter().find(|n| set_a.contains(n)).ok_or_else(|| {
+        PhyloError::InvalidValue("diameter endpoints share no common ancestor".into())
+    })?;
     let mut path: Vec<NodeId> = up_a.iter().copied().take_while(|&n| n != lca).collect();
     path.push(lca);
     let down_b: Vec<NodeId> = up_b.iter().copied().take_while(|&n| n != lca).collect();
@@ -198,6 +197,17 @@ pub fn midpoint_root(tree: &Tree) -> Result<Tree> {
 /// branch lengths) and promote through unary roots (whose single edge
 /// carries no topological information).
 pub fn normalize(tree: &Tree) -> Tree {
+    fn copy(tree: &Tree, out: &mut Tree, attach_to: NodeId, from: NodeId) {
+        for &c in &tree.node_unchecked(from).children {
+            let node = tree.node_unchecked(c);
+            let Ok(new_id) = out.add_child(attach_to, node.label.clone(), node.branch_length)
+            else {
+                continue; // attach target came from this builder; cannot fail
+            };
+            copy(tree, out, new_id, c);
+        }
+    }
+
     // Descend through unary roots first.
     let mut top = tree.root();
     while tree.node_unchecked(top).children.len() == 1 {
@@ -208,15 +218,6 @@ pub fn normalize(tree: &Tree) -> Tree {
     }
     // Rebuild with `top` as the root, then collapse internal unaries.
     let mut rebased = Tree::with_root(tree.node_unchecked(top).label.clone());
-    fn copy(tree: &Tree, out: &mut Tree, attach_to: NodeId, from: NodeId) {
-        for &c in &tree.node_unchecked(from).children {
-            let node = tree.node_unchecked(c);
-            let new_id = out
-                .add_child(attach_to, node.label.clone(), node.branch_length)
-                .expect("attach target exists");
-            copy(tree, out, new_id, c);
-        }
-    }
     let root = rebased.root();
     copy(tree, &mut rebased, root, top);
     collapse_unary(&rebased)
@@ -234,9 +235,9 @@ fn collapse_unary(tree: &Tree) -> Tree {
             copy(tree, out, attach_to, only, carried_length + extra);
             return;
         }
-        let new_id = out
-            .add_child(attach_to, node.label.clone(), carried_length)
-            .expect("attach target exists");
+        let Ok(new_id) = out.add_child(attach_to, node.label.clone(), carried_length) else {
+            return; // attach target came from this builder; cannot fail
+        };
         for &c in &node.children {
             copy(tree, out, new_id, c, tree.node_unchecked(c).branch_length);
         }
@@ -388,7 +389,7 @@ mod tests {
         ];
         let labels: Vec<String> = ["a", "b", "c", "d", "e"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let dm = DistanceMatrix::from_square(labels, &square).unwrap();
         let nj = neighbor_joining(&dm).unwrap();

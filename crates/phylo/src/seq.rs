@@ -261,7 +261,7 @@ pub fn write_fasta(seqs: &[ProteinSequence]) -> String {
         let letters = seq.to_letters();
         for chunk in letters.as_bytes().chunks(60) {
             // Residue letters are ASCII by construction.
-            out.push_str(std::str::from_utf8(chunk).expect("ascii"));
+            out.push_str(&String::from_utf8_lossy(chunk));
             out.push('\n');
         }
     }

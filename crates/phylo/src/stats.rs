@@ -46,7 +46,7 @@ impl TreeStats {
             };
             tree.len()
         ];
-        for &id in tree.postorder().iter() {
+        for &id in &tree.postorder() {
             let node = tree.node_unchecked(id);
             if node.is_leaf() {
                 stats[id.index()] = SubtreeStats {
@@ -98,23 +98,25 @@ pub fn fold_subtrees<T: Clone>(
     mut merge: impl FnMut(&mut T, &T),
 ) -> Vec<T> {
     let mut out: Vec<Option<T>> = vec![None; tree.len()];
-    for &id in tree.postorder().iter() {
+    for &id in &tree.postorder() {
         let node = tree.node_unchecked(id);
         let agg = if node.is_leaf() {
             leaf(id)
         } else {
             let mut acc = init_internal(id);
             for &c in &node.children {
-                let child_agg = out[c.index()].clone().expect("postorder: child first");
-                merge(&mut acc, &child_agg);
+                // Postorder guarantees children are finished first.
+                if let Some(child_agg) = out[c.index()].clone() {
+                    merge(&mut acc, &child_agg);
+                }
             }
             acc
         };
         out[id.index()] = Some(agg);
     }
-    out.into_iter()
-        .map(|x| x.expect("all nodes visited"))
-        .collect()
+    // Postorder visits every node exactly once, so every slot is Some
+    // and flattening preserves the by-NodeId::index() length contract.
+    out.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -11,16 +11,16 @@ use crate::{PhyloError, Result};
 
 /// Build a rooted ultrametric tree with average linkage.
 pub fn upgma(dm: &DistanceMatrix) -> Result<Tree> {
-    let n = dm.len();
-    if n < 2 {
-        return Err(PhyloError::TooFewTaxa(n));
-    }
-
     struct Cluster {
         node: NodeId,
         size: usize,
         /// Height (root-to-leaf distance) of this cluster's subtree.
         height: f64,
+    }
+
+    let n = dm.len();
+    if n < 2 {
+        return Err(PhyloError::TooFewTaxa(n));
     }
 
     let mut tree = Tree::with_root(None);
@@ -108,7 +108,7 @@ mod tests {
     use super::*;
 
     fn labels(names: &[&str]) -> Vec<String> {
-        names.iter().map(|s| s.to_string()).collect()
+        names.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]

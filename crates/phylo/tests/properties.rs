@@ -1,5 +1,8 @@
 //! Property-based tests for the phylogenetics substrate.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree_phylo::compare::robinson_foulds;
 use drugtree_phylo::distance::{DistanceMatrix, DistanceModel};
 use drugtree_phylo::index::{LeafInterval, TreeIndex};

@@ -106,10 +106,11 @@ impl SemanticCache {
         let idx = self.entries.iter().position(|e| {
             e.interval.contains(interval) && pushdown_implies(pushdown, e.pushdown.as_ref())
         });
-        match idx {
-            Some(i) => {
+        // `remove` cannot miss on an index from `position`; treating a
+        // miss as a cache miss keeps this total anyway.
+        match idx.and_then(|i| self.entries.remove(i)) {
+            Some(entry) => {
                 // LRU touch: move to the back.
-                let entry = self.entries.remove(i).expect("index valid");
                 let rows = slice_rows(&entry.rows, interval);
                 let hit = CacheHit {
                     rows,
@@ -218,9 +219,8 @@ fn pushdown_implies(query: Option<&Predicate>, entry: Option<&Predicate>) -> boo
         None | Some(Predicate::True) => return true,
         Some(e) => e,
     };
-    let query = match query {
-        None => return false,
-        Some(q) => q,
+    let Some(query) = query else {
+        return false;
     };
     let q_conjuncts = conjuncts(query);
     conjuncts(entry)

@@ -207,6 +207,8 @@ pub fn unify_assay_row(dataset: &Dataset, row: &[Value]) -> Option<Vec<Value>> {
 
 /// Small deterministic fixtures shared by this crate's tests, the
 /// downstream crates' tests, and the benchmark harness.
+// Test-support code: panicking on malformed fixtures is the point.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub mod test_fixtures {
     use super::*;
     use drugtree_chem::affinity::{ActivityRecord, ActivityType};

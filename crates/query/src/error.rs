@@ -24,6 +24,9 @@ pub enum QueryError {
     BadSubstructurePattern(String),
     /// Plan construction or execution failed internally.
     Plan(String),
+    /// The plan violated structural invariants (see
+    /// [`crate::validate::PlanValidator`]).
+    Invariant(Vec<crate::validate::InvariantViolation>),
     /// Underlying store failure.
     Store(String),
     /// Underlying source failure.
@@ -54,6 +57,13 @@ impl fmt::Display for QueryError {
                 )
             }
             QueryError::Plan(msg) => write!(f, "planning error: {msg}"),
+            QueryError::Invariant(violations) => {
+                write!(f, "plan violates {} invariant(s):", violations.len())?;
+                for v in violations {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
             QueryError::Store(msg) => write!(f, "store error: {msg}"),
             QueryError::Source(msg) => write!(f, "source error: {msg}"),
             QueryError::Phylo(msg) => write!(f, "tree error: {msg}"),

@@ -138,7 +138,21 @@ impl Executor {
         let plan =
             self.optimizer
                 .plan(dataset, self.stats.as_ref(), self.matview.as_ref(), query)?;
+        self.validate_plan(dataset, &plan)?;
         Ok(plan.explain())
+    }
+
+    /// Validate the plan's structural invariants when the config asks
+    /// for it. The optimizer already validates under
+    /// `cfg(debug_assertions)`; this unconditional check is what
+    /// release builds (benches) toggle to measure the validator's cost.
+    fn validate_plan(&self, dataset: &Dataset, plan: &PhysicalPlan) -> Result<()> {
+        if self.optimizer.config().validate {
+            crate::validate::PlanValidator::new(dataset)
+                .validate(plan)
+                .map_err(QueryError::Invariant)?;
+        }
+        Ok(())
     }
 
     /// Plan and execute a query.
@@ -146,6 +160,7 @@ impl Executor {
         let plan =
             self.optimizer
                 .plan(dataset, self.stats.as_ref(), self.matview.as_ref(), query)?;
+        self.validate_plan(dataset, &plan)?;
         let started = dataset.clock.now();
 
         let mut m = ExecMetrics {

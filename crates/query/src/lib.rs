@@ -25,6 +25,8 @@
 //! * [`cache`] — the semantic result cache (design decision D2).
 //! * [`exec`] — the executor and its metrics.
 //! * [`matview`] — materialized per-subtree aggregate views.
+//! * [`validate`] — plan-invariant validation (structural checks every
+//!   emitted plan must pass).
 
 pub mod ast;
 pub mod cache;
@@ -36,12 +38,14 @@ pub mod optimizer;
 pub mod parser;
 pub mod plan;
 pub mod stats;
+pub mod validate;
 
 pub use ast::{Query, QueryKind, Scope};
 pub use dataset::Dataset;
 pub use error::QueryError;
 pub use exec::{ExecMetrics, Executor, QueryResult};
 pub use optimizer::{Optimizer, OptimizerConfig};
+pub use validate::{InvariantViolation, PlanValidator};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, QueryError>;

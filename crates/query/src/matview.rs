@@ -50,9 +50,15 @@ impl MaterializedAggregates {
                 let Some(row) = unify_assay_row(dataset, raw) else {
                     continue;
                 };
-                let rank = row[0].as_int().expect("rank") as u32;
-                let ligand = row[2].as_text().expect("ligand id").to_string();
-                let p = row[5].as_f64().expect("p_activity");
+                // `unify_assay_row` produced this row, so the column
+                // types are fixed; skip rather than panic if not.
+                let (Some(rank), Some(ligand), Some(p)) =
+                    (row[0].as_int(), row[2].as_text(), row[5].as_f64())
+                else {
+                    continue;
+                };
+                let rank = rank as u32;
+                let ligand = ligand.to_string();
                 let leaf = dataset.index.leaf_at(rank)?;
                 // Fold up the ancestor path (including the leaf).
                 let mut node = leaf;

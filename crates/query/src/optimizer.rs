@@ -63,6 +63,12 @@ pub struct OptimizerConfig {
     /// Serve each declared replica group from its cheapest member
     /// instead of fetching every copy.
     pub replica_selection: bool,
+    /// Run the plan-invariant validator on every plan the executor
+    /// receives (debug builds always validate inside the optimizer;
+    /// this flag extends the check to release builds so benches can
+    /// measure its cost). Not a rewrite rule: excluded from
+    /// [`OptimizerConfig::RULES`] and untouched by `ablate`.
+    pub validate: bool,
 }
 
 impl OptimizerConfig {
@@ -77,6 +83,7 @@ impl OptimizerConfig {
             selectivity_ordering: true,
             use_matview: true,
             replica_selection: true,
+            validate: true,
         }
     }
 
@@ -91,6 +98,7 @@ impl OptimizerConfig {
             selectivity_ordering: false,
             use_matview: false,
             replica_selection: false,
+            validate: false,
         }
     }
 
@@ -270,8 +278,14 @@ impl Optimizer {
                                 .min_by_key(|c| {
                                     let m = c.latency_model();
                                     m.base_rtt + m.per_row * 100
-                                })
-                                .expect("group has members");
+                                });
+                            // Registration guarantees groups are
+                            // non-empty; fall back to the current
+                            // source rather than trusting that here.
+                            let Some(cheapest) = cheapest else {
+                                chosen.push(s);
+                                continue;
+                            };
                             notes.push(format!(
                                 "replica-selection: {} chosen from {group:?}",
                                 cheapest.name()
@@ -285,14 +299,24 @@ impl Optimizer {
                 assay_sources.iter().collect()
             };
 
-        // 5. Batching + dispatch.
+        // 5. Batching + dispatch. Keys ship sorted and deduplicated
+        // (a plan invariant): batching is deterministic and the
+        // executor's rank re-sort makes row order config-independent.
+        let mut key_values: Vec<Value> = keys.iter().map(|(_, k)| k.clone()).collect();
+        key_values.sort();
+        key_values.dedup();
         let fetches: Vec<FetchPlan> = chosen_sources
             .iter()
             .map(|s| FetchPlan {
                 source: s.name().to_string(),
-                keys: keys.iter().map(|(_, k)| k.clone()).collect(),
+                keys: key_values.clone(),
                 pushdown: pushdown.clone(),
                 batched: self.config.batching,
+                max_batch: if self.config.batching {
+                    s.capabilities().max_batch.max(1)
+                } else {
+                    1
+                },
                 concurrent: self.config.concurrent_dispatch,
             })
             .collect();
@@ -322,6 +346,12 @@ impl Optimizer {
         } else if self.config.use_matview
             && matview.is_some_and(|v| v.is_fresh(dataset))
             && matches!(query.kind, QueryKind::AggregateChildren { .. })
+            // The view holds whole-clade aggregates, so the scope must
+            // cover the clade exactly: an interval or leaf-set scope
+            // that only partially covers its tightest enclosing clade
+            // aggregates a subset of each child's rows, which the view
+            // cannot answer. (Found by the differential oracle.)
+            && interval == dataset.index.interval(scope_node)
             && query.predicate == Predicate::True
             && similarity.is_none()
             && substructure.is_none()
@@ -359,7 +389,7 @@ impl Optimizer {
         // Cost estimate (for EXPLAIN and for future plan choices).
         let estimated_cost = estimate_access_cost(dataset, stats, &access, interval, &pushdown);
 
-        Ok(PhysicalPlan {
+        let plan = PhysicalPlan {
             scope_node,
             interval,
             pruned_leaves: pruned,
@@ -371,7 +401,19 @@ impl Optimizer {
             finish,
             notes,
             estimated_cost,
-        })
+        };
+
+        // In debug builds every plan the rewrite pipeline emits is
+        // validated, so a rule regression fails fast in any test that
+        // plans a query. Release builds opt in via `config.validate`
+        // (checked by the executor) to keep the planner's hot path
+        // measurable with and without the cost.
+        #[cfg(debug_assertions)]
+        crate::validate::PlanValidator::new(dataset)
+            .validate(&plan)
+            .map_err(QueryError::Invariant)?;
+
+        Ok(plan)
     }
 }
 
@@ -448,7 +490,7 @@ fn min_p_activity_bound(pred: &Predicate) -> Option<f64> {
 }
 
 /// Columns that physically exist in the remote assay schema.
-const REMOTE_COLUMNS: &[&str] = &[
+pub(crate) const REMOTE_COLUMNS: &[&str] = &[
     "protein_accession",
     "ligand_id",
     "activity_type",
@@ -503,7 +545,7 @@ fn p_to_nm(p: f64) -> f64 {
     10f64.powf(9.0 - p)
 }
 
-fn conjuncts_of(p: &Predicate) -> Vec<&Predicate> {
+pub(crate) fn conjuncts_of(p: &Predicate) -> Vec<&Predicate> {
     match p {
         Predicate::And(ps) => ps.iter().flat_map(conjuncts_of).collect(),
         Predicate::True => Vec::new(),
@@ -603,9 +645,7 @@ fn estimate_access_cost(
         };
         let model = source.latency_model();
         let requests = if f.batched {
-            f.keys
-                .len()
-                .div_ceil(source.capabilities().max_batch.max(1))
+            f.keys.len().div_ceil(f.max_batch.max(1))
         } else {
             f.keys.len()
         }
@@ -821,6 +861,26 @@ mod tests {
         }
         // Aggregates without ligand predicates skip the join.
         assert!(!plan.ligand_join);
+    }
+
+    #[test]
+    fn matview_rejected_for_partial_clade_coverage() {
+        use crate::matview::MaterializedAggregates;
+        let d = dataset();
+        let view = MaterializedAggregates::build(&d).unwrap();
+        let opt = Optimizer::new(OptimizerConfig::full());
+        // Whole tree: eligible.
+        let q = Query::activities(Scope::Tree).aggregate(Metric::Count);
+        let plan = opt.plan(&d, None, Some(&view), &q).unwrap();
+        assert_eq!(plan.access, Access::MaterializedView);
+        // Leaves P2..P3 span clades A and B, so the tightest clade is
+        // the whole root but the interval is [1, 3): the view's whole-
+        // clade aggregates would overcount. (Differential-oracle
+        // regression.)
+        let q = Query::activities(Scope::Leaves(vec!["P2".into(), "P3".into()]))
+            .aggregate(Metric::Count);
+        let plan = opt.plan(&d, None, Some(&view), &q).unwrap();
+        assert_ne!(plan.access, Access::MaterializedView);
     }
 
     #[test]

@@ -83,7 +83,12 @@ fn tokenize(text: &str) -> Result<Vec<(usize, Token)>> {
                         }
                         Some(_) => {
                             let rest = &text[i..];
-                            let ch = rest.chars().next().expect("nonempty");
+                            let Some(ch) = rest.chars().next() else {
+                                return Err(QueryError::Parse {
+                                    offset: start,
+                                    message: "unterminated string".into(),
+                                });
+                            };
                             s.push(ch);
                             i += ch.len_utf8();
                         }
@@ -362,7 +367,7 @@ impl Parser {
             parts.push(self.parse_and()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().expect("len")
+            parts.pop().unwrap_or(Predicate::True)
         } else {
             Predicate::Or(parts)
         })
@@ -374,7 +379,7 @@ impl Parser {
             parts.push(self.parse_atom()?);
         }
         Ok(if parts.len() == 1 {
-            parts.pop().expect("len")
+            parts.pop().unwrap_or(Predicate::True)
         } else {
             Predicate::And(parts)
         })

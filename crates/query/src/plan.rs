@@ -20,6 +20,10 @@ pub struct FetchPlan {
     pub pushdown: Option<Predicate>,
     /// Coalesce keys into max-batch requests (vs one request per key).
     pub batched: bool,
+    /// Per-request key limit resolved from the source capability at
+    /// plan time (1 when not batched). The validator cross-checks this
+    /// against the live capability.
+    pub max_batch: usize,
     /// Dispatch the batches concurrently (vs sequentially).
     pub concurrent: bool,
 }
@@ -218,11 +222,12 @@ impl PhysicalPlan {
 
 fn fmt_fetch(f: &FetchPlan) -> String {
     format!(
-        "SourceFetch source={} keys={} pushdown={} batched={} concurrent={}",
+        "SourceFetch source={} keys={} pushdown={} batched={} max_batch={} concurrent={}",
         f.source,
         f.keys.len(),
         fmt_pred_opt(&f.pushdown),
         f.batched,
+        f.max_batch,
         f.concurrent
     )
 }
@@ -293,6 +298,7 @@ mod tests {
                     keys: vec![Value::from("P1"), Value::from("P2")],
                     pushdown: Some(Predicate::cmp("p_activity", CompareOp::Ge, 6.0)),
                     batched: true,
+                    max_batch: 100,
                     concurrent: true,
                 }],
                 concurrent_sources: true,

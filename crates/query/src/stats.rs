@@ -172,8 +172,12 @@ impl OverlayStats {
             cost += resp.cost;
             for raw in &resp.rows {
                 if let Some(row) = unify_assay_row(dataset, raw) {
-                    let rank = row[0].as_int().expect("rank is int") as usize;
-                    let p = row[5].as_f64().expect("p_activity is float");
+                    // `unify_assay_row` fixed the column types; skip
+                    // rather than panic if not.
+                    let (Some(rank), Some(p)) = (row[0].as_int(), row[5].as_f64()) else {
+                        continue;
+                    };
+                    let rank = rank as usize;
                     counts[rank] += 1;
                     max_p[rank] = max_p[rank].max(p);
                     p_values.push(p);

@@ -1,6 +1,9 @@
 //! Property-based tests for the query language: `Display` ∘ `parse`
 //! is the identity on expressible queries.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree_query::ast::{Metric, Query, QueryKind, Scope};
 use drugtree_store::expr::{CompareOp, Predicate};
 use drugtree_store::value::Value;

@@ -73,6 +73,18 @@ impl VirtualClock {
     }
 }
 
+/// The one sanctioned wall-clock read in the workspace.
+///
+/// Everything latency-related must charge the [`VirtualClock`] so runs
+/// stay deterministic; the only legitimate uses of real time are
+/// harness-side progress reports (how long did the *harness* take).
+/// Those call this instead of `Instant::now()` directly, and the
+/// `tools/lint.rs` clock lint rejects raw `Instant::now()` /
+/// `SystemTime::now()` anywhere outside this file.
+pub fn wall_now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
 /// Combine the costs of requests issued *concurrently*: completion is
 /// the maximum individual cost (all start together), not the sum.
 pub fn parallel_cost(costs: impl IntoIterator<Item = Duration>) -> Duration {

@@ -49,11 +49,12 @@ impl SourceRegistry {
     /// The single source of a kind, when exactly one is registered.
     pub fn single(&self, kind: SourceKind) -> Result<Arc<dyn DataSource>> {
         let mut matches = self.by_kind(kind);
-        match matches.len() {
-            1 => Ok(matches.pop().expect("len checked")),
-            0 => Err(SourceError::UnknownSource(format!("{kind:?}"))),
-            n => Err(SourceError::UnknownSource(format!(
-                "{kind:?} is ambiguous ({n} registered)"
+        match (matches.pop(), matches.len()) {
+            (Some(only), 0) => Ok(only),
+            (None, _) => Err(SourceError::UnknownSource(format!("{kind:?}"))),
+            (Some(_), rest) => Err(SourceError::UnknownSource(format!(
+                "{kind:?} is ambiguous ({} registered)",
+                rest + 1
             ))),
         }
     }
@@ -95,12 +96,14 @@ impl SourceRegistry {
                         continue;
                     }
                     handled.push(group);
+                    // `declare_replicas` verified every member is
+                    // registered; fall back to `s` if that ever breaks.
                     let cheapest = self
                         .sources
                         .iter()
                         .filter(|c| group.iter().any(|n| n == c.name()))
                         .min_by_key(|c| c.latency_model().base_rtt)
-                        .expect("group members registered");
+                        .unwrap_or(s);
                     out.push(cheapest.clone());
                 }
             }

@@ -141,10 +141,13 @@ impl Predicate {
                 p => parts.push(p),
             }
         }
-        match parts.len() {
-            0 => Predicate::True,
-            1 => parts.pop().expect("len checked"),
-            _ => Predicate::And(parts),
+        match (parts.pop(), parts.is_empty()) {
+            (None, _) => Predicate::True,
+            (Some(only), true) => only,
+            (Some(last), false) => {
+                parts.push(last);
+                Predicate::And(parts)
+            }
         }
     }
 

@@ -206,20 +206,16 @@ impl Table {
     pub fn has_index(&self, column: &str) -> bool {
         self.schema
             .column_index(column)
-            .map(|c| self.indexes.iter().any(|i| i.column == c))
-            .unwrap_or(false)
+            .is_ok_and(|c| self.indexes.iter().any(|i| i.column == c))
     }
 
     /// True when an ordered index covers the column.
     pub fn has_range_index(&self, column: &str) -> bool {
-        self.schema
-            .column_index(column)
-            .map(|c| {
-                self.indexes
-                    .iter()
-                    .any(|i| i.column == c && i.kind == IndexKind::BTree)
-            })
-            .unwrap_or(false)
+        self.schema.column_index(column).is_ok_and(|c| {
+            self.indexes
+                .iter()
+                .any(|i| i.column == c && i.kind == IndexKind::BTree)
+        })
     }
 
     /// Equality lookup via the best available index; falls back to a

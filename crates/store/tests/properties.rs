@@ -1,5 +1,8 @@
 //! Property-based tests for the embedded store.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree_store::expr::{CompareOp, Predicate};
 use drugtree_store::schema::{Column, Schema};
 use drugtree_store::snapshot::{load_catalog, save_catalog};

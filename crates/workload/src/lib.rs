@@ -1,4 +1,9 @@
 #![warn(missing_docs)]
+// Test/bench support crate: generators construct their own inputs, so
+// `expect` documents generator invariants and a panic here is a bug in
+// the generator itself, never in user data. The workspace-wide
+// unwrap/expect denial is therefore relaxed for this crate only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 //! Synthetic workload generation for the DrugTree reproduction.
 //!

@@ -79,7 +79,7 @@ pub fn evolve_sequences(tree: &Tree, seq_len: usize, seed: u64) -> Vec<ProteinSe
                 .clone()
                 .expect("preorder: parent first");
             let p_sub = node.branch_length.clamp(0.0, 1.0);
-            for site in seq.iter_mut() {
+            for site in &mut seq {
                 if rng.gen::<f64>() < p_sub {
                     *site = CANONICAL[rng.gen_range(0..20)];
                 }

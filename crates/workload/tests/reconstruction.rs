@@ -2,6 +2,9 @@
 //! reconstructed with the full alignment → distance → NJ pipeline,
 //! compared by Robinson–Foulds distance.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree_phylo::align::GapPenalty;
 use drugtree_phylo::compare::{normalized_robinson_foulds, recovered_splits};
 use drugtree_phylo::distance::{pairwise_distances, DistanceModel};

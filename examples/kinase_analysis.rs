@@ -7,6 +7,9 @@
 //! cargo run --release --example kinase_analysis
 //! ```
 
+// Example over hand-curated literal data: a panic means a typo here.
+#![allow(clippy::expect_used)]
+
 use drugtree::prelude::*;
 use drugtree_chem::affinity::{ActivityRecord, ActivityType};
 use drugtree_sources::assay_db::assay_source;

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for source in sources.all() {
         builder = builder.register_source(source.clone());
     }
-    let started = std::time::Instant::now();
+    let started = drugtree_sources::clock::wall_now();
     let system1 = builder.build()?;
     let integration_wall = started.elapsed();
     let dataset = system1.dataset();
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let restored_json = std::fs::read_to_string(&path)?;
     // A fresh registry stands in for re-connecting to the live services.
     let registry: SourceRegistry = bundle.build_dataset().registry.clone();
-    let started = std::time::Instant::now();
+    let started = drugtree_sources::clock::wall_now();
     let dataset = load_system(&restored_json, registry, VirtualClock::new())?;
     let restore_wall = started.elapsed();
 

@@ -2,6 +2,9 @@
 //! clients. The executor's semantic cache is shared state; answers
 //! must stay correct and the cache coherent under parallel load.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree::prelude::*;
 use drugtree_workload::queries::{mixed_stream, QueryWorkloadConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};

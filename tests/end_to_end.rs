@@ -1,6 +1,9 @@
 //! End-to-end pipeline test: sources → tree construction → integration
 //! → optimized federated queries → mobile session.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree::prelude::*;
 use drugtree_chem::affinity::{ActivityRecord, ActivityType};
 use drugtree_sources::assay_db::assay_source;

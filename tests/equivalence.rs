@@ -3,6 +3,9 @@
 //! every query in a generated workload. Optimizations may only change
 //! *cost*, never *answers*.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree::prelude::*;
 use drugtree_query::ast::QueryKind;
 use drugtree_workload::queries::{mixed_stream, QueryWorkloadConfig};

@@ -2,6 +2,9 @@
 //! failures (retry + backoff), pay for them in virtual time, and
 //! surface a clean error when a source is truly down.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree::prelude::*;
 use drugtree_chem::affinity::{ActivityRecord, ActivityType};
 use drugtree_integrate::overlay::OverlayBuilder;

@@ -2,6 +2,9 @@
 //! [`drugtree_integrate::adapter::MappedSource`] wrapper and behaves
 //! exactly like a native source: same answers, translated pushdown.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree::prelude::*;
 use drugtree_chem::affinity::{ActivityRecord, ActivityType};
 use drugtree_integrate::adapter::MappedSource;

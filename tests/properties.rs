@@ -1,6 +1,9 @@
 //! Cross-crate property tests: optimizer equivalence and cache
 //! coherence on randomly generated deployments and queries.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree::prelude::*;
 use proptest::prelude::*;
 

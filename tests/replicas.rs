@@ -2,6 +2,9 @@
 //! optimizer serves the query from the cheapest one — and turning the
 //! rule off only changes cost, never answers.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree::prelude::*;
 
 fn replicated_bundle() -> SyntheticBundle {

@@ -2,6 +2,9 @@
 //! behaviour over realistic gesture scripts, and delivery-mode
 //! invariants.
 
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use drugtree::prelude::*;
 use std::time::Duration;
 

@@ -1,0 +1,118 @@
+//! Repository-local lints that clippy cannot express (std-only, no
+//! dependencies). Run with `cargo run --bin repo-lint`.
+//!
+//! ## Clock lint
+//!
+//! Every simulated latency must be charged to the deterministic
+//! [`VirtualClock`](../crates/sources/src/clock.rs); reading real time
+//! anywhere else silently makes runs machine-dependent. The one
+//! sanctioned wall-clock read is `drugtree_sources::clock::wall_now()`,
+//! so this lint walks all Rust sources and rejects any raw
+//! `Instant::now()` / `SystemTime::now()` call outside
+//! `crates/sources/src/clock.rs`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directories scanned for Rust sources, relative to the repo root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "examples", "tests", "benches"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "bench_results"];
+
+/// The single file allowed to read the wall clock.
+const CLOCK_FILE: &str = "crates/sources/src/clock.rs";
+
+/// Forbidden call patterns. Assembled at runtime so this file would not
+/// flag itself even if it were scanned.
+fn forbidden_patterns() -> Vec<String> {
+    ["Instant", "SystemTime"]
+        .iter()
+        .map(|ty| format!("{ty}::now()"))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let patterns = forbidden_patterns();
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        collect_rust_files(&root.join(scan), &mut files);
+    }
+    files.sort();
+
+    let mut violations = 0usize;
+    let mut scanned = 0usize;
+    for file in &files {
+        let Some(rel) = relative_display(&root, file) else {
+            continue;
+        };
+        if rel == CLOCK_FILE {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(file) else {
+            eprintln!("clock-lint: warning: cannot read {rel}");
+            continue;
+        };
+        scanned += 1;
+        for (lineno, line) in text.lines().enumerate() {
+            for pat in &patterns {
+                if line.contains(pat.as_str()) {
+                    violations += 1;
+                    eprintln!(
+                        "clock-lint: {rel}:{}: `{pat}` outside {CLOCK_FILE}; \
+                         use drugtree_sources::clock::wall_now() (harness timing) \
+                         or the VirtualClock (simulated latency)",
+                        lineno + 1
+                    );
+                }
+            }
+        }
+    }
+
+    if violations > 0 {
+        eprintln!("clock-lint: {violations} violation(s) in {scanned} file(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("clock-lint: ok ({scanned} files clean)");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: where Cargo ran us from, or the ancestor of this
+/// source file when invoked directly via rustc.
+fn repo_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        return PathBuf::from(dir);
+    }
+    std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rust_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn relative_display(root: &Path, file: &Path) -> Option<String> {
+    let rel = file.strip_prefix(root).ok()?;
+    // Normalize to forward slashes so CLOCK_FILE compares portably.
+    Some(
+        rel.components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/"),
+    )
+}

@@ -1,0 +1,59 @@
+//! `any::<T>()` strategies for primitive types.
+
+use crate::strategy::{NewTree, Single, Strategy};
+use crate::test_runner::TestRunner;
+use std::marker::PhantomData;
+
+pub trait Arbitrary: Sized {
+    fn generate(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn generate(runner: &mut TestRunner) -> Self {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(runner: &mut TestRunner) -> Self {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn generate(runner: &mut TestRunner) -> Self {
+        runner.unit_f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn generate(runner: &mut TestRunner) -> Self {
+        char::from_u32(0x20 + (runner.next_u64() % 95) as u32).unwrap_or(' ')
+    }
+}
+
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<T: Arbitrary + Clone> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<T> {
+        Ok(Single(T::generate(runner)))
+    }
+}
+
+pub fn any<T: Arbitrary + Clone>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}

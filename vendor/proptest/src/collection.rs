@@ -1,0 +1,56 @@
+//! Collection strategies.
+
+use crate::strategy::{NewTree, Single, Strategy};
+use crate::test_runner::TestRunner;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive size bounds, converted from the size arguments real
+/// proptest accepts (`usize`, `Range`, `RangeInclusive`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range {r:?}");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range {r:?}");
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Vec<S::Value>> {
+        let len = runner.int_in(self.size.lo as i128, self.size.hi as i128) as usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.new_tree(runner)?.0);
+        }
+        Ok(Single(out))
+    }
+}
+
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}

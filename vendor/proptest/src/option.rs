@@ -1,0 +1,25 @@
+//! `Option` strategies.
+
+use crate::strategy::{NewTree, Single, Strategy};
+use crate::test_runner::TestRunner;
+
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Option<S::Value>> {
+        if runner.next_u64() & 1 == 0 {
+            Ok(Single(None))
+        } else {
+            Ok(Single(Some(self.inner.new_tree(runner)?.0)))
+        }
+    }
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

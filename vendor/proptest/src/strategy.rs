@@ -1,0 +1,254 @@
+//! Strategy combinators: generation only, no shrinking. `new_tree`
+//! produces a [`Single`] value tree whose `current()` clones the
+//! generated value.
+
+use crate::string::generate_from_pattern;
+use crate::test_runner::TestRunner;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub trait ValueTree {
+    type Value;
+    fn current(&self) -> Self::Value;
+}
+
+/// The only value-tree shape this stand-in produces.
+#[derive(Debug, Clone)]
+pub struct Single<T>(pub T);
+
+impl<T: Clone> ValueTree for Single<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+pub type NewTree<T> = Result<Single<T>, String>;
+
+pub trait Strategy {
+    type Value;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value>;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Builds `depth` recursion layers over `self` as the leaf
+    /// strategy; the size/branch hints are accepted for API parity
+    /// and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            let layer = recurse(strat).boxed();
+            strat = Union::new(vec![(1, base.clone()), (2, layer)]).boxed();
+        }
+        strat
+    }
+}
+
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<T> {
+        self.0.new_tree(runner)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_tree(&self, _runner: &mut TestRunner) -> NewTree<T> {
+        Ok(Single(self.0.clone()))
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<U> {
+        let v = self.source.new_tree(runner)?.0;
+        Ok(Single((self.f)(v)))
+    }
+}
+
+/// Weighted choice between boxed strategies of a common value type.
+pub struct Union<T> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        assert!(choices.iter().any(|(w, _)| *w > 0), "prop_oneof! needs a positive weight");
+        Self { choices }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self { choices: self.choices.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<T> {
+        let total: u64 = self.choices.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = runner.next_u64() % total;
+        for (w, s) in &self.choices {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.new_tree(runner);
+            }
+            pick -= w;
+        }
+        self.choices[self.choices.len() - 1].1.new_tree(runner)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                if self.start >= self.end {
+                    return Err(format!("empty range strategy {:?}", self));
+                }
+                Ok(Single(runner.int_in(self.start as i128, self.end as i128 - 1) as $t))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                if self.start() > self.end() {
+                    return Err(format!("empty range strategy {:?}", self));
+                }
+                Ok(Single(runner.int_in(*self.start() as i128, *self.end() as i128) as $t))
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                if !(self.start < self.end) {
+                    return Err(format!("empty range strategy {:?}", self));
+                }
+                let u = runner.unit_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                Ok(Single(if v < self.end { v } else { self.start }))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<$t> {
+                if !(self.start() <= self.end()) {
+                    return Err(format!("empty range strategy {:?}", self));
+                }
+                let u = runner.unit_f64() as $t;
+                Ok(Single(self.start() + u * (self.end() - self.start())))
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+/// String strategies from a regex-like pattern (see `crate::string`
+/// for the supported subset).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<String> {
+        generate_from_pattern(self, runner).map(Single)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn new_tree(&self, runner: &mut TestRunner) -> NewTree<String> {
+        generate_from_pattern(self, runner).map(Single)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn new_tree(&self, runner: &mut TestRunner) -> NewTree<Self::Value> {
+                Ok(Single(($(self.$idx.new_tree(runner)?.0,)+)))
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5),
+);

@@ -1,0 +1,162 @@
+//! Regex-subset string generation. Supports exactly the pattern
+//! language this workspace's tests use: literal characters, character
+//! classes `[A-Za-z0-9_.|-]` (ranges and literals, leading/trailing
+//! `-` literal), the printable-character escape `\PC`, and the
+//! quantifiers `{n}` and `{m,n}`.
+
+use crate::test_runner::TestRunner;
+
+enum Element {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+struct Quantified {
+    element: Element,
+    min: u32,
+    max: u32,
+}
+
+// Mostly-ASCII pool for `\PC`; a few multibyte characters keep parser
+// fuzz tests honest about UTF-8.
+const EXTRA_PRINTABLE: [char; 4] = ['é', 'λ', '中', '😀'];
+
+fn parse_pattern(pattern: &str) -> Result<Vec<Quantified>, String> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out: Vec<Quantified> = Vec::new();
+    while i < chars.len() {
+        let element = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or_else(|| format!("unclosed `[` in pattern {pattern:?}"))?
+                    + i
+                    + 1;
+                let body = &chars[i + 1..close];
+                let mut ranges = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        ranges.push((body[j], body[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((body[j], body[j]));
+                        j += 1;
+                    }
+                }
+                if ranges.is_empty() {
+                    return Err(format!("empty class in pattern {pattern:?}"));
+                }
+                i = close + 1;
+                Element::Class(ranges)
+            }
+            '\\' => {
+                let kind: String = chars[i + 1..].iter().take(2).collect();
+                if kind.starts_with("PC") {
+                    i += 3;
+                    Element::Printable
+                } else {
+                    return Err(format!("unsupported escape in pattern {pattern:?}"));
+                }
+            }
+            c => {
+                i += 1;
+                Element::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or_else(|| format!("unclosed `{{` in pattern {pattern:?}"))?
+                + i
+                + 1;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse::<u32>().map_err(|e| format!("bad quantifier in {pattern:?}: {e}"))?,
+                    hi.parse::<u32>().map_err(|e| format!("bad quantifier in {pattern:?}: {e}"))?,
+                ),
+                None => {
+                    let n = body
+                        .parse::<u32>()
+                        .map_err(|e| format!("bad quantifier in {pattern:?}: {e}"))?;
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(Quantified { element, min, max });
+    }
+    Ok(out)
+}
+
+fn sample_element(element: &Element, runner: &mut TestRunner) -> char {
+    match element {
+        Element::Literal(c) => *c,
+        Element::Class(ranges) => {
+            let total: i128 = ranges
+                .iter()
+                .map(|(lo, hi)| i128::from(*hi as u32) - i128::from(*lo as u32) + 1)
+                .sum();
+            let mut pick = runner.int_in(0, total - 1);
+            for (lo, hi) in ranges {
+                let span = i128::from(*hi as u32) - i128::from(*lo as u32) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+        Element::Printable => {
+            let n = 95 + EXTRA_PRINTABLE.len() as i128;
+            let pick = runner.int_in(0, n - 1);
+            if pick < 95 {
+                char::from_u32(0x20 + pick as u32).unwrap_or(' ')
+            } else {
+                EXTRA_PRINTABLE[(pick - 95) as usize]
+            }
+        }
+    }
+}
+
+pub(crate) fn generate_from_pattern(pattern: &str, runner: &mut TestRunner) -> Result<String, String> {
+    let elements = parse_pattern(pattern)?;
+    let mut out = String::new();
+    for q in &elements {
+        let count = runner.int_in(i128::from(q.min), i128::from(q.max)) as u32;
+        for _ in 0..count {
+            out.push(sample_element(&q.element, runner));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[A-Za-z][A-Za-z0-9_.|-]{0,20}", &mut runner).unwrap();
+            assert!(!s.is_empty() && s.len() <= 21);
+            assert!(s.chars().next().is_some_and(|c| c.is_ascii_alphabetic()));
+            assert!(s
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_alphanumeric() || "_.|-".contains(c)));
+
+            let s = generate_from_pattern("\\PC{0,60}", &mut runner).unwrap();
+            assert!(s.chars().count() <= 60);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+}

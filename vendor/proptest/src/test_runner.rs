@@ -1,0 +1,66 @@
+//! Deterministic test runner: a seeded xorshift64* stream drives all
+//! strategies. No shrinking — a failing case reports its index and
+//! message.
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest runs 256; 64 keeps offline suites quick while
+        // still exercising the strategies.
+        Self { cases: 64 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject,
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    pub fn new(_config: ProptestConfig) -> Self {
+        Self::deterministic()
+    }
+
+    pub fn deterministic() -> Self {
+        Self { state: 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive); `lo <= hi` required.
+    pub(crate) fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + (u128::from(self.next_u64()) % span) as i128
+    }
+}

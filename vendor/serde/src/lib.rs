@@ -1,0 +1,368 @@
+//! Offline stand-in for `serde`: a `Content`-tree data model with
+//! `Serialize`/`Deserialize` traits re-exporting the stand-in derive
+//! macros. Externally-tagged enum representation, field order
+//! preserved, matching real serde's JSON mapping for the shapes this
+//! workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate data model every value serializes into (and
+/// deserializes from). Maps preserve insertion order so JSON output
+/// is deterministic and field order matches declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+pub trait Serialize {
+    fn serialize_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn deserialize_content(content: &Content) -> Result<Self, String>;
+}
+
+/// First value for `key` in an ordered map.
+pub fn map_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Extracts and deserializes a struct field; a missing field is
+/// deserialized from `Null` so `Option` fields default to `None`.
+pub fn field<T: Deserialize>(map: &[(String, Content)], key: &str) -> Result<T, String> {
+    match map_get(map, key) {
+        Some(c) => T::deserialize_content(c).map_err(|e| format!("field `{key}`: {e}")),
+        None => T::deserialize_content(&Content::Null)
+            .map_err(|_| format!("missing field `{key}`")),
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(i64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                let n = match c {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| format!("integer {n} out of range"))?,
+                    Content::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(format!("expected integer, found {other:?}")),
+                };
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range"))
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(u64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                let n = match c {
+                    Content::U64(n) => *n,
+                    Content::I64(n) => u64::try_from(*n)
+                        .map_err(|_| format!("integer {n} out of range"))?,
+                    Content::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(format!("expected integer, found {other:?}")),
+                };
+                <$t>::try_from(n).map_err(|_| format!("integer {n} out of range"))
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_content(&self) -> Content {
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        u64::deserialize_content(c)
+            .and_then(|n| usize::try_from(n).map_err(|_| format!("integer {n} out of range")))
+    }
+}
+
+impl Serialize for isize {
+    fn serialize_content(&self) -> Content {
+        Content::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        i64::deserialize_content(c)
+            .and_then(|n| isize::try_from(n).map_err(|_| format!("integer {n} out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::F64(f) => Ok(*f),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            other => Err(format!("expected float, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        f64::deserialize_content(c).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            // Deserializing to a 'static borrow requires giving the
+            // string a 'static home; these are rare, tiny values
+            // (e.g. network profile names), so leaking is fine.
+            Content::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap_or('\0')),
+            other => Err(format!("expected single-char string, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(format!("expected sequence, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.serialize_content()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                match c {
+                    Content::Seq(items) if items.len() == [$($n),+].len() => {
+                        Ok(($($t::deserialize_content(&items[$n])?,)+))
+                    }
+                    other => Err(format!("expected tuple, found {other:?}")),
+                }
+            }
+        }
+    )+};
+}
+
+tuple_impl!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn serialize_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_content()))
+            .collect();
+        // Sorted for deterministic output (hash maps have no stable
+        // iteration order).
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(format!("expected map, found {other:?}")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(format!("expected map, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(m) => {
+                let secs: u64 = field(m, "secs")?;
+                let nanos: u32 = field(m, "nanos")?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            other => Err(format!("expected duration map, found {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`: generates impls of the
+//! stand-in `serde::Serialize` / `serde::Deserialize` traits (a
+//! `Content`-tree model) for plain structs and enums.
+//!
+//! Supported shape: non-generic structs (named, tuple, unit) and
+//! enums (unit, tuple, struct variants) without `#[serde(...)]`
+//! attributes — exactly what this workspace derives. Anything fancier
+//! fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+enum Body {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                match toks.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    _ => panic!("serde stand-in derive: malformed attribute"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn ident_at(toks: &[TokenTree], i: usize, what: &str) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Skips tokens until a comma at angle-bracket depth zero, consuming
+/// the comma. Used to skip a field type or an enum discriminant.
+fn skip_to_top_level_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i, "field name");
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_to_top_level_comma(&toks, &mut i);
+        names.push(name);
+    }
+    names
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if in_segment {
+                        count += 1;
+                    }
+                    in_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_segment = true;
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_at(&toks, i, "variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the trailing comma.
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                i += 1;
+                skip_to_top_level_comma(&toks, &mut i);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("serde stand-in derive: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i, "`struct` or `enum`");
+    i += 1;
+    let name = ident_at(&toks, i, "item name");
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive: generics are not supported (on `{name}`)");
+        }
+    }
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde stand-in derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stand-in derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde stand-in derive: expected struct or enum, found `{other}`"),
+    };
+    (name, body)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_content(&self) -> ::serde::Content {{\n"
+    );
+    match &body {
+        Body::UnitStruct => out.push_str("::serde::Content::Null\n"),
+        Body::TupleStruct(1) => {
+            out.push_str("::serde::Serialize::serialize_content(&self.0)\n");
+        }
+        Body::TupleStruct(n) => {
+            out.push_str("::serde::Content::Seq(::std::vec![\n");
+            for k in 0..*n {
+                let _ = write!(out, "::serde::Serialize::serialize_content(&self.{k}),\n");
+            }
+            out.push_str("])\n");
+        }
+        Body::NamedStruct(fields) => {
+            out.push_str("::serde::Content::Map(::std::vec![\n");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize_content(&self.{f})),\n"
+                );
+            }
+            out.push_str("])\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("_f{k}")).collect();
+                        let _ = write!(out, "{name}::{vn}({}) => ", binders.join(", "));
+                        if *n == 1 {
+                            let _ = write!(
+                                out,
+                                "::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::serialize_content(_f0))]),\n"
+                            );
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_content({b})"))
+                                .collect();
+                            let _ = write!(
+                                out,
+                                "::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Seq(::std::vec![{}]))]),\n",
+                                items.join(", ")
+                            );
+                        }
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(out, "{name}::{vn} {{ {} }} => ", fields.join(", "));
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize_content({f}))"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Content::Map(::std::vec![{}]))]),\n",
+                            items.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out.parse().expect("serde stand-in derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_content(_c: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{\n"
+    );
+    match &body {
+        Body::UnitStruct => {
+            let _ = write!(out, "Ok({name})\n");
+        }
+        Body::TupleStruct(1) => {
+            let _ = write!(out, "Ok({name}(::serde::Deserialize::deserialize_content(_c)?))\n");
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_content(&_s[{k}usize])?"))
+                .collect();
+            let _ = write!(
+                out,
+                "match _c {{\n\
+                 ::serde::Content::Seq(_s) if _s.len() == {n}usize => Ok({name}({})),\n\
+                 _ => Err(::std::string::String::from(\"expected {n}-tuple for {name}\")),\n\
+                 }}\n",
+                items.join(", ")
+            );
+        }
+        Body::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(_m, \"{f}\")?"))
+                .collect();
+            let _ = write!(
+                out,
+                "match _c {{\n\
+                 ::serde::Content::Map(_m) => Ok({name} {{ {} }}),\n\
+                 _ => Err(::std::string::String::from(\"expected map for {name}\")),\n\
+                 }}\n",
+                items.join(", ")
+            );
+        }
+        Body::Enum(variants) => {
+            out.push_str("match _c {\n::serde::Content::Str(_s) => match _s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    let _ = write!(out, "\"{vn}\" => Ok({name}::{vn}),\n");
+                }
+            }
+            let _ = write!(
+                out,
+                "_ => Err(::std::format!(\"unknown unit variant `{{}}` for {name}\", _s)),\n}},\n"
+            );
+            out.push_str(
+                "::serde::Content::Map(_m) if _m.len() == 1 => {\nlet (_k, _v) = &_m[0];\nmatch _k.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize_content(_v)?)),\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize_content(&_s[{k}usize])?"))
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => match _v {{\n\
+                             ::serde::Content::Seq(_s) if _s.len() == {n}usize => Ok({name}::{vn}({})),\n\
+                             _ => Err(::std::string::String::from(\"bad payload for {name}::{vn}\")),\n\
+                             }},\n",
+                            items.join(", ")
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(_vm, \"{f}\")?"))
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => match _v {{\n\
+                             ::serde::Content::Map(_vm) => Ok({name}::{vn} {{ {} }}),\n\
+                             _ => Err(::std::string::String::from(\"bad payload for {name}::{vn}\")),\n\
+                             }},\n",
+                            items.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "_ => Err(::std::format!(\"unknown variant `{{}}` for {name}\", _k)),\n\
+                 }}\n}}\n\
+                 _ => Err(::std::string::String::from(\"expected variant for {name}\")),\n\
+                 }}\n"
+            );
+        }
+    }
+    out.push_str("}\n}\n");
+    out.parse().expect("serde stand-in derive: generated invalid Deserialize impl")
+}
