@@ -36,6 +36,7 @@ fn main() {
         ("e7", drugtree_bench::e7_matview::run),
         ("e8", drugtree_bench::e8_lod::run),
         ("e10", drugtree_bench::e10_prefetch::run),
+        ("e11", drugtree_bench::e11_serving::run),
     ];
 
     let out_dir = std::path::Path::new("bench_results");

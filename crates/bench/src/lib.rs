@@ -12,6 +12,7 @@
 //! measured separately by the Criterion benches (E9).
 
 pub mod e10_prefetch;
+pub mod e11_serving;
 pub mod e1_query_classes;
 pub mod e2_scalability;
 pub mod e3_cache;

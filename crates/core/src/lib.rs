@@ -32,23 +32,28 @@
 //! `drugtree-mobile`) and are re-exported under [`prelude`].
 
 pub mod builder;
+pub mod serve;
 pub mod snapshot;
 pub mod system;
 
 pub use builder::DrugTreeBuilder;
+pub use serve::{ServeReport, ServerHandle};
 pub use snapshot::{load_system, save_system};
 pub use system::{DrugTree, DrugTreeError, SystemReport};
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::builder::DrugTreeBuilder;
+    pub use crate::serve::{ServeReport, ServerHandle};
     pub use crate::system::{DrugTree, DrugTreeError, SystemReport};
     pub use drugtree_mobile::gestures::{drill_down_script, GestureConfig};
+    pub use drugtree_mobile::serve::{zipf_sessions, SessionWorkload};
     pub use drugtree_mobile::{Gesture, MobileSession, NetworkProfile};
     pub use drugtree_phylo::newick::{parse_newick, to_newick};
     pub use drugtree_phylo::{NodeId, Tree, TreeIndex};
     pub use drugtree_query::ast::{Metric, Query, QueryKind, Scope};
     pub use drugtree_query::optimizer::{Optimizer, OptimizerConfig};
+    pub use drugtree_query::serve::{ServeConfig, ServeStats};
     pub use drugtree_query::{Dataset, ExecMetrics, Executor, QueryResult};
     pub use drugtree_store::expr::{CompareOp, Predicate};
     pub use drugtree_store::value::Value;

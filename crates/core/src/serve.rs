@@ -1,0 +1,230 @@
+//! The concurrent server: M mobile sessions over one shared executor.
+//!
+//! Everything below the session layer is already thread-safe — the
+//! executor's sharded cache, the fetch coordinator, the virtual clock,
+//! the simulated sources. [`ServerHandle`] is the harness that proves
+//! it: it owns the dataset/executor pair behind `Arc`s and drives one
+//! OS thread per [`SessionWorkload`], each replaying its gesture
+//! script through its own [`MobileSession`](drugtree_mobile::MobileSession)
+//! against the shared executor. The per-interaction numbers every
+//! thread records roll up into a [`ServeReport`] with wall-clock
+//! throughput and charged-latency percentiles — the measurements
+//! experiment E11 tables.
+
+use crate::system::{DrugTree, DrugTreeError};
+use drugtree_mobile::serve::SessionWorkload;
+use drugtree_mobile::MobileSession;
+use drugtree_query::cache::CacheStats;
+use drugtree_query::serve::ServeStats;
+use drugtree_query::{Dataset, Executor, ServeConfig};
+use drugtree_sources::clock::wall_now;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a serving run measured.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Concurrent sessions driven.
+    pub sessions: usize,
+    /// Total gestures replayed across all sessions.
+    pub gestures: usize,
+    /// Real (wall-clock) time the run took.
+    pub wall: Duration,
+    /// Charged latency of every query-bearing interaction, unsorted.
+    pub latencies: Vec<Duration>,
+    /// Per-session virtual completion time: the sum of every
+    /// interaction's charged latency in that session. Sessions are
+    /// independent clients, so they overlap; the fleet's virtual
+    /// makespan is the maximum entry.
+    pub session_totals: Vec<Duration>,
+    /// Cache counters after the run.
+    pub cache: CacheStats,
+    /// Coordinator counters after the run (when serving was enabled).
+    pub serve: Option<ServeStats>,
+}
+
+impl ServeReport {
+    /// The fleet's virtual makespan: the slowest session's completion
+    /// time (sessions overlap; the server is done when the last one is).
+    pub fn virtual_makespan(&self) -> Duration {
+        self.session_totals
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Gestures per *virtual* second: total gestures over the virtual
+    /// makespan. Deterministic and machine-independent, like every
+    /// latency in the experiment suite; wall-clock CPU is Criterion's
+    /// job.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.virtual_makespan().as_secs_f64();
+        if secs > 0.0 {
+            self.gestures as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The `p`-th percentile (0–100) of charged query latency.
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// A shareable server over one dataset/executor pair.
+pub struct ServerHandle {
+    dataset: Arc<Dataset>,
+    executor: Arc<Executor>,
+}
+
+impl ServerHandle {
+    /// Wrap an already-configured pair. Call
+    /// [`Executor::enable_serving`] first if cross-session coalescing
+    /// is wanted; [`DrugTree::into_server`] does both.
+    pub fn new(dataset: Arc<Dataset>, executor: Arc<Executor>) -> ServerHandle {
+        ServerHandle { dataset, executor }
+    }
+
+    /// The shared dataset.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The shared executor.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// Replay every workload concurrently, one OS thread per session,
+    /// all sharing this server's executor. Returns the rolled-up
+    /// measurements; the first session error, if any, fails the run.
+    pub fn run(&self, workloads: &[SessionWorkload]) -> Result<ServeReport, DrugTreeError> {
+        type SessionOutcome = Result<(Duration, Vec<Duration>), DrugTreeError>;
+        let started = wall_now();
+        let mut per_session: Vec<SessionOutcome> = Vec::with_capacity(workloads.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workloads
+                .iter()
+                .map(|w| {
+                    let dataset = &self.dataset;
+                    let executor = &self.executor;
+                    scope.spawn(move || -> SessionOutcome {
+                        let mut session = MobileSession::new(dataset, executor, w.network);
+                        let mut total = Duration::ZERO;
+                        let mut latencies = Vec::with_capacity(w.script.len());
+                        for gesture in &w.script {
+                            let r = session
+                                .apply(gesture)
+                                .map_err(|e| DrugTreeError::Serve(e.to_string()))?;
+                            total += r.charged_latency;
+                            if r.cache_hit.is_some() {
+                                latencies.push(r.charged_latency);
+                            }
+                        }
+                        Ok((total, latencies))
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_session.push(h.join().unwrap_or_else(|_| {
+                    Err(DrugTreeError::Serve("session thread panicked".into()))
+                }));
+            }
+        });
+        let wall = wall_now().duration_since(started);
+        let mut latencies = Vec::new();
+        let mut session_totals = Vec::with_capacity(per_session.len());
+        for r in per_session {
+            let (total, mine) = r?;
+            session_totals.push(total);
+            latencies.extend(mine);
+        }
+        Ok(ServeReport {
+            sessions: workloads.len(),
+            gestures: workloads.iter().map(|w| w.script.len()).sum(),
+            wall,
+            latencies,
+            session_totals,
+            cache: self.executor.cache_stats(),
+            serve: self.executor.serve_stats(),
+        })
+    }
+}
+
+impl DrugTree {
+    /// Convert into a concurrent server: enables cross-session fetch
+    /// coordination on the executor and moves the pair behind `Arc`s.
+    pub fn into_server(self, config: ServeConfig) -> ServerHandle {
+        let (dataset, mut executor) = self.into_parts();
+        executor.enable_serving(config);
+        ServerHandle::new(Arc::new(dataset), Arc::new(executor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_mobile::gestures::GestureConfig;
+    use drugtree_mobile::serve::zipf_sessions;
+    use drugtree_query::optimizer::OptimizerConfig;
+    use drugtree_workload::{SyntheticBundle, WorkloadSpec};
+
+    fn server() -> ServerHandle {
+        let bundle = SyntheticBundle::generate(&WorkloadSpec::default().leaves(32).ligands(8));
+        DrugTree::builder()
+            .dataset(bundle.build_dataset())
+            .optimizer(OptimizerConfig::full())
+            .build()
+            .unwrap()
+            .into_server(ServeConfig::default())
+    }
+
+    #[test]
+    fn serves_concurrent_sessions() {
+        let server = server();
+        let workloads = zipf_sessions(
+            &server.dataset().tree,
+            &server.dataset().index,
+            4,
+            &GestureConfig {
+                len: 20,
+                ..Default::default()
+            },
+        );
+        let report = server.run(&workloads).unwrap();
+        assert_eq!(report.sessions, 4);
+        assert_eq!(report.gestures, 80);
+        assert!(!report.latencies.is_empty());
+        assert!(report.throughput() > 0.0);
+        let stats = report.cache;
+        assert_eq!(stats.hits + stats.misses, stats.probes);
+        assert!(report.serve.is_some(), "into_server enables coordination");
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let server = server();
+        let workloads = zipf_sessions(
+            &server.dataset().tree,
+            &server.dataset().index,
+            2,
+            &GestureConfig {
+                len: 30,
+                ..Default::default()
+            },
+        );
+        let report = server.run(&workloads).unwrap();
+        let p50 = report.latency_percentile(50.0);
+        let p95 = report.latency_percentile(95.0);
+        let p99 = report.latency_percentile(99.0);
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+}

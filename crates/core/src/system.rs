@@ -19,6 +19,8 @@ pub enum DrugTreeError {
     Phylo(String),
     /// Integration failed.
     Integrate(String),
+    /// A concurrent serving session failed.
+    Serve(String),
 }
 
 impl fmt::Display for DrugTreeError {
@@ -28,6 +30,7 @@ impl fmt::Display for DrugTreeError {
             DrugTreeError::Query(e) => write!(f, "query error: {e}"),
             DrugTreeError::Phylo(msg) => write!(f, "tree error: {msg}"),
             DrugTreeError::Integrate(msg) => write!(f, "integration error: {msg}"),
+            DrugTreeError::Serve(msg) => write!(f, "serving error: {msg}"),
         }
     }
 }
@@ -95,6 +98,12 @@ impl DrugTree {
     /// Assemble from pre-built parts (the builder calls this).
     pub(crate) fn from_parts(dataset: Dataset, executor: Executor) -> DrugTree {
         DrugTree { dataset, executor }
+    }
+
+    /// Decompose into the dataset/executor pair (the server harness
+    /// calls this to move both behind `Arc`s).
+    pub(crate) fn into_parts(self) -> (Dataset, Executor) {
+        (self.dataset, self.executor)
     }
 
     /// Execute a structured query.

@@ -20,6 +20,8 @@
 //!   query executor, viewport, and network together.
 //! * [`gestures`] — seeded gesture-script generation (drill-down walks
 //!   with Zipf-skewed locality) for the session experiments.
+//! * [`serve`] — multi-session workload generation: per-session Zipf
+//!   scripts over a shared hot-clade ranking, for concurrent serving.
 
 pub mod error;
 pub mod gestures;
@@ -28,11 +30,13 @@ pub mod lod;
 pub mod network;
 pub mod prefetch;
 pub mod progressive;
+pub mod serve;
 pub mod session;
 pub mod viewport;
 
 pub use error::MobileError;
 pub use network::NetworkProfile;
+pub use serve::{zipf_sessions, SessionWorkload};
 pub use session::{Gesture, MobileSession};
 pub use viewport::Viewport;
 

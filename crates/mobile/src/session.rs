@@ -75,6 +75,12 @@ pub struct InteractionResult {
     pub rows: usize,
     /// Virtual time spent querying sources.
     pub query_latency: Duration,
+    /// Latency attributable to this interaction alone: the query's
+    /// charged fetch cost (its share of any coalesced batch, not the
+    /// whole shared clock advance) plus link transfer. Equals
+    /// `complete` for a solo session; diverges under concurrent
+    /// serving, where `query_latency` interleaves other sessions' work.
+    pub charged_latency: Duration,
     /// Time until the first usable content reached the screen
     /// (query + first chunk).
     pub first_usable: Duration,
@@ -204,6 +210,7 @@ impl<'a> MobileSession<'a> {
             gesture: kind,
             rows: 0,
             query_latency: Duration::ZERO,
+            charged_latency: transfer,
             first_usable: transfer,
             complete: transfer,
             payload_bytes: render.payload_bytes,
@@ -228,6 +235,7 @@ impl<'a> MobileSession<'a> {
             gesture: kind,
             rows: result.rows.len(),
             query_latency: result.metrics.virtual_cost,
+            charged_latency: result.metrics.charged_cost + schedule.complete(),
             first_usable: result.metrics.virtual_cost + schedule.first_usable(),
             complete: result.metrics.virtual_cost + schedule.complete(),
             payload_bytes: schedule.total_bytes,

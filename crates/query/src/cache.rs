@@ -24,7 +24,8 @@
 use drugtree_phylo::index::LeafInterval;
 use drugtree_store::expr::Predicate;
 use drugtree_store::value::Value;
-use std::collections::VecDeque;
+use rustc_hash::FxHashMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One cached fetch result.
 #[derive(Debug, Clone)]
@@ -53,6 +54,13 @@ pub struct CacheConfig {
     pub max_entries: usize,
     /// Maximum total cached rows (LRU beyond this).
     pub max_rows: usize,
+    /// Shard count of the executor-level sharded cache (rounded up to
+    /// a power of two; 1 = a single globally locked cache). Budgets
+    /// above are split evenly across shards. Defaults to 1 so a
+    /// single-session executor keeps its full budget and subsumption
+    /// reach in one shard; `Executor::enable_serving` re-shards for
+    /// concurrency.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
@@ -60,6 +68,7 @@ impl Default for CacheConfig {
         CacheConfig {
             max_entries: 64,
             max_rows: 100_000,
+            shards: 1,
         }
     }
 }
@@ -67,6 +76,8 @@ impl Default for CacheConfig {
 /// Cumulative cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total probes (always `hits + misses`).
+    pub probes: u64,
     /// Probes that found a usable entry.
     pub hits: u64,
     /// Probes that found nothing.
@@ -78,12 +89,25 @@ pub struct CacheStats {
 }
 
 /// The semantic cache. Not internally synchronized; the executor holds
-/// it behind the session's lock.
+/// one per shard behind a shard lock (see `serve::ShardedSemanticCache`).
+///
+/// Entries live in an id-keyed map with two access paths: an LRU queue
+/// of ids (front = coldest) driving probe order and eviction, and an
+/// interval index keyed by `(interval.lo, id)` so targeted
+/// invalidation visits only entries whose interval can overlap the
+/// refresh window instead of scanning every entry.
 #[derive(Debug)]
 pub struct SemanticCache {
     config: CacheConfig,
-    /// Most-recently-used entries at the back.
-    entries: VecDeque<CacheEntry>,
+    entries: FxHashMap<u64, CacheEntry>,
+    /// Most-recently-used ids at the back.
+    lru: VecDeque<u64>,
+    /// Interval index: `(lo, id) -> hi`.
+    by_lo: BTreeMap<(u32, u64), u32>,
+    next_id: u64,
+    /// Incrementally maintained `Σ rows`, so budget enforcement does
+    /// not rescan entries.
+    cached_rows: usize,
     stats: CacheStats,
 }
 
@@ -92,7 +116,11 @@ impl SemanticCache {
     pub fn new(config: CacheConfig) -> SemanticCache {
         SemanticCache {
             config,
-            entries: VecDeque::new(),
+            entries: FxHashMap::default(),
+            lru: VecDeque::new(),
+            by_lo: BTreeMap::new(),
+            next_id: 0,
+            cached_rows: 0,
             stats: CacheStats::default(),
         }
     }
@@ -103,22 +131,25 @@ impl SemanticCache {
         interval: LeafInterval,
         pushdown: Option<&Predicate>,
     ) -> Option<CacheHit> {
-        let idx = self.entries.iter().position(|e| {
-            e.interval.contains(interval) && pushdown_implies(pushdown, e.pushdown.as_ref())
+        self.stats.probes += 1;
+        let found = self.lru.iter().position(|id| {
+            self.entries.get(id).is_some_and(|e| {
+                e.interval.contains(interval) && pushdown_implies(pushdown, e.pushdown.as_ref())
+            })
         });
-        // `remove` cannot miss on an index from `position`; treating a
-        // miss as a cache miss keeps this total anyway.
-        match idx.and_then(|i| self.entries.remove(i)) {
-            Some(entry) => {
-                // LRU touch: move to the back.
-                let rows = slice_rows(&entry.rows, interval);
-                let hit = CacheHit {
-                    rows,
-                    entry_interval: entry.interval,
+        match found {
+            Some(pos) => {
+                // LRU touch: move the id to the back.
+                let Some(id) = self.lru.remove(pos) else {
+                    unreachable!("position came from the same deque")
                 };
-                self.entries.push_back(entry);
+                self.lru.push_back(id);
+                let entry = &self.entries[&id];
                 self.stats.hits += 1;
-                Some(hit)
+                Some(CacheHit {
+                    rows: slice_rows(&entry.rows, interval),
+                    entry_interval: entry.interval,
+                })
             }
             None => {
                 self.stats.misses += 1;
@@ -129,39 +160,79 @@ impl SemanticCache {
 
     /// Insert a fetch result. Rows need not be pre-sorted. Entries
     /// subsumed by the new one are dropped (the new entry answers
-    /// everything they could).
+    /// everything they could). Returns the entries evicted by budget
+    /// enforcement, so a sharded wrapper can aggregate counters
+    /// without re-locking.
     pub fn insert(
         &mut self,
         interval: LeafInterval,
         pushdown: Option<Predicate>,
         mut rows: Vec<Vec<Value>>,
-    ) {
+    ) -> u64 {
         rows.sort_by_key(|r| r.first().and_then(Value::as_int).unwrap_or(i64::MAX));
-        // Drop entries the new one subsumes.
-        let new_pushdown = pushdown.clone();
-        self.entries.retain(|e| {
-            !(interval.contains(e.interval)
-                && pushdown_implies(e.pushdown.as_ref(), new_pushdown.as_ref()))
-        });
-        self.entries.push_back(CacheEntry {
-            interval,
-            pushdown,
-            rows,
-        });
-        self.enforce_limits();
+        // Drop entries the new one subsumes. Contained entries have
+        // `lo' ∈ [lo, hi]`, so the interval index prunes candidates.
+        let subsumed: Vec<u64> =
+            self.by_lo
+                .range((interval.lo, 0)..=(interval.hi, u64::MAX))
+                .filter(|(&(_, id), &hi)| {
+                    hi <= interval.hi
+                        && self.entries.get(&id).is_some_and(|e| {
+                            pushdown_implies(e.pushdown.as_ref(), pushdown.as_ref())
+                        })
+                })
+                .map(|(&(_, id), _)| id)
+                .collect();
+        self.remove_ids(&subsumed);
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.cached_rows += rows.len();
+        self.by_lo.insert((interval.lo, id), interval.hi);
+        self.lru.push_back(id);
+        self.entries.insert(
+            id,
+            CacheEntry {
+                interval,
+                pushdown,
+                rows,
+            },
+        );
+        self.enforce_limits()
     }
 
-    /// Drop every entry (sources changed; cached results may be stale).
-    pub fn invalidate_all(&mut self) {
-        self.stats.invalidations += self.entries.len() as u64;
+    /// Drop every entry (sources changed; cached results may be
+    /// stale). Returns the number of entries dropped.
+    pub fn invalidate_all(&mut self) -> u64 {
+        let dropped = self.entries.len() as u64;
+        self.stats.invalidations += dropped;
         self.entries.clear();
+        self.lru.clear();
+        self.by_lo.clear();
+        self.cached_rows = 0;
+        dropped
     }
 
     /// Drop entries overlapping an interval (a targeted refresh).
-    pub fn invalidate_interval(&mut self, interval: LeafInterval) {
-        let before = self.entries.len();
-        self.entries.retain(|e| !e.interval.overlaps(interval));
-        self.stats.invalidations += (before - self.entries.len()) as u64;
+    /// The interval index restricts the walk to entries with
+    /// `lo < interval.hi`; the exact overlap test filters the rest.
+    /// Returns the number of entries dropped.
+    pub fn invalidate_interval(&mut self, interval: LeafInterval) -> u64 {
+        let doomed: Vec<u64> = self
+            .by_lo
+            .range(..(interval.hi, 0))
+            .filter(|(_, &hi)| hi > interval.lo)
+            .filter(|(&(_, id), _)| {
+                self.entries
+                    .get(&id)
+                    .is_some_and(|e| e.interval.overlaps(interval))
+            })
+            .map(|(&(_, id), _)| id)
+            .collect();
+        let dropped = doomed.len() as u64;
+        self.remove_ids(&doomed);
+        self.stats.invalidations += dropped;
+        dropped
     }
 
     /// Counters.
@@ -181,20 +252,42 @@ impl SemanticCache {
 
     /// Total cached rows.
     pub fn total_rows(&self) -> usize {
-        self.entries.iter().map(|e| e.rows.len()).sum()
+        self.cached_rows
     }
 
-    fn enforce_limits(&mut self) {
+    fn remove_ids(&mut self, ids: &[u64]) {
+        if ids.is_empty() {
+            return;
+        }
+        for id in ids {
+            if let Some(e) = self.entries.remove(id) {
+                self.by_lo.remove(&(e.interval.lo, *id));
+                self.cached_rows -= e.rows.len();
+            }
+        }
+        self.lru.retain(|id| self.entries.contains_key(id));
+    }
+
+    fn enforce_limits(&mut self) -> u64 {
         // Strict budgets: an entry larger than the whole row budget is
         // evicted immediately (whole-database results are not worth
         // caching on a constrained client), so it can never crowd out
         // the drill-down-sized entries the mobile workload reuses.
+        let mut evicted = 0;
         while self.entries.len() > self.config.max_entries
-            || (self.total_rows() > self.config.max_rows && !self.entries.is_empty())
+            || (self.cached_rows > self.config.max_rows && !self.entries.is_empty())
         {
-            self.entries.pop_front();
+            let Some(id) = self.lru.pop_front() else {
+                break;
+            };
+            if let Some(e) = self.entries.remove(&id) {
+                self.by_lo.remove(&(e.interval.lo, id));
+                self.cached_rows -= e.rows.len();
+            }
             self.stats.evictions += 1;
+            evicted += 1;
         }
+        evicted
     }
 }
 
@@ -387,6 +480,7 @@ mod tests {
         let mut c = SemanticCache::new(CacheConfig {
             max_entries: 2,
             max_rows: 1000,
+            ..CacheConfig::default()
         });
         c.insert(iv(0, 1), None, vec![row(0, "a")]);
         c.insert(iv(1, 2), None, vec![row(1, "b")]);
@@ -404,6 +498,7 @@ mod tests {
         let mut c = SemanticCache::new(CacheConfig {
             max_entries: 100,
             max_rows: 3,
+            ..CacheConfig::default()
         });
         c.insert(iv(0, 4), None, vec![row(0, "a"), row(1, "b")]);
         c.insert(iv(4, 8), None, vec![row(4, "c"), row(5, "d")]);
@@ -416,6 +511,7 @@ mod tests {
         let mut c = SemanticCache::new(CacheConfig {
             max_entries: 100,
             max_rows: 2,
+            ..CacheConfig::default()
         });
         c.insert(iv(0, 8), None, vec![row(0, "a"), row(1, "b"), row(2, "c")]);
         assert!(c.is_empty(), "whole-database result exceeds the budget");
@@ -437,6 +533,57 @@ mod tests {
         c.insert(iv(0, 4), None, vec![row(0, "a")]);
         c.invalidate_all();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overlapping_interval_invalidation() {
+        // Entries on every side of the refresh window: strictly left,
+        // touching-left (half-open: no overlap), left-overlapping,
+        // contained, containing, right-overlapping, touching-right,
+        // strictly right.
+        let mut c = SemanticCache::new(CacheConfig::default());
+        let cases = [
+            (iv(0, 2), false),   // strictly left of [4, 8)
+            (iv(2, 4), false),   // touches lo: half-open, no overlap
+            (iv(3, 5), true),    // straddles lo
+            (iv(5, 6), true),    // contained
+            (iv(2, 10), true),   // contains the window
+            (iv(7, 9), true),    // straddles hi
+            (iv(8, 10), false),  // touches hi
+            (iv(10, 12), false), // strictly right
+        ];
+        // Distinct pushdowns keep the entries from subsuming each
+        // other on insert, so all eight coexist.
+        let pred = |i: usize| Predicate::eq("source_id", i as i64);
+        for (i, (interval, _)) in cases.iter().enumerate() {
+            c.insert(*interval, Some(pred(i)), vec![row(interval.lo as i64, "x")]);
+        }
+        assert_eq!(c.len(), 8);
+        let dropped = c.invalidate_interval(iv(4, 8));
+        assert_eq!(dropped, 4);
+        assert_eq!(c.stats().invalidations, 4);
+        for (i, (interval, doomed)) in cases.iter().enumerate() {
+            assert_eq!(
+                c.probe(*interval, Some(&pred(i))).is_none(),
+                *doomed,
+                "entry {interval:?} wrong after invalidating [4,8)"
+            );
+        }
+        // Row accounting survives targeted invalidation.
+        assert_eq!(c.total_rows(), 4);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn probes_always_equal_hits_plus_misses() {
+        let mut c = SemanticCache::new(CacheConfig::default());
+        c.insert(iv(0, 8), None, vec![row(1, "a")]);
+        let _ = c.probe(iv(0, 4), None);
+        let _ = c.probe(iv(6, 12), None);
+        let _ = c.probe(iv(2, 3), None);
+        let s = c.stats();
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.hits + s.misses, s.probes);
     }
 
     #[test]

@@ -7,15 +7,17 @@
 //! reports.
 
 use crate::ast::{Metric, Query};
-use crate::cache::{CacheConfig, CacheStats, SemanticCache};
+use crate::cache::{CacheConfig, CacheStats};
 use crate::dataset::{unified_schema, unify_assay_row, Dataset};
 use crate::matview::MaterializedAggregates;
 use crate::optimizer::Optimizer;
 use crate::plan::{Access, FetchPlan, Finish, PhysicalPlan};
+use crate::serve::{FetchCoordinator, ServeConfig, ServeStats, ShardedSemanticCache};
 use crate::stats::OverlayStats;
 use crate::{QueryError, Result};
 use drugtree_chem::similarity::tanimoto;
 use drugtree_integrate::overlay::tables;
+use drugtree_phylo::index::LeafInterval;
 pub use drugtree_sources::batcher::RetryPolicy;
 use drugtree_sources::batcher::{
     batched_lookup_with_retry, singleton_lookups_with_retry, Dispatch,
@@ -23,8 +25,8 @@ use drugtree_sources::batcher::{
 use drugtree_sources::clock::VirtualInstant;
 use drugtree_store::expr::Predicate;
 use drugtree_store::value::Value;
-use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Per-query execution metrics.
@@ -48,6 +50,17 @@ pub struct ExecMetrics {
     pub pruned_leaves: usize,
     /// Transient source failures retried.
     pub retries: usize,
+    /// Virtual fetch cost attributable to this query alone: the full
+    /// cost of solo fetches plus this query's keys-proportional share
+    /// of any coalesced batch it rode. Under concurrent serving the
+    /// shared clock (and thus `virtual_cost`) interleaves every
+    /// session's work; this is the per-query number.
+    pub charged_cost: Duration,
+    /// Fetches that joined an identical in-flight request.
+    pub flights_joined: usize,
+    /// Other concurrent queries that shared a coalesced batch with
+    /// this one (summed over this query's fetches).
+    pub shared_batch_peers: usize,
     /// Optimizer notes (rule applications).
     pub notes: Vec<String>,
 }
@@ -63,14 +76,32 @@ pub struct QueryResult {
     pub metrics: ExecMetrics,
 }
 
-/// The executor: optimizer + semantic cache + statistics + views.
+/// The executor: optimizer + sharded semantic cache + statistics +
+/// views + (optionally) the cross-session fetch coordinator.
+///
+/// `Send + Sync` by construction: every mutable piece sits behind a
+/// shard lock, an atomic, or an `Arc`, so M sessions can share one
+/// executor from real OS threads. The `const` assertion below makes
+/// that a compile-time guarantee a future field cannot silently break.
 pub struct Executor {
     optimizer: Optimizer,
-    cache: Mutex<SemanticCache>,
+    cache: ShardedSemanticCache,
+    /// The sizing the cache was built with, kept so `enable_serving`
+    /// can re-shard without losing the configured budgets.
+    cache_config: CacheConfig,
     stats: Option<OverlayStats>,
     matview: Option<MaterializedAggregates>,
     retry: RetryPolicy,
+    coordinator: Option<Arc<FetchCoordinator>>,
 }
+
+// Compile-time proof that the executor (and the dataset it serves) can
+// be shared across threads; a non-Sync field fails the build here.
+const _: () = {
+    const fn _assert<T: Send + Sync>() {}
+    _assert::<Executor>();
+    _assert::<Dataset>();
+};
 
 impl Executor {
     /// Build with an optimizer and default cache sizing.
@@ -82,11 +113,44 @@ impl Executor {
     pub fn with_cache_config(optimizer: Optimizer, cache: CacheConfig) -> Executor {
         Executor {
             optimizer,
-            cache: Mutex::new(SemanticCache::new(cache)),
+            cache: ShardedSemanticCache::new(cache),
+            cache_config: cache,
             stats: None,
             matview: None,
             retry: RetryPolicy::default(),
+            coordinator: None,
         }
+    }
+
+    /// Shard count the semantic cache is raised to when serving is
+    /// enabled (a single-session executor keeps one shard, preserving
+    /// its full budget and subsumption reach).
+    pub const SERVING_CACHE_SHARDS: usize = 8;
+
+    /// Enable cross-session serving: coalesce concurrent identical
+    /// fetches (single-flight), merge overlapping key sets into shared
+    /// batches, and re-shard the semantic cache to at least
+    /// [`Executor::SERVING_CACHE_SHARDS`] so concurrent sessions do
+    /// not contend on one lock. Call before sharing the executor
+    /// across sessions (re-sharding rebuilds the — at that point
+    /// typically empty — cache).
+    pub fn enable_serving(&mut self, config: ServeConfig) {
+        if self.cache.shard_count() < Executor::SERVING_CACHE_SHARDS {
+            let mut cache = self.cache_config;
+            cache.shards = cache.shards.max(Executor::SERVING_CACHE_SHARDS);
+            self.cache = ShardedSemanticCache::new(cache);
+        }
+        self.coordinator = Some(Arc::new(FetchCoordinator::new(config)));
+    }
+
+    /// The fetch coordinator, when serving is enabled.
+    pub fn coordinator(&self) -> Option<&Arc<FetchCoordinator>> {
+        self.coordinator.as_ref()
+    }
+
+    /// Cumulative serving counters, when serving is enabled.
+    pub fn serve_stats(&self) -> Option<ServeStats> {
+        self.coordinator.as_ref().map(|c| c.stats())
     }
 
     /// Replace the transient-failure retry policy.
@@ -115,12 +179,19 @@ impl Executor {
 
     /// Drop all cached results (call after a source refresh).
     pub fn invalidate(&self) {
-        self.cache.lock().invalidate_all();
+        self.cache.invalidate_all();
     }
 
-    /// Cumulative cache counters.
+    /// Drop cached results overlapping a leaf interval (a targeted
+    /// refresh of one subtree's sources).
+    pub fn invalidate_interval(&self, interval: LeafInterval) {
+        self.cache.invalidate_interval(interval);
+    }
+
+    /// Cumulative cache counters. Lock-free: reads the sharded cache's
+    /// atomic counters, so polling stats never stalls serving threads.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().stats()
+        self.cache.stats()
     }
 
     /// Current statistics, if collected.
@@ -173,6 +244,9 @@ impl Executor {
             cache_hit: None,
             pruned_leaves: plan.pruned_leaves,
             retries: 0,
+            charged_cost: Duration::ZERO,
+            flights_joined: 0,
+            shared_batch_peers: 0,
             notes: plan.notes.clone(),
         };
 
@@ -190,7 +264,7 @@ impl Executor {
                 insert_on_miss,
                 concurrent_sources,
             } => {
-                let probe = self.cache.lock().probe(plan.interval, pushdown.as_ref());
+                let probe = self.cache.probe(plan.interval, pushdown.as_ref());
                 match probe {
                     Some(hit) => {
                         m.cache_hit = Some(true);
@@ -202,7 +276,6 @@ impl Executor {
                             self.run_fetches(dataset, on_miss, *concurrent_sources, &mut m)?;
                         if *insert_on_miss {
                             self.cache
-                                .lock()
                                 .insert(plan.interval, pushdown.clone(), rows.clone());
                         }
                         rows
@@ -279,6 +352,41 @@ impl Executor {
             } else {
                 Dispatch::Sequential
             };
+            // Batched fetches route through the coordinator when
+            // serving is enabled: identical concurrent fetches collapse
+            // to one flight, overlapping key sets merge into shared
+            // batches. Singleton (naive-mode) fetches never coalesce —
+            // the unoptimized baseline must stay unoptimized.
+            if let (Some(coord), true) = (&self.coordinator, f.batched) {
+                let cf = coord.fetch(
+                    source.as_ref(),
+                    &f.keys,
+                    f.pushdown.as_ref(),
+                    dispatch,
+                    self.retry,
+                )?;
+                m.retries += cf.retries as usize;
+                m.source_requests += cf.requests;
+                m.rows_fetched += cf.rows.len();
+                m.charged_cost += cf.charged;
+                m.flights_joined += usize::from(cf.flight_joined);
+                m.shared_batch_peers += cf.shared_with;
+                let mut unified = Vec::with_capacity(cf.rows.len());
+                for raw in &cf.rows {
+                    match unify_assay_row(dataset, raw) {
+                        Some(row) => unified.push(row),
+                        None => m.rows_unmapped += 1,
+                    }
+                }
+                per_source_rows.push(unified);
+                // Exactly one participant per upstream dispatch carries
+                // the advance flag, so the shared clock moves once per
+                // batch regardless of how many queries rode it.
+                if cf.advance {
+                    dataset.clock.advance(cf.cost);
+                }
+                continue;
+            }
             let resp = if f.batched {
                 batched_lookup_with_retry(
                     source.as_ref(),
@@ -315,6 +423,7 @@ impl Executor {
             per_source_cost.into_iter().sum()
         };
         dataset.clock.advance(total_cost);
+        m.charged_cost += total_cost;
 
         // Cross-source conflict resolution: identical (rank, ligand,
         // type) measurements keep the most recent year.

@@ -25,6 +25,8 @@
 //! * [`cache`] — the semantic result cache (design decision D2).
 //! * [`exec`] — the executor and its metrics.
 //! * [`matview`] — materialized per-subtree aggregate views.
+//! * [`serve`] — the concurrent serving layer: N-way sharded semantic
+//!   cache plus re-exports of the cross-session fetch coordinator.
 //! * [`validate`] — plan-invariant validation (structural checks every
 //!   emitted plan must pass).
 
@@ -37,6 +39,7 @@ pub mod matview;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
+pub mod serve;
 pub mod stats;
 pub mod validate;
 
@@ -45,6 +48,7 @@ pub use dataset::Dataset;
 pub use error::QueryError;
 pub use exec::{ExecMetrics, Executor, QueryResult};
 pub use optimizer::{Optimizer, OptimizerConfig};
+pub use serve::{FetchCoordinator, ServeConfig, ServeStats, ShardedSemanticCache};
 pub use validate::{InvariantViolation, PlanValidator};
 
 /// Convenience result alias used throughout the crate.

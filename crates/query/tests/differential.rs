@@ -292,6 +292,14 @@ fn gen_query(rng: &mut XorShift) -> Query {
     q
 }
 
+/// The oracle's query stream: fixed seed, so every differential test
+/// (single-threaded rule sweep, concurrent serving) replays the exact
+/// same `QUERIES` queries.
+fn generated_queries() -> Vec<Query> {
+    let mut rng = XorShift::new(0x5EED_D1FF);
+    (0..QUERIES).map(|_| gen_query(&mut rng)).collect()
+}
+
 // ---------------------------------------------------------------------
 // Normalization: row order is not part of query semantics (the finish
 // operators define sets / multisets), and MeanPActivity sums floats in
@@ -359,11 +367,9 @@ fn optimizer_rules_preserve_query_semantics() {
         candidates.push((name, exec));
     }
 
-    let mut rng = XorShift::new(0x5EED_D1FF);
     let mut by_kind = [0usize; 4];
     let mut divergences = Vec::new();
-    for i in 0..QUERIES {
-        let query = gen_query(&mut rng);
+    for (i, query) in generated_queries().iter().enumerate() {
         by_kind[match query.kind {
             QueryKind::Activities => 0,
             QueryKind::TopK { .. } => 1,
@@ -372,21 +378,21 @@ fn optimizer_rules_preserve_query_semantics() {
         }] += 1;
 
         let expected = baseline
-            .execute(&dataset, &query)
+            .execute(&dataset, query)
             .unwrap_or_else(|e| panic!("query #{i} `{query}` failed under naive: {e}"));
         let expected_rows = normalize(&expected.rows);
 
         for (name, exec) in &candidates {
             let got = exec
-                .execute(&dataset, &query)
+                .execute(&dataset, query)
                 .unwrap_or_else(|e| panic!("query #{i} `{query}` failed under {name}: {e}"));
             let got_rows = normalize(&got.rows);
             if got_rows != expected_rows {
                 let naive_explain = baseline
-                    .explain(&dataset, &query)
+                    .explain(&dataset, query)
                     .unwrap_or_else(|e| e.to_string());
                 let cand_explain = exec
-                    .explain(&dataset, &query)
+                    .explain(&dataset, query)
                     .unwrap_or_else(|e| e.to_string());
                 divergences.push(format!(
                     "query #{i} `{query}` diverges under {name}:\n\
@@ -409,5 +415,81 @@ fn optimizer_rules_preserve_query_semantics() {
     assert!(
         by_kind.iter().all(|&n| n > 0),
         "generator covered all query classes: {by_kind:?}"
+    );
+}
+
+/// The concurrent path is under the same oracle: the full query stream
+/// split round-robin across 4 OS threads sharing one serving-enabled
+/// `Arc<Executor>` (sharded cache + single-flight + coalescing) must
+/// return exactly what the single-threaded naive baseline returns for
+/// every query. This is the end-to-end guarantee that concurrency
+/// machinery only changes *how many round-trips* are paid, never the
+/// rows.
+#[test]
+fn concurrent_shared_executor_matches_naive_baseline() {
+    const THREADS: usize = 4;
+    let dataset = build_dataset();
+
+    let mut baseline_cfg = OptimizerConfig::naive();
+    baseline_cfg.validate = true;
+    let mut baseline = Executor::new(Optimizer::new(baseline_cfg));
+    baseline.collect_stats(&dataset).expect("stats");
+
+    let queries = generated_queries();
+    let expected: Vec<Vec<Vec<Value>>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let r = baseline
+                .execute(&dataset, q)
+                .unwrap_or_else(|e| panic!("query #{i} `{q}` failed under naive: {e}"));
+            normalize(&r.rows)
+        })
+        .collect();
+
+    let mut config = OptimizerConfig::full();
+    config.validate = true;
+    let mut exec = Executor::new(Optimizer::new(config));
+    exec.collect_stats(&dataset).expect("stats");
+    exec.build_matview(&dataset).expect("matview");
+    exec.enable_serving(drugtree_query::ServeConfig::default());
+    let exec = Arc::new(exec);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let exec = Arc::clone(&exec);
+                let dataset = &dataset;
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for (i, q) in queries.iter().enumerate().skip(t).step_by(THREADS) {
+                        let r = exec.execute(dataset, q).unwrap_or_else(|e| {
+                            panic!("query #{i} `{q}` failed under concurrent serving: {e}")
+                        });
+                        mine.push((i, normalize(&r.rows)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, rows) in h.join().expect("no thread panic") {
+                assert_eq!(
+                    rows, expected[i],
+                    "query #{i} `{}` diverges under concurrent shared serving",
+                    queries[i]
+                );
+            }
+        }
+    });
+
+    // Concurrency must not corrupt the lock-free accounting either.
+    let stats = exec.cache_stats();
+    assert_eq!(stats.hits + stats.misses, stats.probes);
+    let serve = exec.serve_stats().expect("serving enabled");
+    assert!(
+        serve.requests_issued > 0,
+        "the concurrent stream reached the sources"
     );
 }

@@ -1,0 +1,821 @@
+//! Cross-session fetch coordination: single-flight deduplication and
+//! batch coalescing across concurrently executing queries.
+//!
+//! With many mobile sessions sharing one executor, the federation sees
+//! *redundant* traffic two ways:
+//!
+//! * **Identical fetches** — two sessions expand the same clade at the
+//!   same moment. Both need the same `(source, keys, pushdown)`
+//!   request; issuing it twice doubles the round-trips for zero new
+//!   information. The *single-flight* table coalesces them: the first
+//!   caller becomes the leader and actually talks to the source, every
+//!   concurrent identical caller waits and receives a copy of the
+//!   broadcast result, and the group is charged one round-trip.
+//! * **Overlapping key sets** — two sessions expand *sibling* clades.
+//!   The key sets differ, so single-flight cannot help, but both
+//!   fetches target the same source under the same pushdown predicate
+//!   and the source accepts up to `max_batch` keys per request. The
+//!   *batch coalescer* holds the first fetch open for a bounded delay
+//!   (a fixed number of scheduler yields, never a wall-clock sleep —
+//!   the latency model is virtual, D5), merges every key set that
+//!   arrives in the window into shared requests, and splits the
+//!   virtual cost across the beneficiaries in proportion to the keys
+//!   each contributed.
+//!
+//! Both layers preserve results exactly: a coalesced participant
+//! receives precisely the rows a solo fetch of its own key set under
+//! the same predicate would have returned. Two runtime invariants are
+//! validated on every coalesced dispatch (see [`validate_coalesced`])
+//! and mirrored into the query-layer plan validator's rule namespace:
+//!
+//! * [`RULE_COALESCE_BATCH`] — no merged request may exceed the
+//!   source's `max_batch` capability.
+//! * [`RULE_FLIGHT_PREDICATE`] — a shared request never mixes
+//!   incompatible pushdown predicates (all participants fetched under
+//!   the byte-identical predicate key).
+
+use crate::batcher::{batched_lookup_with_retry, Dispatch, RetryPolicy};
+use crate::source::DataSource;
+use crate::{Result, SourceError};
+use drugtree_store::expr::Predicate;
+use drugtree_store::value::Value;
+use rustc_hash::FxHashMap;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Rule name: a coalesced request never exceeds the source batch cap.
+pub const RULE_COALESCE_BATCH: &str = "coalesce-batch-limit";
+/// Rule name: a shared request never mixes incompatible predicates.
+pub const RULE_FLIGHT_PREDICATE: &str = "flight-predicate-uniform";
+
+/// One violated serving invariant (mirrors the plan validator's
+/// structured-violation shape; the query layer adapts it into an
+/// `InvariantViolation`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeViolation {
+    /// The invariant's rule name (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable explanation of what is wrong.
+    pub explanation: String,
+}
+
+/// Tuning for the coordination layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Coalesce concurrent identical fetches onto one request.
+    pub single_flight: bool,
+    /// Merge overlapping key sets into shared batches.
+    pub coalesce: bool,
+    /// Bounded accumulation delay for the batch coalescer, expressed
+    /// in scheduler yields (not wall time: simulated latency lives on
+    /// the virtual clock, so the only real time worth spending is a
+    /// few context switches to let concurrent queries catch the bus).
+    pub delay_yields: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            single_flight: true,
+            coalesce: true,
+            delay_yields: 64,
+        }
+    }
+}
+
+/// Snapshot of the coordinator's cumulative counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Fetches that led an upstream request (flight leaders).
+    pub flights_led: u64,
+    /// Fetches that joined an identical in-flight request.
+    pub flights_joined: u64,
+    /// Coalesced batches dispatched.
+    pub batches: u64,
+    /// Fetches that rode another query's batch.
+    pub batch_joins: u64,
+    /// Keys shipped in coalesced batches.
+    pub keys_coalesced: u64,
+    /// Upstream requests actually issued.
+    pub requests_issued: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    flights_led: AtomicU64,
+    flights_joined: AtomicU64,
+    batches: AtomicU64,
+    batch_joins: AtomicU64,
+    keys_coalesced: AtomicU64,
+    requests_issued: AtomicU64,
+}
+
+/// What one coordinated fetch produced for its caller.
+#[derive(Debug, Clone)]
+pub struct CoordinatedFetch {
+    /// Returned column names.
+    pub columns: Vec<String>,
+    /// Rows for *this caller's* keys only (a coalesced batch's rows
+    /// are split back per participant).
+    pub rows: Vec<Vec<Value>>,
+    /// Upstream round-trips this call itself issued (0 for joiners).
+    pub requests: usize,
+    /// Transient failures retried along the way (leader only).
+    pub retries: u32,
+    /// Full virtual cost of the upstream request(s) this call rode on.
+    pub cost: Duration,
+    /// This caller's share of that cost: the full cost for a solo
+    /// fetch, a keys-proportional share of a coalesced batch, or the
+    /// leader's share when joining an identical flight.
+    pub charged: Duration,
+    /// True for exactly one beneficiary per upstream request: that
+    /// caller advances the shared virtual clock by `cost`.
+    pub advance: bool,
+    /// This call joined an identical in-flight request.
+    pub flight_joined: bool,
+    /// Other concurrent queries sharing the coalesced batch.
+    pub shared_with: usize,
+}
+
+/// Result broadcast to single-flight joiners.
+#[derive(Debug, Clone)]
+struct FlightResult {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    cost: Duration,
+    charged: Duration,
+    shared_with: usize,
+}
+
+struct FlightSlot {
+    done: Mutex<Option<std::result::Result<FlightResult, SourceError>>>,
+    cv: Condvar,
+}
+
+/// Identity of an in-flight fetch: same source, same key set, same
+/// pushdown predicate (byte-identical rendering).
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct FlightKey {
+    source: String,
+    pred: String,
+    keys: Vec<Value>,
+}
+
+#[derive(Debug)]
+enum BatchPhase {
+    /// Accepting participants.
+    Forming,
+    /// Dispatched (or failed); `outcome` is set.
+    Done,
+}
+
+struct BatchState {
+    phase: BatchPhase,
+    /// Each participant's key set, leader first.
+    participants: Vec<Vec<Value>>,
+    outcome: Option<std::result::Result<BatchOutcome, SourceError>>,
+}
+
+struct BatchOutcome {
+    columns: Vec<String>,
+    /// Rows split back per participant, index-aligned with
+    /// `BatchState::participants`.
+    rows_by_participant: Vec<Vec<Vec<Value>>>,
+    /// Keys-proportional cost shares, index-aligned.
+    shares: Vec<Duration>,
+    cost: Duration,
+    participants: usize,
+}
+
+struct BatchSlot {
+    state: Mutex<BatchState>,
+    cv: Condvar,
+}
+
+/// Lock a mutex, recovering from poisoning: the protected state is
+/// only ever replaced wholesale, so a panicking peer cannot leave it
+/// torn.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Stable per-process identity of a pushdown predicate. Fetches only
+/// share a request when their predicate keys are byte-identical —
+/// sound (never mixes incompatible filters) and cheap, at the price of
+/// missing semantically equal but differently shaped predicates.
+pub fn pred_key(pushdown: Option<&Predicate>) -> String {
+    match pushdown {
+        None => "∅".to_string(),
+        Some(p) => format!("{p:?}"),
+    }
+}
+
+/// Check the serving invariants of one coalesced dispatch.
+///
+/// `participant_preds` are the predicate keys of every query merged
+/// into the batch; `request_sizes` the key counts of the upstream
+/// requests about to be issued; `max_batch` the source's live
+/// capability.
+pub fn validate_coalesced(
+    participant_preds: &[String],
+    request_sizes: &[usize],
+    max_batch: usize,
+) -> Vec<ServeViolation> {
+    let mut out = Vec::new();
+    if let Some(first) = participant_preds.first() {
+        for (i, p) in participant_preds.iter().enumerate() {
+            if p != first {
+                out.push(ServeViolation {
+                    rule: RULE_FLIGHT_PREDICATE,
+                    explanation: format!(
+                        "participant {i} fetched under predicate {p:?} but the \
+                         batch was formed under {first:?}"
+                    ),
+                });
+            }
+        }
+    }
+    for (i, size) in request_sizes.iter().enumerate() {
+        if *size > max_batch {
+            out.push(ServeViolation {
+                rule: RULE_COALESCE_BATCH,
+                explanation: format!(
+                    "coalesced request {i} carries {size} keys but the source \
+                     accepts at most {max_batch}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The cross-session fetch coordinator: single-flight table plus
+/// per-(source, predicate) batch accumulators. One instance fronts
+/// the federation for every session sharing an executor.
+pub struct FetchCoordinator {
+    config: ServeConfig,
+    flights: Mutex<FxHashMap<FlightKey, Arc<FlightSlot>>>,
+    batches: Mutex<FxHashMap<(String, String), Arc<BatchSlot>>>,
+    counters: Counters,
+}
+
+impl FetchCoordinator {
+    /// A coordinator with the given tuning.
+    pub fn new(config: ServeConfig) -> FetchCoordinator {
+        FetchCoordinator {
+            config,
+            flights: Mutex::new(FxHashMap::default()),
+            batches: Mutex::new(FxHashMap::default()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Cumulative counters (lock-free).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            flights_led: self.counters.flights_led.load(Ordering::Relaxed),
+            flights_joined: self.counters.flights_joined.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batch_joins: self.counters.batch_joins.load(Ordering::Relaxed),
+            keys_coalesced: self.counters.keys_coalesced.load(Ordering::Relaxed),
+            requests_issued: self.counters.requests_issued.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetch `keys` from `source` under `pushdown`, riding or leading
+    /// shared requests where concurrency allows. Returns exactly the
+    /// rows a solo [`batched_lookup_with_retry`] of the same arguments
+    /// would return.
+    pub fn fetch(
+        &self,
+        source: &dyn DataSource,
+        keys: &[Value],
+        pushdown: Option<&Predicate>,
+        dispatch: Dispatch,
+        retry: RetryPolicy,
+    ) -> Result<CoordinatedFetch> {
+        if !self.config.single_flight {
+            return self.coalesced_fetch(source, keys, pushdown, dispatch, retry);
+        }
+        let key = FlightKey {
+            source: source.name().to_string(),
+            pred: pred_key(pushdown),
+            keys: keys.to_vec(),
+        };
+        let slot = {
+            let mut flights = lock(&self.flights);
+            match flights.get(&key) {
+                Some(slot) => Some(Arc::clone(slot)),
+                None => {
+                    flights.insert(
+                        key.clone(),
+                        Arc::new(FlightSlot {
+                            done: Mutex::new(None),
+                            cv: Condvar::new(),
+                        }),
+                    );
+                    None
+                }
+            }
+        };
+
+        if let Some(slot) = slot {
+            // Joiner: wait for the leader's broadcast.
+            let mut done = lock(&slot.done);
+            while done.is_none() {
+                done = slot.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+            }
+            self.counters.flights_joined.fetch_add(1, Ordering::Relaxed);
+            let shared = match done.as_ref() {
+                Some(Ok(r)) => Ok(r.clone()),
+                Some(Err(e)) => Err(e.clone()),
+                None => unreachable!("loop exits only when set"),
+            };
+            return match shared {
+                Ok(r) => Ok(CoordinatedFetch {
+                    columns: r.columns,
+                    rows: r.rows,
+                    requests: 0,
+                    retries: 0,
+                    cost: r.cost,
+                    charged: r.charged,
+                    advance: false,
+                    flight_joined: true,
+                    shared_with: r.shared_with,
+                }),
+                Err(e) => Err(e),
+            };
+        }
+
+        // Leader: do the (possibly coalesced) fetch, then broadcast.
+        self.counters.flights_led.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.coalesced_fetch(source, keys, pushdown, dispatch, retry);
+        let broadcast = match &outcome {
+            Ok(cf) => Ok(FlightResult {
+                columns: cf.columns.clone(),
+                rows: cf.rows.clone(),
+                cost: cf.cost,
+                charged: cf.charged,
+                shared_with: cf.shared_with,
+            }),
+            Err(e) => Err(e.clone()),
+        };
+        let slot = lock(&self.flights).remove(&key);
+        if let Some(slot) = slot {
+            *lock(&slot.done) = Some(broadcast);
+            slot.cv.notify_all();
+        }
+        outcome
+    }
+
+    /// The coalescing layer: lead a new batch or ride a forming one.
+    fn coalesced_fetch(
+        &self,
+        source: &dyn DataSource,
+        keys: &[Value],
+        pushdown: Option<&Predicate>,
+        dispatch: Dispatch,
+        retry: RetryPolicy,
+    ) -> Result<CoordinatedFetch> {
+        if !self.config.coalesce || keys.is_empty() {
+            let resp = batched_lookup_with_retry(source, keys, pushdown, dispatch, retry)?;
+            self.counters
+                .requests_issued
+                .fetch_add(resp.requests as u64, Ordering::Relaxed);
+            return Ok(CoordinatedFetch {
+                columns: resp.columns,
+                rows: resp.rows,
+                requests: resp.requests,
+                retries: resp.retries,
+                cost: resp.cost,
+                charged: resp.cost,
+                advance: true,
+                flight_joined: false,
+                shared_with: 0,
+            });
+        }
+
+        let bkey = (source.name().to_string(), pred_key(pushdown));
+        let (slot, my_index) = {
+            let mut batches = lock(&self.batches);
+            match batches.get(&bkey) {
+                Some(slot) => {
+                    // The map only holds Forming slots (closing removes
+                    // the entry under this same map lock), so joining
+                    // cannot race a dispatch.
+                    let slot = Arc::clone(slot);
+                    let mut st = lock(&slot.state);
+                    debug_assert!(matches!(st.phase, BatchPhase::Forming));
+                    st.participants.push(keys.to_vec());
+                    let idx = st.participants.len() - 1;
+                    drop(st);
+                    (slot, idx)
+                }
+                None => {
+                    let slot = Arc::new(BatchSlot {
+                        state: Mutex::new(BatchState {
+                            phase: BatchPhase::Forming,
+                            participants: vec![keys.to_vec()],
+                            outcome: None,
+                        }),
+                        cv: Condvar::new(),
+                    });
+                    batches.insert(bkey.clone(), Arc::clone(&slot));
+                    (slot, 0)
+                }
+            }
+        };
+
+        if my_index > 0 {
+            return self.await_batch(&slot, my_index);
+        }
+        self.lead_batch(&bkey, &slot, source, pushdown, dispatch, retry)
+    }
+
+    /// Wait for the batch leader's dispatch and take our split.
+    fn await_batch(&self, slot: &BatchSlot, my_index: usize) -> Result<CoordinatedFetch> {
+        let mut st = lock(&slot.state);
+        while st.outcome.is_none() {
+            st = slot.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        self.counters.batch_joins.fetch_add(1, Ordering::Relaxed);
+        match st.outcome.as_ref() {
+            Some(Ok(o)) => Ok(CoordinatedFetch {
+                columns: o.columns.clone(),
+                rows: o.rows_by_participant[my_index].clone(),
+                requests: 0,
+                retries: 0,
+                cost: o.cost,
+                charged: o.shares[my_index],
+                advance: false,
+                flight_joined: false,
+                shared_with: o.participants - 1,
+            }),
+            Some(Err(e)) => Err(e.clone()),
+            None => unreachable!("loop exits only when set"),
+        }
+    }
+
+    /// Hold the batch open for the bounded delay, then dispatch the
+    /// merged key set and split rows and cost back per participant.
+    fn lead_batch(
+        &self,
+        bkey: &(String, String),
+        slot: &Arc<BatchSlot>,
+        source: &dyn DataSource,
+        pushdown: Option<&Predicate>,
+        dispatch: Dispatch,
+        retry: RetryPolicy,
+    ) -> Result<CoordinatedFetch> {
+        let max_batch = source.capabilities().max_batch.max(1);
+        // Bounded accumulation window: yield the scheduler a fixed
+        // number of times, closing early once the key budget is full.
+        for _ in 0..self.config.delay_yields {
+            std::thread::yield_now();
+            let st = lock(&slot.state);
+            let pending: usize = st.participants.iter().map(Vec::len).sum();
+            if pending >= max_batch {
+                break;
+            }
+        }
+        // Close the batch: remove it from the map (so later fetches
+        // form a new one) while marking it dispatched, atomically with
+        // respect to joiners (they hold the map lock while enrolling).
+        let participants = {
+            let mut batches = lock(&self.batches);
+            let mut st = lock(&slot.state);
+            st.phase = BatchPhase::Done;
+            batches.remove(bkey);
+            st.participants.clone()
+        };
+
+        let outcome = self.dispatch_batch(&participants, source, pushdown, dispatch, retry);
+        let mine = match &outcome {
+            Ok(o) => Ok(CoordinatedFetch {
+                columns: o.columns.clone(),
+                rows: o.rows_by_participant[0].clone(),
+                requests: o.requests,
+                retries: o.retries,
+                cost: o.cost,
+                charged: o.shares[0],
+                advance: true,
+                flight_joined: false,
+                shared_with: o.participants - 1,
+            }),
+            Err(e) => Err(e.clone()),
+        };
+        {
+            let mut st = lock(&slot.state);
+            st.outcome = Some(match outcome {
+                Ok(o) => Ok(o.into_state()),
+                Err(e) => Err(e),
+            });
+        }
+        slot.cv.notify_all();
+        mine
+    }
+
+    /// Issue the merged request(s) and split the result.
+    fn dispatch_batch(
+        &self,
+        participants: &[Vec<Value>],
+        source: &dyn DataSource,
+        pushdown: Option<&Predicate>,
+        dispatch: Dispatch,
+        retry: RetryPolicy,
+    ) -> std::result::Result<DispatchedBatch, SourceError> {
+        // Union of all key sets, order-preserving dedupe.
+        let mut seen: HashSet<&Value> = HashSet::new();
+        let union: Vec<Value> = participants
+            .iter()
+            .flatten()
+            .filter(|k| seen.insert(*k))
+            .cloned()
+            .collect();
+        let max_batch = source.capabilities().max_batch.max(1);
+
+        // Runtime invariants before anything goes on the wire.
+        let preds: Vec<String> = participants.iter().map(|_| pred_key(pushdown)).collect();
+        let sizes: Vec<usize> = union.chunks(max_batch).map(<[Value]>::len).collect();
+        let violations = validate_coalesced(&preds, &sizes, source.capabilities().max_batch);
+        if let Some(v) = violations.first() {
+            return Err(SourceError::Store(format!(
+                "serving invariant violated: [{}] {}",
+                v.rule, v.explanation
+            )));
+        }
+
+        let resp = batched_lookup_with_retry(source, &union, pushdown, dispatch, retry)?;
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .keys_coalesced
+            .fetch_add(union.len() as u64, Ordering::Relaxed);
+        self.counters
+            .requests_issued
+            .fetch_add(resp.requests as u64, Ordering::Relaxed);
+
+        // Split rows back per participant by key-column membership:
+        // each participant receives exactly the rows a solo fetch of
+        // its keys would have returned.
+        let key_idx = resp
+            .columns
+            .iter()
+            .position(|c| c == source.key_column())
+            .ok_or_else(|| {
+                SourceError::Store(format!(
+                    "source {:?} response lacks its key column {:?}",
+                    source.name(),
+                    source.key_column()
+                ))
+            })?;
+        let rows_by_participant: Vec<Vec<Vec<Value>>> = participants
+            .iter()
+            .map(|keys| {
+                let mine: HashSet<&Value> = keys.iter().collect();
+                resp.rows
+                    .iter()
+                    .filter(|r| r.get(key_idx).is_some_and(|k| mine.contains(k)))
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+
+        // Virtual-time accounting: split the batch cost across the
+        // beneficiaries in proportion to the (deduplicated) keys each
+        // brought. The shared clock still advances by the full cost
+        // exactly once — these shares are what each *query* is charged.
+        let weights: Vec<usize> = participants
+            .iter()
+            .map(|keys| {
+                let mut s: HashSet<&Value> = HashSet::new();
+                keys.iter().filter(|k| s.insert(*k)).count()
+            })
+            .collect();
+        let total: usize = weights.iter().sum::<usize>().max(1);
+        let shares: Vec<Duration> = weights
+            .iter()
+            .map(|w| resp.cost.mul_f64(*w as f64 / total as f64))
+            .collect();
+
+        Ok(DispatchedBatch {
+            columns: resp.columns,
+            rows_by_participant,
+            shares,
+            cost: resp.cost,
+            retries: resp.retries,
+            requests: resp.requests,
+            participants: participants.len(),
+        })
+    }
+}
+
+/// A dispatched batch before it is stored for waiting participants.
+struct DispatchedBatch {
+    columns: Vec<String>,
+    rows_by_participant: Vec<Vec<Vec<Value>>>,
+    shares: Vec<Duration>,
+    cost: Duration,
+    retries: u32,
+    requests: usize,
+    participants: usize,
+}
+
+impl DispatchedBatch {
+    fn into_state(self) -> BatchOutcome {
+        BatchOutcome {
+            columns: self.columns,
+            rows_by_participant: self.rows_by_participant,
+            shares: self.shares,
+            cost: self.cost,
+            participants: self.participants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyModel;
+    use crate::source::{SimulatedSource, SourceCapabilities, SourceKind};
+    use drugtree_store::schema::{Column, Schema};
+    use drugtree_store::table::Table;
+    use drugtree_store::value::ValueType;
+    use std::sync::Barrier;
+
+    fn source(max_batch: usize, n_rows: i64) -> SimulatedSource {
+        let schema = Schema::new(vec![
+            Column::required("k", ValueType::Int),
+            Column::required("v", ValueType::Int),
+        ]);
+        let mut t = Table::new("t", schema);
+        for i in 0..n_rows {
+            t.insert(vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+        }
+        SimulatedSource::new(
+            "s",
+            SourceKind::Assay,
+            t,
+            "k",
+            SourceCapabilities {
+                max_batch,
+                ..SourceCapabilities::full()
+            },
+            LatencyModel {
+                base_rtt: Duration::from_millis(100),
+                per_row: Duration::from_millis(1),
+                per_row_scanned: Duration::ZERO,
+                jitter: 0.0,
+                seed: 0,
+            },
+        )
+        .unwrap()
+    }
+
+    fn keys(range: std::ops::Range<i64>) -> Vec<Value> {
+        range.map(Value::Int).collect()
+    }
+
+    #[test]
+    fn solo_fetch_matches_batched_lookup() {
+        let s = source(10, 20);
+        let c = FetchCoordinator::new(ServeConfig::default());
+        let cf = c
+            .fetch(
+                &s,
+                &keys(0..15),
+                None,
+                Dispatch::Sequential,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        let direct = batched_lookup_with_retry(
+            &s,
+            &keys(0..15),
+            None,
+            Dispatch::Sequential,
+            RetryPolicy::none(),
+        )
+        .unwrap();
+        assert_eq!(cf.rows, direct.rows);
+        assert_eq!(cf.requests, direct.requests);
+        assert_eq!(cf.cost, direct.cost);
+        assert_eq!(cf.charged, direct.cost, "solo fetch bears the full cost");
+        assert!(cf.advance);
+    }
+
+    #[test]
+    fn concurrent_overlapping_fetches_share_requests() {
+        let s = Arc::new(source(100, 40));
+        let c = Arc::new(FetchCoordinator::new(ServeConfig {
+            delay_yields: 5_000,
+            ..ServeConfig::default()
+        }));
+        let n = 4;
+        let barrier = Arc::new(Barrier::new(n));
+        let results: Vec<CoordinatedFetch> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let s = Arc::clone(&s);
+                    let c = Arc::clone(&c);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        // Overlapping but distinct windows.
+                        let ks = keys(i as i64 * 5..i as i64 * 5 + 10);
+                        c.fetch(&*s, &ks, None, Dispatch::Sequential, RetryPolicy::none())
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every participant got exactly its own rows.
+        for (i, cf) in results.iter().enumerate() {
+            assert_eq!(cf.rows.len(), 10, "participant {i}");
+            for r in &cf.rows {
+                let k = r[0].as_int().unwrap();
+                assert!((i as i64 * 5..i as i64 * 5 + 10).contains(&k));
+            }
+        }
+        // Exactly one beneficiary advances the shared clock per
+        // dispatched batch.
+        let advancers = results.iter().filter(|r| r.advance).count();
+        let stats = c.stats();
+        assert_eq!(advancers as u64, stats.batches);
+        assert!(
+            stats.requests_issued <= n as u64,
+            "coalescing must not issue more requests than naive ({} > {n})",
+            stats.requests_issued
+        );
+    }
+
+    #[test]
+    fn validate_coalesced_flags_mixed_predicates_and_oversized_requests() {
+        let v = validate_coalesced(&["a".to_string(), "b".to_string()], &[5, 12], 10);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].rule, RULE_FLIGHT_PREDICATE);
+        assert_eq!(v[1].rule, RULE_COALESCE_BATCH);
+        assert!(v[1].explanation.contains("12"));
+        assert!(validate_coalesced(&vec!["a".to_string(); 3], &[10], 10).is_empty());
+    }
+
+    #[test]
+    fn cost_shares_sum_to_batch_cost() {
+        let s = source(100, 30);
+        let c = FetchCoordinator::new(ServeConfig::default());
+        let parts = vec![keys(0..10), keys(5..25)];
+        let o = c
+            .dispatch_batch(&parts, &s, None, Dispatch::Sequential, RetryPolicy::none())
+            .unwrap();
+        assert_eq!(o.participants, 2);
+        // Weights 10 and 20: shares split 1:2.
+        assert_eq!(o.shares[0], o.cost.mul_f64(10.0 / 30.0));
+        assert_eq!(o.shares[1], o.cost.mul_f64(20.0 / 30.0));
+        let sum: Duration = o.shares.iter().sum();
+        let drift = o.cost.abs_diff(sum);
+        assert!(drift < Duration::from_micros(1));
+        // Rows split exactly per participant.
+        assert_eq!(o.rows_by_participant[0].len(), 10);
+        assert_eq!(o.rows_by_participant[1].len(), 20);
+    }
+
+    #[test]
+    fn disabled_layers_degenerate_to_plain_batched_lookup() {
+        let s = source(10, 20);
+        let c = FetchCoordinator::new(ServeConfig {
+            single_flight: false,
+            coalesce: false,
+            delay_yields: 0,
+        });
+        let cf = c
+            .fetch(
+                &s,
+                &keys(0..20),
+                None,
+                Dispatch::Sequential,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+        assert_eq!(cf.requests, 2);
+        assert_eq!(cf.rows.len(), 20);
+        assert_eq!(c.stats().batches, 0);
+        assert_eq!(c.stats().flights_led, 0);
+    }
+
+    #[test]
+    fn pred_keys_distinguish_predicates() {
+        use drugtree_store::expr::CompareOp;
+        let a = Predicate::cmp("v", CompareOp::Ge, 50i64);
+        let b = Predicate::cmp("v", CompareOp::Ge, 60i64);
+        assert_ne!(pred_key(Some(&a)), pred_key(Some(&b)));
+        assert_eq!(pred_key(Some(&a)), pred_key(Some(&a.clone())));
+        assert_ne!(pred_key(Some(&a)), pred_key(None));
+    }
+}

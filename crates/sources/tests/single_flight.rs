@@ -1,0 +1,362 @@
+//! Single-flight and coalescing soundness: coordination is an
+//! *optimization*, never a semantic change.
+//!
+//! Two layers of evidence:
+//!
+//! * a deterministic gate test — a wrapped source blocks its leader
+//!   until the test releases it, pinning the in-flight entry so every
+//!   concurrent identical fetch must join it, proving the group is
+//!   charged strictly fewer upstream requests than naive;
+//! * a property test — random overlapping key windows and pushdown
+//!   predicates fetched concurrently through the coordinator must
+//!   return, per query, exactly the rows of a solo fetch, with the
+//!   merged row set equal to the union of the per-query fetches and
+//!   never more upstream requests than naive.
+
+// Test code: panicking on a malformed fixture is the right failure.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use drugtree_sources::batcher::{batched_lookup_with_retry, Dispatch, RetryPolicy};
+use drugtree_sources::latency::LatencyModel;
+use drugtree_sources::serve::{CoordinatedFetch, FetchCoordinator, ServeConfig};
+use drugtree_sources::source::{
+    DataSource, FetchRequest, FetchResponse, MetricsSnapshot, SimulatedSource, SourceCapabilities,
+    SourceKind,
+};
+use drugtree_sources::Result as SourceResult;
+use drugtree_store::expr::{CompareOp, Predicate};
+use drugtree_store::schema::{Column, Schema};
+use drugtree_store::table::Table;
+use drugtree_store::value::{Value, ValueType};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::time::Duration;
+
+/// A `(k, v)` source with `v = 10 k`, the given batch cap, and a flat
+/// deterministic latency model.
+fn source(max_batch: usize, n_rows: i64) -> SimulatedSource {
+    let schema = Schema::new(vec![
+        Column::required("k", ValueType::Int),
+        Column::required("v", ValueType::Int),
+    ]);
+    let mut t = Table::new("t", schema);
+    for i in 0..n_rows {
+        t.insert(vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+    }
+    SimulatedSource::new(
+        "s",
+        SourceKind::Assay,
+        t,
+        "k",
+        SourceCapabilities {
+            max_batch,
+            ..SourceCapabilities::full()
+        },
+        LatencyModel {
+            base_rtt: Duration::from_millis(100),
+            per_row: Duration::from_millis(1),
+            per_row_scanned: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        },
+    )
+    .unwrap()
+}
+
+fn keys(range: std::ops::Range<i64>) -> Vec<Value> {
+    range.map(Value::Int).collect()
+}
+
+fn sorted(rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut out = rows.to_vec();
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Gated source: fetches block until the test opens the gate, so the
+// test controls exactly when an in-flight request completes.
+// ---------------------------------------------------------------------
+
+struct GatedSource {
+    inner: SimulatedSource,
+    open: Mutex<bool>,
+    cv: Condvar,
+    entered: AtomicUsize,
+}
+
+impl GatedSource {
+    fn new(inner: SimulatedSource) -> GatedSource {
+        GatedSource {
+            inner,
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+            entered: AtomicUsize::new(0),
+        }
+    }
+
+    /// Fetches that have reached the source (blocked or through).
+    fn entered(&self) -> usize {
+        self.entered.load(Ordering::SeqCst)
+    }
+
+    /// Release every blocked (and all future) fetches.
+    fn open_gate(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+impl DataSource for GatedSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> SourceKind {
+        self.inner.kind()
+    }
+
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn key_column(&self) -> &str {
+        self.inner.key_column()
+    }
+
+    fn capabilities(&self) -> SourceCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn fetch(&self, request: &FetchRequest) -> SourceResult<FetchResponse> {
+        self.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.fetch(request)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics()
+    }
+
+    fn record_count(&self) -> usize {
+        self.inner.record_count()
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        self.inner.latency_model()
+    }
+}
+
+/// While the leader of an identical fetch is held inside the source,
+/// its flight entry stays pinned in the coordinator's table, so every
+/// concurrent identical fetch is forced onto the single-flight path:
+/// the group must cost strictly fewer upstream requests than naive.
+#[test]
+fn pinned_flight_forces_joiners_onto_one_request() {
+    const N: usize = 4;
+    let gated = Arc::new(GatedSource::new(source(10, 20)));
+    let coord = Arc::new(FetchCoordinator::new(ServeConfig {
+        single_flight: true,
+        coalesce: false,
+        delay_yields: 0,
+    }));
+    let ks = keys(0..8);
+    let arrived = Arc::new(AtomicUsize::new(0));
+
+    let results: Vec<CoordinatedFetch> = std::thread::scope(|scope| {
+        // Leader first: it enters the source and blocks on the gate,
+        // pinning the flight entry.
+        let leader = {
+            let (g, c, ks) = (Arc::clone(&gated), Arc::clone(&coord), ks.clone());
+            scope.spawn(move || {
+                c.fetch(&*g, &ks, None, Dispatch::Sequential, RetryPolicy::none())
+                    .unwrap()
+            })
+        };
+        while gated.entered() == 0 {
+            std::thread::yield_now();
+        }
+        // Joiners: the flight cannot complete while the gate is shut,
+        // so each of them finds it in the table and waits.
+        let joiners: Vec<_> = (1..N)
+            .map(|_| {
+                let (g, c, ks) = (Arc::clone(&gated), Arc::clone(&coord), ks.clone());
+                let arrived = Arc::clone(&arrived);
+                scope.spawn(move || {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    c.fetch(&*g, &ks, None, Dispatch::Sequential, RetryPolicy::none())
+                        .unwrap()
+                })
+            })
+            .collect();
+        while arrived.load(Ordering::SeqCst) < N - 1 {
+            std::thread::yield_now();
+        }
+        // Generous scheduling window for the joiners to walk from the
+        // arrival marker into the flight table, then release the gate.
+        for _ in 0..5_000 {
+            std::thread::yield_now();
+        }
+        gated.open_gate();
+        let mut out = vec![leader.join().unwrap()];
+        out.extend(joiners.into_iter().map(|h| h.join().unwrap()));
+        out
+    });
+
+    let direct = batched_lookup_with_retry(
+        &*gated,
+        &ks,
+        None,
+        Dispatch::Sequential,
+        RetryPolicy::none(),
+    )
+    .unwrap();
+    let stats = coord.stats();
+
+    // Every fetch is accounted for, and at least one (in practice all
+    // N-1) rode the pinned flight instead of paying its own request.
+    assert_eq!(stats.flights_led + stats.flights_joined, N as u64);
+    assert!(
+        stats.flights_joined >= 1,
+        "no fetch joined the pinned flight"
+    );
+    assert!(
+        stats.requests_issued < (N * direct.requests) as u64,
+        "coordinated group paid {} requests, naive pays {}",
+        stats.requests_issued,
+        N * direct.requests
+    );
+    assert_eq!(
+        stats.requests_issued,
+        results.iter().map(|r| r.requests as u64).sum::<u64>(),
+        "per-caller request counts must sum to the requests issued"
+    );
+
+    // The broadcast is byte-faithful: every caller sees the solo rows
+    // and the same full cost, and exactly the leaders advance the
+    // shared clock.
+    for (i, cf) in results.iter().enumerate() {
+        assert_eq!(sorted(&cf.rows), sorted(&direct.rows), "caller {i}");
+        assert_eq!(cf.cost, results[0].cost, "caller {i}");
+    }
+    let advancers = results.iter().filter(|r| r.advance).count() as u64;
+    assert_eq!(advancers, stats.flights_led);
+}
+
+// ---------------------------------------------------------------------
+// Property: coordination preserves results under random overlap.
+// ---------------------------------------------------------------------
+
+/// A contiguous key window `lo..lo+len` over the 40-row table;
+/// windows drawn independently overlap often, which is exactly the
+/// coalescer's hot path.
+fn window() -> impl Strategy<Value = std::ops::Range<i64>> {
+    (0i64..30, 1i64..10).prop_map(|(lo, len)| lo..lo + len)
+}
+
+/// `None` or a range-pushdown predicate every window shares.
+fn shared_pred() -> impl Strategy<Value = Option<Predicate>> {
+    prop_oneof![
+        Just(None),
+        (0i64..350).prop_map(|t| Some(Predicate::cmp("v", CompareOp::Ge, t))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// N queries fetch overlapping windows concurrently through one
+    /// coordinator. Whatever the schedule coalesces, each query must
+    /// receive exactly its solo rows, the merged row set must equal
+    /// the union of the per-query fetches, and the fleet must never
+    /// pay more upstream requests than N naive fetches.
+    #[test]
+    fn coordination_never_changes_results(
+        windows in proptest::collection::vec(window(), 2..5),
+        pred in shared_pred(),
+        max_batch in 3usize..16,
+    ) {
+        let s = Arc::new(source(max_batch, 40));
+        let coord = Arc::new(FetchCoordinator::new(ServeConfig {
+            single_flight: true,
+            coalesce: true,
+            delay_yields: 2_000,
+        }));
+        let barrier = Arc::new(Barrier::new(windows.len()));
+
+        let results: Vec<CoordinatedFetch> = std::thread::scope(|scope| {
+            let handles: Vec<_> = windows
+                .iter()
+                .map(|w| {
+                    let (s, c) = (Arc::clone(&s), Arc::clone(&coord));
+                    let (b, p) = (Arc::clone(&barrier), pred.clone());
+                    let ks = keys(w.clone());
+                    scope.spawn(move || {
+                        b.wait();
+                        c.fetch(&*s, &ks, p.as_ref(), Dispatch::Sequential, RetryPolicy::none())
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Naive baseline: one solo fetch per query, straight at the
+        // source. Per-query rows must match exactly.
+        let mut naive_requests = 0usize;
+        let mut union_naive: Vec<Vec<Value>> = Vec::new();
+        for (w, cf) in windows.iter().zip(&results) {
+            let direct = batched_lookup_with_retry(
+                &*s,
+                &keys(w.clone()),
+                pred.as_ref(),
+                Dispatch::Sequential,
+                RetryPolicy::none(),
+            )
+            .unwrap();
+            naive_requests += direct.requests;
+            prop_assert_eq!(
+                sorted(&cf.rows),
+                sorted(&direct.rows),
+                "window {:?} diverges from its solo fetch",
+                w
+            );
+            union_naive.extend(direct.rows);
+        }
+
+        // Merged rows = union of per-query fetches.
+        let mut merged: Vec<Vec<Value>> = results.iter().flat_map(|cf| cf.rows.clone()).collect();
+        merged.sort();
+        merged.dedup();
+        union_naive.sort();
+        union_naive.dedup();
+        prop_assert_eq!(merged, union_naive);
+
+        // Accounting: never more upstream requests than naive, every
+        // fetch tallied as leader or joiner, per-caller requests sum
+        // to the coordinator's total, and exactly one beneficiary per
+        // dispatched batch advances the shared clock.
+        let stats = coord.stats();
+        prop_assert!(
+            stats.requests_issued as usize <= naive_requests,
+            "coordinator issued {} requests, naive issues {}",
+            stats.requests_issued,
+            naive_requests
+        );
+        prop_assert_eq!(
+            (stats.flights_led + stats.flights_joined) as usize,
+            windows.len()
+        );
+        prop_assert_eq!(
+            stats.requests_issued,
+            results.iter().map(|r| r.requests as u64).sum::<u64>()
+        );
+        let advancers = results.iter().filter(|r| r.advance).count() as u64;
+        prop_assert_eq!(advancers, stats.batches);
+    }
+}
