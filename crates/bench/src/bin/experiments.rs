@@ -37,6 +37,7 @@ fn main() {
         ("e8", drugtree_bench::e8_lod::run),
         ("e10", drugtree_bench::e10_prefetch::run),
         ("e11", drugtree_bench::e11_serving::run),
+        ("e12", drugtree_bench::e12_calibration::run),
     ];
 
     let out_dir = std::path::Path::new("bench_results");

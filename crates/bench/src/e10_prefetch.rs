@@ -85,7 +85,7 @@ pub fn run(config: RunConfig) -> ExperimentTable {
             if prefetch {
                 session.enable_prefetch(Prefetcher {
                     fan_out: 2,
-                    max_leaves: 64,
+                    ..Prefetcher::default()
                 });
             }
             let mut latencies: Vec<Duration> = Vec::new();

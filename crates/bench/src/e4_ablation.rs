@@ -67,7 +67,7 @@ pub fn run(config: RunConfig) -> ExperimentTable {
         "1.0x".into(),
     ]);
     for rule in OC::RULES {
-        let (latency, reqs) = measure(OC::ablate(rule));
+        let (latency, reqs) = measure(OC::ablate(rule).expect("known rule"));
         table.row(vec![
             format!("full - {rule}"),
             fmt_ms(latency),

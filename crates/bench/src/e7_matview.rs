@@ -41,7 +41,7 @@ pub fn run(config: RunConfig) -> ExperimentTable {
             .optimizer(if with_view {
                 OptimizerConfig::full()
             } else {
-                OptimizerConfig::ablate("use_matview")
+                OptimizerConfig::ablate("use_matview").expect("known rule")
             });
         if with_view {
             builder = builder.with_matview();

@@ -101,6 +101,16 @@ impl DrugTreeBuilder {
         self
     }
 
+    /// Switch the planner to cost-based alternative selection: rules
+    /// propose candidates (matview vs fetch, per-replica paths, batched
+    /// vs per-key) and a calibrated cost model picks the cheapest. The
+    /// model starts from generic priors and refines per-source
+    /// parameters from observed fetch latencies.
+    pub fn cost_based_planner(mut self) -> Self {
+        self.optimizer.cost_based = true;
+        self
+    }
+
     /// Choose the tree-construction method (from-sources path).
     pub fn tree_method(mut self, method: TreeMethod) -> Self {
         self.tree_method = method;

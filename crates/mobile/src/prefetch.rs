@@ -11,6 +11,30 @@
 
 use drugtree_phylo::tree::{NodeId, Tree};
 use drugtree_phylo::TreeIndex;
+use std::time::Duration;
+
+/// How much speculative work one prefetch pass may spend.
+///
+/// `Items` is the legacy fixed-count budget. `EstimatedCost` consults
+/// the planner's cost estimate ([`drugtree_query::Executor::estimate`])
+/// for each candidate and stops charging the virtual clock once the
+/// cumulative estimate would exceed the cap — so a slow network or an
+/// expensive clade shrinks the speculation automatically instead of
+/// always firing `fan_out` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchBudget {
+    /// At most this many prefetch queries per interaction.
+    Items(usize),
+    /// Cumulative planner-estimated cost cap per interaction.
+    EstimatedCost(Duration),
+}
+
+impl Default for PrefetchBudget {
+    fn default() -> PrefetchBudget {
+        // Unlimited count: `fan_out` alone bounds the legacy policy.
+        PrefetchBudget::Items(usize::MAX)
+    }
+}
 
 /// Prefetch policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +44,8 @@ pub struct Prefetcher {
     /// Skip candidates spanning more leaves than this (prefetching the
     /// whole tree would waste bandwidth and evict useful entries).
     pub max_leaves: u32,
+    /// Per-interaction spend cap applied on top of `fan_out`.
+    pub budget: PrefetchBudget,
 }
 
 impl Default for Prefetcher {
@@ -27,6 +53,7 @@ impl Default for Prefetcher {
         Prefetcher {
             fan_out: 3,
             max_leaves: 64,
+            budget: PrefetchBudget::default(),
         }
     }
 }
@@ -106,7 +133,7 @@ mod tests {
         let (t, i) = setup();
         let p = Prefetcher {
             fan_out: 1,
-            max_leaves: 64,
+            ..Prefetcher::default()
         };
         let abcd = t.find_by_label("abcd").unwrap();
         assert_eq!(p.candidates(&t, &i, abcd).len(), 1);
@@ -118,6 +145,7 @@ mod tests {
         let p = Prefetcher {
             fan_out: 8,
             max_leaves: 2,
+            ..Prefetcher::default()
         };
         let ab = t.find_by_label("ab").unwrap();
         let cands = p.candidates(&t, &i, ab);
@@ -147,7 +175,7 @@ mod tests {
         let (t, i) = setup();
         let p = Prefetcher {
             fan_out: 8,
-            max_leaves: 64,
+            ..Prefetcher::default()
         };
         assert!(
             p.candidates(&t, &i, t.root()).is_empty(),

@@ -10,7 +10,7 @@
 use crate::layout::TreeLayout;
 use crate::lod::{render_visible, RenderList};
 use crate::network::NetworkProfile;
-use crate::prefetch::Prefetcher;
+use crate::prefetch::{PrefetchBudget, Prefetcher};
 use crate::progressive::{
     blocking_delivery, progressive_delivery, DeliverySchedule, DEFAULT_CHUNK_ROWS,
 };
@@ -249,14 +249,36 @@ impl<'a> MobileSession<'a> {
     /// think time: the virtual clock advances (sources do real work)
     /// but no interaction waits on it. Prefetch failures are ignored —
     /// a failed speculation must never surface to the user.
+    ///
+    /// The prefetcher's [`PrefetchBudget`] caps the spend: `Items`
+    /// counts issued queries, `EstimatedCost` asks the planner what
+    /// each candidate would cost and skips those that would overrun
+    /// the cumulative cap (a cheaper later candidate may still fit).
     fn prefetch_after(&self, node: drugtree_phylo::tree::NodeId) -> usize {
         let Some(prefetcher) = &self.prefetcher else {
             return 0;
         };
         let mut done = 0;
+        let mut spent = Duration::ZERO;
         for candidate in prefetcher.candidates(&self.dataset.tree, &self.dataset.index, node) {
             let iv = self.dataset.index.interval(candidate);
             let query = Query::activities(Scope::Interval(iv));
+            match prefetcher.budget {
+                PrefetchBudget::Items(limit) => {
+                    if done >= limit {
+                        break;
+                    }
+                }
+                PrefetchBudget::EstimatedCost(limit) => {
+                    let Ok(est) = self.executor.estimate(self.dataset, &query) else {
+                        continue;
+                    };
+                    if spent + est.cost > limit {
+                        continue;
+                    }
+                    spent += est.cost;
+                }
+            }
             if self.executor.execute(self.dataset, &query).is_ok() {
                 done += 1;
             }
@@ -410,6 +432,56 @@ mod tests {
         let warm = s.apply(&Gesture::Expand { node: clade_b }).unwrap();
         assert_eq!(warm.cache_hit, Some(true));
         assert_eq!(warm.query_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_cost_budget_suppresses_prefetch() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        s.enable_prefetch(Prefetcher {
+            budget: PrefetchBudget::EstimatedCost(Duration::ZERO),
+            ..Prefetcher::default()
+        });
+        let clade_a = d.index.by_label("cladeA").unwrap();
+        let r = s.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        assert_eq!(r.prefetched, 0, "every candidate estimate exceeds zero");
+        // The sibling was never warmed, so expanding it misses.
+        let clade_b = d.index.by_label("cladeB").unwrap();
+        let cold = s.apply(&Gesture::Expand { node: clade_b }).unwrap();
+        assert_eq!(cold.cache_hit, Some(false));
+    }
+
+    #[test]
+    fn generous_cost_budget_behaves_like_unbudgeted() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        s.enable_prefetch(Prefetcher {
+            budget: PrefetchBudget::EstimatedCost(Duration::from_secs(60)),
+            ..Prefetcher::default()
+        });
+        let clade_a = d.index.by_label("cladeA").unwrap();
+        let r = s.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        assert!(r.prefetched > 0, "estimates fit comfortably");
+        let clade_b = d.index.by_label("cladeB").unwrap();
+        let warm = s.apply(&Gesture::Expand { node: clade_b }).unwrap();
+        assert_eq!(warm.cache_hit, Some(true));
+    }
+
+    #[test]
+    fn item_budget_caps_prefetch_count() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        s.enable_prefetch(Prefetcher {
+            fan_out: 8,
+            budget: PrefetchBudget::Items(1),
+            ..Prefetcher::default()
+        });
+        let clade_a = d.index.by_label("cladeA").unwrap();
+        let r = s.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        assert_eq!(r.prefetched, 1);
     }
 
     #[test]

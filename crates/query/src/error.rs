@@ -24,6 +24,9 @@ pub enum QueryError {
     BadSubstructurePattern(String),
     /// Plan construction or execution failed internally.
     Plan(String),
+    /// An unknown optimizer rule name was passed to
+    /// [`crate::optimizer::OptimizerConfig::ablate`].
+    UnknownRule(String),
     /// The plan violated structural invariants (see
     /// [`crate::validate::PlanValidator`]).
     Invariant(Vec<crate::validate::InvariantViolation>),
@@ -57,6 +60,7 @@ impl fmt::Display for QueryError {
                 )
             }
             QueryError::Plan(msg) => write!(f, "planning error: {msg}"),
+            QueryError::UnknownRule(rule) => write!(f, "unknown optimizer rule {rule:?}"),
             QueryError::Invariant(violations) => {
                 write!(f, "plan violates {} invariant(s):", violations.len())?;
                 for v in violations {

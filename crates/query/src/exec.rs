@@ -8,6 +8,7 @@
 
 use crate::ast::{Metric, Query};
 use crate::cache::{CacheConfig, CacheStats};
+use crate::cost::{CalibrationReport, CostModel};
 use crate::dataset::{unified_schema, unify_assay_row, Dataset};
 use crate::matview::MaterializedAggregates;
 use crate::optimizer::Optimizer;
@@ -65,6 +66,15 @@ pub struct ExecMetrics {
     pub notes: Vec<String>,
 }
 
+/// Cost-model estimates for a query, obtained by planning alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanEstimate {
+    /// Estimated access latency (the miss path for cache probes).
+    pub cost: Duration,
+    /// Estimated rows shipped by the access.
+    pub rows: u64,
+}
+
 /// A finished query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
@@ -93,6 +103,9 @@ pub struct Executor {
     matview: Option<MaterializedAggregates>,
     retry: RetryPolicy,
     coordinator: Option<Arc<FetchCoordinator>>,
+    /// Calibrated cost model: prices plan alternatives in cost-based
+    /// mode and accumulates observed-vs-estimated fetch latencies.
+    cost: Arc<CostModel>,
 }
 
 // Compile-time proof that the executor (and the dataset it serves) can
@@ -119,7 +132,43 @@ impl Executor {
             matview: None,
             retry: RetryPolicy::default(),
             coordinator: None,
+            cost: Arc::new(CostModel::new()),
         }
+    }
+
+    /// The calibrated cost model (prior parameters until fetches have
+    /// been observed).
+    pub fn cost_model(&self) -> &Arc<CostModel> {
+        &self.cost
+    }
+
+    /// Replace the cost model, e.g. to share one calibration state
+    /// across executors.
+    pub fn set_cost_model(&mut self, cost: Arc<CostModel>) {
+        self.cost = cost;
+    }
+
+    /// Snapshot the calibration state: per-source fitted parameters
+    /// plus the estimate-vs-actual error tracker.
+    pub fn calibration(&self) -> CalibrationReport {
+        self.cost.report()
+    }
+
+    /// Plan a query and return its cost/cardinality estimates without
+    /// executing it (the mobile prefetch budgeter prices candidate
+    /// subtrees this way).
+    pub fn estimate(&self, dataset: &Dataset, query: &Query) -> Result<PlanEstimate> {
+        let plan = self.optimizer.plan_with(
+            dataset,
+            self.stats.as_ref(),
+            self.matview.as_ref(),
+            Some(&self.cost),
+            query,
+        )?;
+        Ok(PlanEstimate {
+            cost: plan.estimated_cost,
+            rows: plan.estimated_rows,
+        })
     }
 
     /// Shard count the semantic cache is raised to when serving is
@@ -206,9 +255,13 @@ impl Executor {
 
     /// EXPLAIN a query without executing it.
     pub fn explain(&self, dataset: &Dataset, query: &Query) -> Result<String> {
-        let plan =
-            self.optimizer
-                .plan(dataset, self.stats.as_ref(), self.matview.as_ref(), query)?;
+        let plan = self.optimizer.plan_with(
+            dataset,
+            self.stats.as_ref(),
+            self.matview.as_ref(),
+            Some(&self.cost),
+            query,
+        )?;
         self.validate_plan(dataset, &plan)?;
         Ok(plan.explain())
     }
@@ -228,9 +281,13 @@ impl Executor {
 
     /// Plan and execute a query.
     pub fn execute(&self, dataset: &Dataset, query: &Query) -> Result<QueryResult> {
-        let plan =
-            self.optimizer
-                .plan(dataset, self.stats.as_ref(), self.matview.as_ref(), query)?;
+        let plan = self.optimizer.plan_with(
+            dataset,
+            self.stats.as_ref(),
+            self.matview.as_ref(),
+            Some(&self.cost),
+            query,
+        )?;
         self.validate_plan(dataset, &plan)?;
         let started = dataset.clock.now();
 
@@ -406,6 +463,25 @@ impl Executor {
             m.retries += resp.retries as usize;
             m.source_requests += resp.requests;
             m.rows_fetched += resp.rows.len();
+            // Calibration feedback: record the observed virtual latency
+            // of this fetch against the planner's estimate. Only the
+            // direct path observes — coalesced cross-session batches
+            // mix several queries' keys, so their per-fetch shape would
+            // poison the per-source fit.
+            if self.optimizer.config().cost_based {
+                let effective_requests = if f.concurrent {
+                    1
+                } else {
+                    resp.requests as u64
+                };
+                self.cost.observe(
+                    &f.source,
+                    effective_requests,
+                    resp.rows.len() as u64,
+                    resp.cost,
+                    f.est_cost,
+                );
+            }
             let mut unified = Vec::with_capacity(resp.rows.len());
             for raw in &resp.rows {
                 match unify_assay_row(dataset, raw) {

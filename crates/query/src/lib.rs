@@ -22,6 +22,8 @@
 //! * [`plan`] — physical plans and EXPLAIN rendering.
 //! * [`optimizer`] — the rewrite pipeline, rule-by-rule switchable so
 //!   experiment E4 can ablate each one.
+//! * [`cost`] — the calibrated cost model pricing plan alternatives
+//!   (design decision D8).
 //! * [`cache`] — the semantic result cache (design decision D2).
 //! * [`exec`] — the executor and its metrics.
 //! * [`matview`] — materialized per-subtree aggregate views.
@@ -32,6 +34,7 @@
 
 pub mod ast;
 pub mod cache;
+pub mod cost;
 pub mod dataset;
 pub mod error;
 pub mod exec;
@@ -44,9 +47,10 @@ pub mod stats;
 pub mod validate;
 
 pub use ast::{Query, QueryKind, Scope};
+pub use cost::{CalibrationReport, CostModel, CostParams};
 pub use dataset::Dataset;
 pub use error::QueryError;
-pub use exec::{ExecMetrics, Executor, QueryResult};
+pub use exec::{ExecMetrics, Executor, PlanEstimate, QueryResult};
 pub use optimizer::{Optimizer, OptimizerConfig};
 pub use serve::{FetchCoordinator, ServeConfig, ServeStats, ShardedSemanticCache};
 pub use validate::{InvariantViolation, PlanValidator};

@@ -26,6 +26,30 @@ pub struct FetchPlan {
     pub max_batch: usize,
     /// Dispatch the batches concurrently (vs sequentially).
     pub concurrent: bool,
+    /// Cost-model estimate of this fetch's virtual latency.
+    pub est_cost: Duration,
+    /// Cardinality estimate: rows this fetch is expected to ship.
+    pub est_rows: u64,
+}
+
+/// One enumerated plan alternative.
+///
+/// Populated only by the cost-based planner; the fixed-order rule
+/// pipeline decides by flags and emits no candidates. Within each
+/// `group` exactly one candidate is `chosen`, and the validator checks
+/// that its cost is minimal and every cost is finite and non-negative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCandidate {
+    /// Choice group: "access", "cache", or "replica:<group leader>".
+    pub group: String,
+    /// Alternative label (e.g. "batched-fetch", a replica name).
+    pub label: String,
+    /// Priced cost in seconds.
+    pub cost_secs: f64,
+    /// Cardinality estimate used in pricing.
+    pub rows: u64,
+    /// Whether the planner selected this alternative.
+    pub chosen: bool,
 }
 
 /// How the activity rows are obtained.
@@ -125,6 +149,11 @@ pub struct PhysicalPlan {
     pub notes: Vec<String>,
     /// Cost-model estimate of the access latency.
     pub estimated_cost: Duration,
+    /// Cost-model cardinality estimate (rows shipped by the access).
+    pub estimated_rows: u64,
+    /// Alternatives the cost-based planner enumerated (empty under the
+    /// fixed rule pipeline).
+    pub candidates: Vec<PlanCandidate>,
 }
 
 impl PhysicalPlan {
@@ -133,12 +162,13 @@ impl PhysicalPlan {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "Plan: scope=n{} interval=[{}, {}) pruned_leaves={} est_cost={:?}",
+            "Plan: scope=n{} interval=[{}, {}) pruned_leaves={} est_cost={:?} est_rows={}",
             self.scope_node.0,
             self.interval.lo,
             self.interval.hi,
             self.pruned_leaves,
             self.estimated_cost,
+            self.estimated_rows,
         );
         match &self.access {
             Access::CacheProbe {
@@ -171,6 +201,17 @@ impl PhysicalPlan {
             Access::ProvedEmpty => {
                 let _ = writeln!(out, "  ProvedEmpty (statistics)");
             }
+        }
+        for c in &self.candidates {
+            let _ = writeln!(
+                out,
+                "  Candidate [{}] {}: est_cost={:?} est_rows={}{}",
+                c.group,
+                c.label,
+                crate::cost::secs_to_duration(c.cost_secs),
+                c.rows,
+                if c.chosen { " (chosen)" } else { "" }
+            );
         }
         let _ = writeln!(out, "  Residual: {}", fmt_pred(&self.residual));
         if self.ligand_join {
@@ -222,13 +263,16 @@ impl PhysicalPlan {
 
 fn fmt_fetch(f: &FetchPlan) -> String {
     format!(
-        "SourceFetch source={} keys={} pushdown={} batched={} max_batch={} concurrent={}",
+        "SourceFetch source={} keys={} pushdown={} batched={} max_batch={} concurrent={} \
+         est_cost={:?} est_rows={}",
         f.source,
         f.keys.len(),
         fmt_pred_opt(&f.pushdown),
         f.batched,
         f.max_batch,
-        f.concurrent
+        f.concurrent,
+        f.est_cost,
+        f.est_rows
     )
 }
 
@@ -300,6 +344,8 @@ mod tests {
                     batched: true,
                     max_batch: 100,
                     concurrent: true,
+                    est_cost: Duration::from_millis(12),
+                    est_rows: 7,
                 }],
                 concurrent_sources: true,
             },
@@ -314,11 +360,34 @@ mod tests {
             },
             notes: vec!["pushdown: p_activity >= 6".into()],
             estimated_cost: Duration::from_millis(42),
+            estimated_rows: 7,
+            candidates: vec![
+                PlanCandidate {
+                    group: "access".into(),
+                    label: "batched-fetch".into(),
+                    cost_secs: 0.012,
+                    rows: 7,
+                    chosen: true,
+                },
+                PlanCandidate {
+                    group: "access".into(),
+                    label: "per-key-fetch".into(),
+                    cost_secs: 0.024,
+                    rows: 7,
+                    chosen: false,
+                },
+            ],
         };
         let text = plan.explain();
         assert!(text.contains("interval=[2, 9)"));
+        assert!(text.contains("est_cost=42ms est_rows=7"));
         assert!(text.contains("SourceFetch source=assay-sim keys=2"));
         assert!(text.contains("batched=true"));
+        assert!(text.contains("est_cost=12ms est_rows=7"));
+        assert!(
+            text.contains("Candidate [access] batched-fetch: est_cost=12ms est_rows=7 (chosen)")
+        );
+        assert!(text.contains("Candidate [access] per-key-fetch: est_cost=24ms est_rows=7\n"));
         assert!(text.contains("mw < 500"));
         assert!(text.contains("LigandJoin"));
         assert!(text.contains("TopK k=10"));
@@ -362,6 +431,8 @@ mod tests {
             finish: Finish::Collect,
             notes: vec![],
             estimated_cost: Duration::ZERO,
+            estimated_rows: 0,
+            candidates: vec![],
         };
         assert!(plan.explain().contains("ProvedEmpty"));
     }

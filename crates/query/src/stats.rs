@@ -328,6 +328,47 @@ mod tests {
     }
 
     #[test]
+    fn histogram_single_bucket_and_out_of_range() {
+        // A single bucket degenerates every op to all-or-nothing plus the
+        // one-bucket point mass.
+        let h = Histogram::build([1.0, 2.0, 3.0, 4.0], 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.selectivity(CompareOp::Eq, 2.0), 1.0);
+        assert_eq!(h.selectivity(CompareOp::Ne, 2.0), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Lt, 1.0), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Ge, 1.0), 1.0);
+        // Probes entirely outside the observed [min, max] clamp to 0 or 1.
+        assert_eq!(h.selectivity(CompareOp::Lt, -100.0), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Ge, -100.0), 1.0);
+        assert_eq!(h.selectivity(CompareOp::Lt, 100.0), 1.0);
+        assert_eq!(h.selectivity(CompareOp::Ge, 100.0), 0.0);
+        // nbuckets = 0 is clamped to one bucket rather than panicking.
+        let h = Histogram::build([7.0], 0);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.selectivity(CompareOp::Eq, 7.0), 1.0);
+    }
+
+    #[test]
+    fn range_max_degenerate_ranges() {
+        let rm = RangeMax::build(&[4.0, 1.0, 8.0]);
+        // Inverted bounds (lo > hi) are an empty range, not a panic.
+        assert_eq!(rm.max(2, 1), None);
+        assert_eq!(rm.max(3, 0), None);
+        // Zero-width and fully out-of-range probes are empty too.
+        assert_eq!(rm.max(1, 1), None);
+        assert_eq!(rm.max(5, 9), None);
+        // A range overhanging the end clamps to the array.
+        assert_eq!(rm.max(1, 100), Some(8.0));
+        // Single-element build answers its only range.
+        let one = RangeMax::build(&[2.5]);
+        assert_eq!(one.max(0, 1), Some(2.5));
+        assert_eq!(one.max(1, 2), None);
+        // Empty build with inverted bounds stays None.
+        let empty = RangeMax::build(&[]);
+        assert_eq!(empty.max(3, 1), None);
+    }
+
+    #[test]
     fn collect_from_sources() {
         let d = small_dataset(SourceCapabilities::full());
         let stats = OverlayStats::collect(&d).unwrap();

@@ -31,6 +31,11 @@
 //!   aggregates: no residual predicate, no similarity, no substructure.
 //! * **finish-shape** — the finish operator addresses real columns of
 //!   the unified schema and in-bounds child intervals.
+//! * **cost-choice-minimal** — within every candidate group the
+//!   cost-based planner enumerated, exactly one alternative is chosen
+//!   and its estimate is minimal among the group.
+//! * **cost-estimates-sane** — every enumerated candidate's cost is
+//!   finite and non-negative.
 //!
 //! Two further *serving* invariants guard the concurrent read path at
 //! dispatch time rather than plan time: **coalesce-batch-limit** (a
@@ -92,6 +97,10 @@ pub const RULE_CACHE_KEY: &str = "cache-key-consistency";
 pub const RULE_MATVIEW: &str = "matview-purity";
 /// Rule name: finish operator addresses real columns and intervals.
 pub const RULE_FINISH: &str = "finish-shape";
+/// Rule name: chosen candidate's estimate minimal within its group.
+pub const RULE_COST_CHOICE: &str = "cost-choice-minimal";
+/// Rule name: candidate cost estimates finite and non-negative.
+pub const RULE_COST_SANE: &str = "cost-estimates-sane";
 
 pub use drugtree_sources::serve::{RULE_COALESCE_BATCH, RULE_FLIGHT_PREDICATE};
 
@@ -141,7 +150,62 @@ impl<'a> PlanValidator<'a> {
         self.check_cache_key(plan, &mut out);
         self.check_matview(plan, &mut out);
         self.check_finish(plan, &mut out);
+        self.check_costs(plan, &mut out);
         out
+    }
+
+    /// Cost-based plan-choice invariants: candidates (when enumerated)
+    /// carry sane estimates, and within each group exactly one is
+    /// chosen with the minimal cost. Fixed-pipeline plans enumerate no
+    /// candidates and pass trivially.
+    fn check_costs(&self, plan: &PhysicalPlan, out: &mut Vec<InvariantViolation>) {
+        let mut groups: Vec<&str> = plan.candidates.iter().map(|c| c.group.as_str()).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        for (i, c) in plan.candidates.iter().enumerate() {
+            if !c.cost_secs.is_finite() || c.cost_secs < 0.0 {
+                out.push(InvariantViolation {
+                    rule: RULE_COST_SANE,
+                    path: format!("candidates[{i}]"),
+                    explanation: format!(
+                        "candidate {:?}/{:?} has cost {}, expected finite and >= 0",
+                        c.group, c.label, c.cost_secs
+                    ),
+                });
+            }
+        }
+        for group in groups {
+            let members: Vec<_> = plan
+                .candidates
+                .iter()
+                .filter(|c| c.group == group)
+                .collect();
+            let chosen: Vec<_> = members.iter().filter(|c| c.chosen).collect();
+            if chosen.len() != 1 {
+                out.push(InvariantViolation {
+                    rule: RULE_COST_CHOICE,
+                    path: format!("candidates[{group}]"),
+                    explanation: format!(
+                        "group has {} chosen alternatives, expected exactly 1",
+                        chosen.len()
+                    ),
+                });
+                continue;
+            }
+            let winner = chosen[0];
+            for m in &members {
+                if winner.cost_secs > m.cost_secs {
+                    out.push(InvariantViolation {
+                        rule: RULE_COST_CHOICE,
+                        path: format!("candidates[{group}]"),
+                        explanation: format!(
+                            "chosen {:?} costs {} but {:?} costs {}",
+                            winner.label, winner.cost_secs, m.label, m.cost_secs
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     fn check_interval(&self, plan: &PhysicalPlan, out: &mut Vec<InvariantViolation>) {
@@ -524,10 +588,96 @@ mod tests {
     }
 
     #[test]
+    fn cost_choice_must_be_minimal_and_unique() {
+        use crate::plan::PlanCandidate;
+        let d = small_dataset(SourceCapabilities::full());
+        let mut plan = planned(
+            &d,
+            OptimizerConfig::cost_based(),
+            &Query::activities(Scope::Tree),
+        );
+        assert_eq!(PlanValidator::new(&d).check(&plan), vec![]);
+
+        // Append a second chosen alternative that is also more
+        // expensive than the winner: both the uniqueness and the
+        // minimality checks must fire.
+        let max = plan
+            .candidates
+            .iter()
+            .map(|c| c.cost_secs)
+            .fold(0.0, f64::max);
+        plan.candidates.push(PlanCandidate {
+            group: "access".into(),
+            label: "bogus".into(),
+            cost_secs: max + 1.0,
+            rows: 1,
+            chosen: true,
+        });
+        let rules = rules_of(&PlanValidator::new(&d).check(&plan));
+        assert!(rules.contains(&RULE_COST_CHOICE), "{rules:?}");
+
+        // A lone chosen alternative that is not minimal fires too.
+        let mut plan = planned(
+            &d,
+            OptimizerConfig::cost_based(),
+            &Query::activities(Scope::Tree),
+        );
+        for c in &mut plan.candidates {
+            if c.group == "access" {
+                c.chosen = false;
+            }
+        }
+        plan.candidates.push(PlanCandidate {
+            group: "access".into(),
+            label: "bogus".into(),
+            cost_secs: max + 1.0,
+            rows: 1,
+            chosen: true,
+        });
+        let rules = rules_of(&PlanValidator::new(&d).check(&plan));
+        assert!(rules.contains(&RULE_COST_CHOICE), "{rules:?}");
+    }
+
+    #[test]
+    fn rejects_non_finite_or_negative_candidate_costs() {
+        use crate::plan::PlanCandidate;
+        let d = small_dataset(SourceCapabilities::full());
+        let mut plan = planned(
+            &d,
+            OptimizerConfig::cost_based(),
+            &Query::activities(Scope::Tree),
+        );
+        plan.candidates.push(PlanCandidate {
+            group: "broken".into(),
+            label: "nan".into(),
+            cost_secs: f64::NAN,
+            rows: 0,
+            chosen: true,
+        });
+        plan.candidates.push(PlanCandidate {
+            group: "broken2".into(),
+            label: "negative".into(),
+            cost_secs: -0.5,
+            rows: 0,
+            chosen: true,
+        });
+        let rules = rules_of(&PlanValidator::new(&d).check(&plan));
+        assert_eq!(
+            rules.iter().filter(|r| **r == RULE_COST_SANE).count(),
+            2,
+            "{rules:?}"
+        );
+    }
+
+    #[test]
     fn well_formed_plans_pass() {
         let d = small_dataset(SourceCapabilities::full());
         let v = PlanValidator::new(&d);
-        for config in [OptimizerConfig::naive(), OptimizerConfig::full()] {
+        for config in [
+            OptimizerConfig::naive(),
+            OptimizerConfig::full(),
+            OptimizerConfig::cost_based(),
+        ] {
             for query in [
                 Query::activities(Scope::Tree),
                 filtered_query(),

@@ -359,6 +359,12 @@ fn optimizer_rules_preserve_query_semantics() {
     let mut candidates: Vec<(String, Executor)> = Vec::new();
     let mut configs = single_rule_configs();
     configs.push(("full".into(), OptimizerConfig::full()));
+    // The cost-based planner must be result-equivalent to the rule
+    // pipeline on every generated query: plan choice may only move
+    // latency, never rows. Executing the whole workload also calibrates
+    // the cost model mid-run, so later queries exercise plans priced
+    // with fitted (not prior) parameters.
+    configs.push(("cost-based".into(), OptimizerConfig::cost_based()));
     for (name, mut config) in configs {
         config.validate = true;
         let mut exec = Executor::new(Optimizer::new(config));

@@ -48,9 +48,9 @@ fn golden_full_explain() {
     assert_eq!(
         plan.explain(),
         "\
-Plan: scope=n1 interval=[0, 2) pruned_leaves=0 est_cost=12ms
+Plan: scope=n1 interval=[0, 2) pruned_leaves=0 est_cost=12ms est_rows=2
   CacheProbe pushdown=year >= 2012 insert_on_miss=true
-    miss-> SourceFetch source=assay-sim keys=2 pushdown=year >= 2012 batched=true max_batch=100 concurrent=true
+    miss-> SourceFetch source=assay-sim keys=2 pushdown=year >= 2012 batched=true max_batch=100 concurrent=true est_cost=12ms est_rows=2
   Residual: year >= 2012
   LigandJoin
   Collect
@@ -69,9 +69,9 @@ fn golden_naive_explain() {
     assert_eq!(
         plan.explain(),
         "\
-Plan: scope=n1 interval=[0, 2) pruned_leaves=0 est_cost=23ms
+Plan: scope=n1 interval=[0, 2) pruned_leaves=0 est_cost=23ms est_rows=3
   Fetch concurrent_sources=false
-    SourceFetch source=assay-sim keys=2 pushdown=- batched=false max_batch=1 concurrent=false
+    SourceFetch source=assay-sim keys=2 pushdown=- batched=false max_batch=1 concurrent=false est_cost=23ms est_rows=3
   Residual: year >= 2012
   LigandJoin
   Collect
@@ -83,7 +83,7 @@ Plan: scope=n1 interval=[0, 2) pruned_leaves=0 est_cost=23ms
 /// EXPLAIN under `full()` and under `ablate(rule)` for a query.
 fn toggled(d: &Dataset, rule: &str, q: &Query) -> (String, String) {
     let on = planned(d, OptimizerConfig::full(), q).explain();
-    let off = planned(d, OptimizerConfig::ablate(rule), q).explain();
+    let off = planned(d, OptimizerConfig::ablate(rule).expect("known rule"), q).explain();
     (on, off)
 }
 
@@ -169,8 +169,11 @@ fn toggle_use_matview() {
     assert!(off.contains("AggregateChildren metric=count"), "{off}");
 }
 
-#[test]
-fn toggle_replica_selection() {
+/// A two-leaf dataset with a declared replica pair: `assay-near`
+/// (10 ms RTT) and `assay-far` (80 ms RTT) carrying identical records.
+/// The shared fixture has a single source; replica selection needs a
+/// declared group, with one member measurably slower.
+fn replica_dataset() -> Dataset {
     use drugtree_chem::affinity::ActivityRecord;
     use drugtree_integrate::overlay::OverlayBuilder;
     use drugtree_phylo::index::TreeIndex;
@@ -182,8 +185,6 @@ fn toggle_replica_selection() {
     use drugtree_sources::protein_db::ProteinRecord;
     use std::sync::Arc;
 
-    // The shared fixture has a single source; replica selection needs a
-    // declared group, with one member measurably slower.
     let tree = parse_newick("(P1:1,P2:1)root;").expect("newick");
     let index = TreeIndex::build(&tree);
     let proteins: Vec<ProteinRecord> = ["P1", "P2"]
@@ -224,8 +225,12 @@ fn toggle_replica_selection() {
     registry
         .declare_replicas(vec!["assay-near".into(), "assay-far".into()])
         .expect("group");
-    let d = Dataset::new(tree, index, overlay, registry, VirtualClock::new()).expect("dataset");
+    Dataset::new(tree, index, overlay, registry, VirtualClock::new()).expect("dataset")
+}
 
+#[test]
+fn toggle_replica_selection() {
+    let d = replica_dataset();
     let q = Query::activities(Scope::Tree);
     let (on, off) = toggled(&d, "replica_selection", &q);
     assert!(
@@ -237,4 +242,69 @@ fn toggle_replica_selection() {
     assert!(off.contains("source=assay-near"), "{off}");
     assert!(off.contains("source=assay-far"), "{off}");
     assert!(!off.contains("# replica-selection"), "{off}");
+}
+
+/// The cost-based plan-choice golden: after calibration reveals that
+/// `assay-near` (the fixed heuristic's pick — 10 ms declared RTT vs
+/// 80 ms) actually costs 200 ms per round trip plus 1 ms per row, the
+/// planner routes the fetch to `assay-far`, still priced at the prior.
+/// Every enumerated candidate appears in the rendering with its
+/// estimate.
+#[test]
+fn golden_cost_based_explain() {
+    use drugtree_query::cost::CostModel;
+    use drugtree_query::stats::OverlayStats;
+
+    let d = replica_dataset();
+    let model = CostModel::new();
+    // Four observations whose exact least-squares fit is 200 ms RTT +
+    // 1 ms/row for assay-near (estimates passed here only feed the
+    // error tracker, which this golden does not render).
+    for (reqs, rows, obs_ms) in [
+        (1u64, 10u64, 210u64),
+        (2, 50, 450),
+        (1, 200, 400),
+        (3, 30, 630),
+    ] {
+        model.observe(
+            "assay-near",
+            reqs,
+            rows,
+            Duration::from_millis(obs_ms),
+            Duration::ZERO,
+        );
+    }
+
+    let stats = OverlayStats::collect(&d).expect("stats");
+    let plan = Optimizer::new(OptimizerConfig::cost_based())
+        .plan_with(
+            &d,
+            Some(&stats),
+            None,
+            Some(&model),
+            &Query::activities(Scope::Tree),
+        )
+        .expect("plans");
+    assert_eq!(
+        plan.explain(),
+        "\
+Plan: scope=n0 interval=[0, 2) pruned_leaves=1 est_cost=50.02ms est_rows=1
+  CacheProbe pushdown=- insert_on_miss=true
+    miss-> SourceFetch source=assay-far keys=1 pushdown=- batched=true max_batch=100 concurrent=true est_cost=50.02ms est_rows=1
+  Candidate [replica:assay-near] assay-near: est_cost=201ms est_rows=1
+  Candidate [replica:assay-near] assay-far: est_cost=50.02ms est_rows=1 (chosen)
+  Candidate [access] batched-fetch: est_cost=50.02ms est_rows=1 (chosen)
+  Candidate [access] per-key-fetch: est_cost=50.02ms est_rows=1
+  Candidate [cache] cache-probe: est_cost=50.02ms est_rows=1 (chosen)
+  Candidate [cache] direct: est_cost=50.02ms est_rows=1
+  Residual: true
+  LigandJoin
+  Collect
+  # interval-rewrite: scope -> [0, 2)
+  # selectivity-ordering: residual conjuncts reordered
+  # stats-pruning: 1 leaves dropped
+  # replica-selection: assay-far chosen from [\"assay-near\", \"assay-far\"]
+  # cost-based: access=batched-fetch est=50.02ms est_rows=1
+"
+    );
 }

@@ -51,7 +51,10 @@ fn all_optimizer_configs_agree_with_naive() {
     // own dataset/cache so runs are independent.
     let mut challengers = vec![("full".to_string(), OptimizerConfig::full())];
     for rule in drugtree_query::optimizer::OptimizerConfig::RULES {
-        challengers.push((format!("full-minus-{rule}"), OptimizerConfig::ablate(rule)));
+        challengers.push((
+            format!("full-minus-{rule}"),
+            OptimizerConfig::ablate(rule).expect("known rule"),
+        ));
     }
 
     for (name, config) in challengers {

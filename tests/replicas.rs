@@ -69,7 +69,7 @@ fn replica_selection_changes_cost_not_answers() {
         .unwrap();
     let without = DrugTree::builder()
         .dataset(bundle.build_dataset())
-        .optimizer(OptimizerConfig::ablate("replica_selection"))
+        .optimizer(OptimizerConfig::ablate("replica_selection").expect("known rule"))
         .build()
         .unwrap();
 
@@ -128,7 +128,7 @@ fn replicated_matview_does_not_double_count() {
         .unwrap();
     let without_view = DrugTree::builder()
         .dataset(bundle.build_dataset())
-        .optimizer(OptimizerConfig::ablate("use_matview"))
+        .optimizer(OptimizerConfig::ablate("use_matview").expect("known rule"))
         .build()
         .unwrap();
     let a = with_view.query("aggregate count in tree").unwrap();
