@@ -38,6 +38,7 @@ fn main() {
         ("e10", drugtree_bench::e10_prefetch::run),
         ("e11", drugtree_bench::e11_serving::run),
         ("e12", drugtree_bench::e12_calibration::run),
+        ("e13", drugtree_bench::e13_observability::run),
     ];
 
     let out_dir = std::path::Path::new("bench_results");

@@ -117,7 +117,7 @@ pub fn run(config: RunConfig) -> ExperimentTable {
     // --- Estimate error, before vs after calibration -----------------
     let system = DrugTree::builder()
         .dataset(tradeoff_dataset(&bundle))
-        .cost_based_planner()
+        .with_cost_based_planner()
         .build()
         .expect("system builds");
     let warmup = stream(QueryClass::SubtreeListing, per_class * 2, 3);

@@ -1,0 +1,172 @@
+//! E13: query-path observability — per-class latency breakdown from
+//! the [`MetricsRegistry`] observer, and the null-observer overhead
+//! check.
+//!
+//! The same E1 traffic runs twice per class: once with a
+//! `MetricsRegistry` installed through `with_observer` (every query
+//! folds a trace into lock-free counters/histograms) and once with no
+//! observer (the executor's null-observer fast path, which builds no
+//! spans at all). Latencies are virtual-clock measurements and tracing
+//! never charges the clock, so the observed/baseline ratio must be
+//! exactly 1.0 — the quick run doubles as the CI overhead assertion.
+
+use crate::table::ExperimentTable;
+use crate::{fmt_ms, mean, RunConfig};
+use drugtree::prelude::*;
+use drugtree_query::{MetricsRegistry, Stage};
+use drugtree_workload::queries::{class_stream, QueryClass, QueryWorkloadConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// CI ceiling on observer overhead: mean latency with the registry
+/// installed may differ from the null-observer baseline by at most 2%.
+/// (On the virtual clock the difference is exactly zero; the slack
+/// only exists so a future wall-clock port of this check stays sane.)
+pub const NULL_OBSERVER_OVERHEAD_CEILING: f64 = 0.02;
+
+/// Run E13.
+pub fn run(config: RunConfig) -> ExperimentTable {
+    let (leaves, ligands, per_class) = if config.quick {
+        (64, 16, 8)
+    } else {
+        (512, 64, 50)
+    };
+    let bundle = SyntheticBundle::generate(
+        &WorkloadSpec::default()
+            .leaves(leaves)
+            .ligands(ligands)
+            .seed(101),
+    );
+
+    let mut table = ExperimentTable::new(
+        "E13",
+        format!("query-path latency breakdown, {leaves} leaves, {per_class} queries/class"),
+        vec![
+            "class",
+            "mean latency",
+            "fetch share",
+            "hit rate",
+            "rows/query",
+            "reqs/query",
+            "obs/null ratio",
+        ],
+    );
+
+    for class in QueryClass::ALL {
+        let queries = class_stream(
+            class,
+            &bundle.tree,
+            &bundle.index,
+            &bundle.ligands,
+            &QueryWorkloadConfig {
+                len: per_class,
+                seed: 61,
+                scope_theta: 0.8,
+            },
+        );
+
+        let run_stream = |observer: Option<Arc<MetricsRegistry>>| -> Duration {
+            let mut builder = DrugTree::builder()
+                .dataset(bundle.build_dataset())
+                .optimizer(OptimizerConfig::full());
+            if let Some(registry) = observer {
+                builder = builder.with_observer(registry);
+            }
+            let system = builder.build().expect("system builds");
+            let latencies: Vec<Duration> = queries
+                .iter()
+                .map(|q| {
+                    system
+                        .execute(q)
+                        .expect("query executes")
+                        .metrics
+                        .virtual_cost
+                })
+                .collect();
+            mean(&latencies)
+        };
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let observed_mean = run_stream(Some(Arc::clone(&registry)));
+        let baseline_mean = run_stream(None);
+        let ratio = observed_mean.as_secs_f64() / baseline_mean.as_secs_f64().max(1e-12);
+
+        let n = registry.queries.get().max(1);
+        let query_ns = registry.stage_nanos(Stage::Query).max(1);
+        let fetch_ns = registry.stage_nanos(Stage::Fetch) + registry.stage_nanos(Stage::Coalesce);
+        table.row(vec![
+            class.label().to_string(),
+            fmt_ms(observed_mean),
+            format!("{:.0}%", 100.0 * fetch_ns as f64 / query_ns as f64),
+            format!("{:.2}", registry.hit_rate()),
+            format!("{:.1}", registry.rows_fetched.get() as f64 / n as f64),
+            format!("{:.2}", registry.source_requests.get() as f64 / n as f64),
+            format!("{ratio:.4}"),
+        ]);
+    }
+
+    // Per-gesture network-vs-compute: one 4G browsing session with the
+    // registry installed; the session fires `Observer::on_gesture`.
+    let registry = Arc::new(MetricsRegistry::new());
+    let system = DrugTree::builder()
+        .dataset(bundle.build_dataset())
+        .optimizer(OptimizerConfig::full())
+        .with_observer(registry.clone() as Arc<dyn drugtree_query::Observer>)
+        .build()
+        .expect("system builds");
+    let script = drill_down_script(
+        &bundle.tree,
+        &bundle.index,
+        &GestureConfig {
+            len: per_class * 4,
+            seed: 3,
+            zipf_theta: 1.0,
+            revisit_prob: 0.35,
+        },
+    );
+    let mut session = system.mobile_session(NetworkProfile::CELL_4G);
+    for gesture in &script {
+        session.apply(gesture).expect("gesture applies");
+    }
+    let compute = registry.gesture_compute.snapshot();
+    let network = registry.gesture_network.snapshot();
+
+    table.note(format!(
+        "{} activity records; web-API latency model; 4G session of {} gestures: \
+         mean compute {} vs mean network {} per gesture",
+        bundle.activities.len(),
+        registry.gestures.get(),
+        fmt_ms(Duration::from_nanos(compute.mean() as u64)),
+        fmt_ms(Duration::from_nanos(network.mean() as u64)),
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles as the CI null-observer overhead assertion: installing
+    /// the metrics registry must not change query latency by more than
+    /// [`NULL_OBSERVER_OVERHEAD_CEILING`] for any class (on the
+    /// virtual clock the ratio is exactly 1).
+    #[test]
+    fn observer_adds_no_measurable_latency() {
+        let t = run(RunConfig { quick: true });
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let ratio: f64 = row[6].parse().expect("ratio parses");
+            assert!(
+                (ratio - 1.0).abs() < NULL_OBSERVER_OVERHEAD_CEILING,
+                "{} observer overhead out of bounds: {row:?}",
+                row[0]
+            );
+            let share: f64 = row[2].trim_end_matches('%').parse().expect("share parses");
+            assert!(
+                (0.0..=100.0).contains(&share),
+                "{} fetch share implausible: {row:?}",
+                row[0]
+            );
+        }
+    }
+}

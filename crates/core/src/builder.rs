@@ -23,7 +23,7 @@ use drugtree_phylo::seq::ProteinSequence;
 use drugtree_phylo::upgma::upgma;
 use drugtree_query::cache::CacheConfig;
 use drugtree_query::optimizer::{Optimizer, OptimizerConfig};
-use drugtree_query::{Dataset, Executor};
+use drugtree_query::{Dataset, Executor, Observer};
 use drugtree_sources::clock::VirtualClock;
 use drugtree_sources::federation::SourceRegistry;
 use drugtree_sources::ligand_db::ligand_from_row;
@@ -51,6 +51,7 @@ pub struct DrugTreeBuilder {
     collect_stats: bool,
     build_matview: bool,
     midpoint_rooting: bool,
+    observer: Option<Arc<dyn Observer>>,
 }
 
 impl Default for DrugTreeBuilder {
@@ -72,6 +73,7 @@ impl DrugTreeBuilder {
             collect_stats: true,
             build_matview: false,
             midpoint_rooting: false,
+            observer: None,
         }
     }
 
@@ -106,9 +108,16 @@ impl DrugTreeBuilder {
     /// vs per-key) and a calibrated cost model picks the cheapest. The
     /// model starts from generic priors and refines per-source
     /// parameters from observed fetch latencies.
-    pub fn cost_based_planner(mut self) -> Self {
+    pub fn with_cost_based_planner(mut self) -> Self {
         self.optimizer.cost_based = true;
         self
+    }
+
+    /// Deprecated alias of
+    /// [`with_cost_based_planner`](Self::with_cost_based_planner).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_cost_based_planner`")]
+    pub fn cost_based_planner(self) -> Self {
+        self.with_cost_based_planner()
     }
 
     /// Choose the tree-construction method (from-sources path).
@@ -123,10 +132,17 @@ impl DrugTreeBuilder {
         self
     }
 
-    /// Skip statistics collection (disables pruning/selectivity rules).
-    pub fn without_stats(mut self) -> Self {
-        self.collect_stats = false;
+    /// Enable or disable startup statistics collection (on by
+    /// default; disabling turns off the pruning/selectivity rules).
+    pub fn with_stats(mut self, collect: bool) -> Self {
+        self.collect_stats = collect;
         self
+    }
+
+    /// Deprecated alias of [`with_stats(false)`](Self::with_stats).
+    #[deprecated(since = "0.1.0", note = "use `with_stats(false)`")]
+    pub fn without_stats(self) -> Self {
+        self.with_stats(false)
     }
 
     /// Also build the materialized aggregate view at startup.
@@ -137,8 +153,25 @@ impl DrugTreeBuilder {
 
     /// Midpoint-root the constructed tree (from-sources path with
     /// neighbor joining, whose root placement is otherwise arbitrary).
-    pub fn midpoint_rooting(mut self) -> Self {
+    pub fn with_midpoint_rooting(mut self) -> Self {
         self.midpoint_rooting = true;
+        self
+    }
+
+    /// Deprecated alias of
+    /// [`with_midpoint_rooting`](Self::with_midpoint_rooting).
+    #[deprecated(since = "0.1.0", note = "renamed to `with_midpoint_rooting`")]
+    pub fn midpoint_rooting(self) -> Self {
+        self.with_midpoint_rooting()
+    }
+
+    /// Install an [`Observer`] on the executor: it receives a
+    /// completed query trace after every executed query and a
+    /// per-gesture breakdown from mobile sessions (design decision
+    /// D9). Pass an `Arc<drugtree_query::MetricsRegistry>` to get
+    /// lock-free aggregate counters, or any custom `Observer`.
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -154,6 +187,9 @@ impl DrugTreeBuilder {
             )?,
         };
         let mut executor = Executor::with_cache_config(Optimizer::new(self.optimizer), self.cache);
+        if let Some(observer) = self.observer {
+            executor.set_observer(observer);
+        }
         if self.collect_stats {
             executor.collect_stats(&dataset)?;
         }
@@ -198,8 +234,7 @@ fn build_from_sources(
     let sequences: Vec<ProteinSequence> = proteins
         .iter()
         .map(|p: &drugtree_sources::protein_db::ProteinRecord| {
-            ProteinSequence::parse(p.accession.clone(), &p.sequence)
-                .map_err(|e| DrugTreeError::Phylo(e.to_string()))
+            ProteinSequence::parse(p.accession.clone(), &p.sequence).map_err(DrugTreeError::Phylo)
         })
         .collect::<Result<_, _>>()?;
     let dm = pairwise_distances(
@@ -208,14 +243,14 @@ fn build_from_sources(
         GapPenalty::BLOSUM62_DEFAULT,
         distance_model,
     )
-    .map_err(|e| DrugTreeError::Phylo(e.to_string()))?;
+    .map_err(DrugTreeError::Phylo)?;
     let mut tree = match tree_method {
         TreeMethod::NeighborJoining => neighbor_joining(&dm),
         TreeMethod::Upgma => upgma(&dm),
     }
-    .map_err(|e| DrugTreeError::Phylo(e.to_string()))?;
+    .map_err(DrugTreeError::Phylo)?;
     if midpoint_rooting {
-        tree = midpoint_root(&tree).map_err(|e| DrugTreeError::Phylo(e.to_string()))?;
+        tree = midpoint_root(&tree).map_err(DrugTreeError::Phylo)?;
     }
     let index = TreeIndex::build(&tree);
 
@@ -371,7 +406,7 @@ mod tests {
             .register_source(p)
             .register_source(l)
             .register_source(a)
-            .midpoint_rooting()
+            .with_midpoint_rooting()
             .build()
             .unwrap();
         let d = system.dataset();
@@ -410,12 +445,29 @@ mod tests {
             .register_source(p)
             .register_source(l)
             .register_source(a)
-            .without_stats()
+            .with_stats(false)
             .build()
             .unwrap();
         assert!(system.executor().stats().is_none());
         // Queries still work.
         assert!(system.query("activities in tree").is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_builder_shims_still_work() {
+        let (p, l, a) = sources();
+        let system = DrugTree::builder()
+            .register_source(p)
+            .register_source(l)
+            .register_source(a)
+            .without_stats()
+            .midpoint_rooting()
+            .cost_based_planner()
+            .build()
+            .unwrap();
+        assert!(system.executor().stats().is_none());
+        assert!(system.executor().optimizer().config().cost_based);
     }
 
     #[test]

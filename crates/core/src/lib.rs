@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # DrugTree
 //!
@@ -54,6 +54,9 @@ pub mod prelude {
     pub use drugtree_query::ast::{Metric, Query, QueryKind, Scope};
     pub use drugtree_query::optimizer::{Optimizer, OptimizerConfig};
     pub use drugtree_query::serve::{ServeConfig, ServeStats};
+    pub use drugtree_query::{
+        AnalyzedResult, GestureObservation, MetricsRegistry, Observer, QuerySpan, QueryTrace, Stage,
+    };
     pub use drugtree_query::{Dataset, ExecMetrics, Executor, QueryResult};
     pub use drugtree_store::expr::{CompareOp, Predicate};
     pub use drugtree_store::value::Value;

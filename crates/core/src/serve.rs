@@ -5,7 +5,7 @@
 //! the simulated sources. [`ServerHandle`] is the harness that proves
 //! it: it owns the dataset/executor pair behind `Arc`s and drives one
 //! OS thread per [`SessionWorkload`], each replaying its gesture
-//! script through its own [`MobileSession`](drugtree_mobile::MobileSession)
+//! script through its own [`MobileSession`]
 //! against the shared executor. The per-interaction numbers every
 //! thread records roll up into a [`ServeReport`] with wall-clock
 //! throughput and charged-latency percentiles — the measurements

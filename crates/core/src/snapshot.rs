@@ -54,9 +54,7 @@ pub fn load_system(
             snap.version
         )));
     }
-    snap.tree
-        .check_invariants()
-        .map_err(|e| DrugTreeError::Phylo(e.to_string()))?;
+    snap.tree.check_invariants().map_err(DrugTreeError::Phylo)?;
     let catalog =
         load_catalog(&snap.catalog).map_err(|e| DrugTreeError::Integrate(e.to_string()))?;
     let overlay =

@@ -9,14 +9,20 @@ use drugtree_sources::source::SourceKind;
 use std::fmt;
 
 /// Top-level error of the façade crate.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a
+/// wildcard arm so new failure kinds can be added without a breaking
+/// release. Wrapped lower-layer errors are reachable through
+/// [`std::error::Error::source`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DrugTreeError {
     /// Builder was misconfigured.
     Builder(String),
     /// Query parsing/planning/execution failed.
     Query(drugtree_query::QueryError),
     /// Tree construction failed.
-    Phylo(String),
+    Phylo(drugtree_phylo::error::PhyloError),
     /// Integration failed.
     Integrate(String),
     /// A concurrent serving session failed.
@@ -28,14 +34,24 @@ impl fmt::Display for DrugTreeError {
         match self {
             DrugTreeError::Builder(msg) => write!(f, "builder error: {msg}"),
             DrugTreeError::Query(e) => write!(f, "query error: {e}"),
-            DrugTreeError::Phylo(msg) => write!(f, "tree error: {msg}"),
+            DrugTreeError::Phylo(e) => write!(f, "tree error: {e}"),
             DrugTreeError::Integrate(msg) => write!(f, "integration error: {msg}"),
             DrugTreeError::Serve(msg) => write!(f, "serving error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for DrugTreeError {}
+impl std::error::Error for DrugTreeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DrugTreeError::Query(e) => Some(e),
+            DrugTreeError::Phylo(e) => Some(e),
+            DrugTreeError::Builder(_) | DrugTreeError::Integrate(_) | DrugTreeError::Serve(_) => {
+                None
+            }
+        }
+    }
+}
 
 impl From<drugtree_query::QueryError> for DrugTreeError {
     fn from(e: drugtree_query::QueryError) -> Self {
@@ -91,6 +107,20 @@ pub struct DrugTree {
 
 impl DrugTree {
     /// Start building a system.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drugtree::prelude::*;
+    ///
+    /// let bundle = SyntheticBundle::generate(&WorkloadSpec::default().leaves(16).ligands(4));
+    /// let system = DrugTree::builder()
+    ///     .dataset(bundle.build_dataset())
+    ///     .optimizer(OptimizerConfig::full())
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(system.report().leaves, 16);
+    /// ```
     pub fn builder() -> crate::builder::DrugTreeBuilder {
         crate::builder::DrugTreeBuilder::new()
     }
@@ -112,18 +142,86 @@ impl DrugTree {
     }
 
     /// Parse and execute a text query.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drugtree::prelude::*;
+    ///
+    /// # let bundle = SyntheticBundle::generate(&WorkloadSpec::default().leaves(16).ligands(4));
+    /// # let system = DrugTree::builder().dataset(bundle.build_dataset()).build().unwrap();
+    /// let result = system
+    ///     .query("activities where p_activity >= 6 top 5 by p_activity desc")
+    ///     .unwrap();
+    /// assert!(result.rows.len() <= 5);
+    /// println!("virtual latency: {:?}", result.metrics.virtual_cost);
+    /// ```
     pub fn query(&self, text: &str) -> Result<QueryResult, DrugTreeError> {
         let query = Query::parse(text)?;
         self.execute(&query)
     }
 
     /// EXPLAIN a text query without running it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drugtree::prelude::*;
+    ///
+    /// # let bundle = SyntheticBundle::generate(&WorkloadSpec::default().leaves(16).ligands(4));
+    /// # let system = DrugTree::builder().dataset(bundle.build_dataset()).build().unwrap();
+    /// let plan = system.explain("activities in tree").unwrap();
+    /// assert!(plan.contains("est_cost="));
+    /// ```
     pub fn explain(&self, text: &str) -> Result<String, DrugTreeError> {
         let query = Query::parse(text)?;
         Ok(self.executor.explain(&self.dataset, &query)?)
     }
 
+    /// `EXPLAIN ANALYZE`: parse a text query, execute it with tracing,
+    /// and return the plan, the per-stage span tree (on the virtual
+    /// clock, so re-running is deterministic), and the result. Render
+    /// with [`drugtree_query::AnalyzedResult::render`] to see
+    /// estimate-vs-actual columns next to each plan node — the gap
+    /// between them is exactly what cost-model calibration
+    /// ([`DrugTree::calibration`]) drives down.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drugtree::prelude::*;
+    ///
+    /// # let bundle = SyntheticBundle::generate(&WorkloadSpec::default().leaves(16).ligands(4));
+    /// # let system = DrugTree::builder().dataset(bundle.build_dataset()).build().unwrap();
+    /// let analyzed = system.analyze("activities in tree").unwrap();
+    /// assert!(analyzed.render().contains("| actual:"));
+    /// assert_eq!(analyzed.trace.cache_hit, Some(false));
+    /// ```
+    pub fn analyze(&self, text: &str) -> Result<drugtree_query::AnalyzedResult, DrugTreeError> {
+        let query = Query::parse(text)?;
+        let mut analyzed = self.executor.analyze(&self.dataset, &query)?;
+        let parse = drugtree_query::QuerySpan::new(
+            drugtree_query::Stage::Parse,
+            text,
+            analyzed.trace.root.started,
+        );
+        analyzed.trace.root.children.insert(0, parse);
+        Ok(analyzed)
+    }
+
     /// Open an interactive mobile session over this system.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drugtree::prelude::*;
+    ///
+    /// # let bundle = SyntheticBundle::generate(&WorkloadSpec::default().leaves(16).ligands(4));
+    /// # let system = DrugTree::builder().dataset(bundle.build_dataset()).build().unwrap();
+    /// let mut session = system.mobile_session(NetworkProfile::CELL_4G);
+    /// let frame = session.apply(&Gesture::InspectViewport).unwrap();
+    /// assert!(frame.rows > 0);
+    /// ```
     pub fn mobile_session(&self, network: NetworkProfile) -> MobileSession<'_> {
         MobileSession::new(&self.dataset, &self.executor, network)
     }
@@ -251,7 +349,7 @@ mod tests {
         let bundle = SyntheticBundle::generate(&WorkloadSpec::default().leaves(32).ligands(8));
         let s = DrugTree::builder()
             .dataset(bundle.build_dataset())
-            .cost_based_planner()
+            .with_cost_based_planner()
             .build()
             .unwrap();
         assert_eq!(s.calibration().observations, 0, "fresh system");

@@ -181,16 +181,14 @@ impl DataSource for MappedSource {
             let mapped = self
                 .mapping
                 .map_row(self.inner.schema(), &resp.columns, raw, &self.target_schema)
-                .map_err(|e| SourceError::Store(e.to_string()))?;
+                .map_err(|e| SourceError::Adapter(e.to_string()))?;
             rows.push(mapped);
         }
 
         // Wrapper-side residual when the pushdown did not happen.
         if !pushed {
             if let Some(pred) = &request.predicate {
-                let bound = pred
-                    .bind(&self.target_schema)
-                    .map_err(|e| SourceError::Store(e.to_string()))?;
+                let bound = pred.bind(&self.target_schema).map_err(SourceError::Store)?;
                 rows.retain(|r| bound.matches(r));
             }
         }
@@ -210,7 +208,7 @@ impl DataSource for MappedSource {
                 .iter()
                 .map(|c| self.target_schema.column_index(c))
                 .collect::<std::result::Result<_, _>>()
-                .map_err(|e| SourceError::Store(e.to_string()))?;
+                .map_err(SourceError::Store)?;
             rows = rows
                 .into_iter()
                 .map(|r| idx.iter().map(|&i| r[i].clone()).collect())

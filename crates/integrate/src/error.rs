@@ -3,7 +3,13 @@
 use std::fmt;
 
 /// Errors from entity resolution, mapping, or overlay construction.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a
+/// wildcard arm so new failure kinds can be added without a breaking
+/// release. Wrapped lower-layer errors are reachable through
+/// [`std::error::Error::source`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum IntegrateError {
     /// No acceptable match for an entity reference.
     Unresolved {
@@ -15,9 +21,11 @@ pub enum IntegrateError {
     /// A schema mapping referenced a missing column.
     Mapping(String),
     /// Underlying store failure.
-    Store(String),
+    Store(drugtree_store::StoreError),
     /// Underlying source failure.
-    Source(String),
+    Source(drugtree_sources::SourceError),
+    /// Underlying tree failure.
+    Phylo(drugtree_phylo::PhyloError),
     /// Tree/overlay inconsistency.
     Overlay(String),
 }
@@ -36,30 +44,40 @@ impl fmt::Display for IntegrateError {
                 None => write!(f, "could not resolve {reference:?} (no candidates)"),
             },
             IntegrateError::Mapping(msg) => write!(f, "schema mapping error: {msg}"),
-            IntegrateError::Store(msg) => write!(f, "store error: {msg}"),
-            IntegrateError::Source(msg) => write!(f, "source error: {msg}"),
+            IntegrateError::Store(e) => write!(f, "store error: {e}"),
+            IntegrateError::Source(e) => write!(f, "source error: {e}"),
+            IntegrateError::Phylo(e) => write!(f, "tree error: {e}"),
             IntegrateError::Overlay(msg) => write!(f, "overlay error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for IntegrateError {}
+impl std::error::Error for IntegrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IntegrateError::Store(e) => Some(e),
+            IntegrateError::Source(e) => Some(e),
+            IntegrateError::Phylo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<drugtree_store::StoreError> for IntegrateError {
     fn from(e: drugtree_store::StoreError) -> Self {
-        IntegrateError::Store(e.to_string())
+        IntegrateError::Store(e)
     }
 }
 
 impl From<drugtree_sources::SourceError> for IntegrateError {
     fn from(e: drugtree_sources::SourceError) -> Self {
-        IntegrateError::Source(e.to_string())
+        IntegrateError::Source(e)
     }
 }
 
 impl From<drugtree_phylo::PhyloError> for IntegrateError {
     fn from(e: drugtree_phylo::PhyloError) -> Self {
-        IntegrateError::Overlay(e.to_string())
+        IntegrateError::Phylo(e)
     }
 }
 

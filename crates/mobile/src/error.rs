@@ -3,14 +3,20 @@
 use std::fmt;
 
 /// Errors from layout, sessions, or delivery simulation.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a
+/// wildcard arm so new failure kinds can be added without a breaking
+/// release. Wrapped lower-layer errors are reachable through
+/// [`std::error::Error::source`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MobileError {
     /// A gesture referenced an unknown node.
     UnknownNode(String),
     /// The viewport degenerated (zero span).
     DegenerateViewport(String),
     /// Underlying query failure.
-    Query(String),
+    Query(drugtree_query::QueryError),
 }
 
 impl fmt::Display for MobileError {
@@ -20,16 +26,23 @@ impl fmt::Display for MobileError {
             MobileError::DegenerateViewport(msg) => {
                 write!(f, "degenerate viewport: {msg}")
             }
-            MobileError::Query(msg) => write!(f, "query error: {msg}"),
+            MobileError::Query(e) => write!(f, "query error: {e}"),
         }
     }
 }
 
-impl std::error::Error for MobileError {}
+impl std::error::Error for MobileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MobileError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<drugtree_query::QueryError> for MobileError {
     fn from(e: drugtree_query::QueryError) -> Self {
-        MobileError::Query(e.to_string())
+        MobileError::Query(e)
     }
 }
 

@@ -18,7 +18,7 @@ use crate::viewport::Viewport;
 use crate::{MobileError, Result};
 use drugtree_phylo::tree::NodeId;
 use drugtree_query::ast::{Query, Scope};
-use drugtree_query::{Dataset, Executor};
+use drugtree_query::{Dataset, Executor, GestureObservation};
 use std::time::Duration;
 
 /// A user interaction.
@@ -205,6 +205,16 @@ impl<'a> MobileSession<'a> {
         let render = self.render();
         let transfer = self.network.transfer_time(render.payload_bytes);
         self.dataset.clock.advance(transfer);
+        if let Some(obs) = self.executor.observer() {
+            obs.on_gesture(&GestureObservation {
+                gesture: kind,
+                rows: 0,
+                compute: Duration::ZERO,
+                network: transfer,
+                payload_bytes: render.payload_bytes,
+                cache_hit: None,
+            });
+        }
         InteractionResult {
             prefetched: 0,
             gesture: kind,
@@ -230,6 +240,16 @@ impl<'a> MobileSession<'a> {
         };
         self.dataset.clock.advance(schedule.complete());
         let render = self.render();
+        if let Some(obs) = self.executor.observer() {
+            obs.on_gesture(&GestureObservation {
+                gesture: kind,
+                rows: result.rows.len(),
+                compute: result.metrics.virtual_cost,
+                network: schedule.complete(),
+                payload_bytes: schedule.total_bytes,
+                cache_hit: result.metrics.cache_hit,
+            });
+        }
         Ok(InteractionResult {
             prefetched: 0,
             gesture: kind,

@@ -88,6 +88,18 @@ pub struct CacheStats {
     pub invalidations: u64,
 }
 
+impl CacheStats {
+    /// Hit fraction over all probes (0.0 when nothing probed yet) —
+    /// the number the observability layer (D9) and E13 report.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes as f64
+        }
+    }
+}
+
 /// The semantic cache. Not internally synchronized; the executor holds
 /// one per shard behind a shard lock (see `serve::ShardedSemanticCache`).
 ///

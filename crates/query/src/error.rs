@@ -3,7 +3,13 @@
 use std::fmt;
 
 /// Errors from parsing, planning, or executing queries.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a
+/// wildcard arm so new failure kinds can be added without a breaking
+/// release. Wrapped lower-layer errors are reachable through
+/// [`std::error::Error::source`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum QueryError {
     /// Query text could not be parsed.
     Parse {
@@ -31,11 +37,11 @@ pub enum QueryError {
     /// [`crate::validate::PlanValidator`]).
     Invariant(Vec<crate::validate::InvariantViolation>),
     /// Underlying store failure.
-    Store(String),
+    Store(drugtree_store::StoreError),
     /// Underlying source failure.
-    Source(String),
+    Source(drugtree_sources::SourceError),
     /// Underlying tree failure.
-    Phylo(String),
+    Phylo(drugtree_phylo::PhyloError),
 }
 
 impl fmt::Display for QueryError {
@@ -68,30 +74,39 @@ impl fmt::Display for QueryError {
                 }
                 Ok(())
             }
-            QueryError::Store(msg) => write!(f, "store error: {msg}"),
-            QueryError::Source(msg) => write!(f, "source error: {msg}"),
-            QueryError::Phylo(msg) => write!(f, "tree error: {msg}"),
+            QueryError::Store(e) => write!(f, "store error: {e}"),
+            QueryError::Source(e) => write!(f, "source error: {e}"),
+            QueryError::Phylo(e) => write!(f, "tree error: {e}"),
         }
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Store(e) => Some(e),
+            QueryError::Source(e) => Some(e),
+            QueryError::Phylo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<drugtree_store::StoreError> for QueryError {
     fn from(e: drugtree_store::StoreError) -> Self {
-        QueryError::Store(e.to_string())
+        QueryError::Store(e)
     }
 }
 
 impl From<drugtree_sources::SourceError> for QueryError {
     fn from(e: drugtree_sources::SourceError) -> Self {
-        QueryError::Source(e.to_string())
+        QueryError::Source(e)
     }
 }
 
 impl From<drugtree_phylo::PhyloError> for QueryError {
     fn from(e: drugtree_phylo::PhyloError) -> Self {
-        QueryError::Phylo(e.to_string())
+        QueryError::Phylo(e)
     }
 }
 

@@ -15,6 +15,7 @@ use crate::optimizer::Optimizer;
 use crate::plan::{Access, FetchPlan, Finish, PhysicalPlan};
 use crate::serve::{FetchCoordinator, ServeConfig, ServeStats, ShardedSemanticCache};
 use crate::stats::OverlayStats;
+use crate::trace::{AnalyzedResult, Observer, QuerySpan, Stage, TraceBuilder};
 use crate::{QueryError, Result};
 use drugtree_chem::similarity::tanimoto;
 use drugtree_integrate::overlay::tables;
@@ -106,6 +107,9 @@ pub struct Executor {
     /// Calibrated cost model: prices plan alternatives in cost-based
     /// mode and accumulates observed-vs-estimated fetch latencies.
     cost: Arc<CostModel>,
+    /// Observability hook (design decision D9). `None` is the fast
+    /// path: no span is built, no plan cloned, no string formatted.
+    observer: Option<Arc<dyn Observer>>,
 }
 
 // Compile-time proof that the executor (and the dataset it serves) can
@@ -133,7 +137,22 @@ impl Executor {
             retry: RetryPolicy::default(),
             coordinator: None,
             cost: Arc::new(CostModel::new()),
+            observer: None,
         }
+    }
+
+    /// Install an [`Observer`] receiving a [`crate::trace::QueryTrace`]
+    /// after every executed query. Tracing work happens only while an
+    /// observer is installed (or during [`Executor::analyze`]), and is
+    /// never charged to the virtual clock, so installing one cannot
+    /// change measured latencies.
+    pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// The installed observer, if any.
+    pub fn observer(&self) -> Option<&Arc<dyn Observer>> {
+        self.observer.as_ref()
     }
 
     /// The calibrated cost model (prior parameters until fetches have
@@ -281,6 +300,44 @@ impl Executor {
 
     /// Plan and execute a query.
     pub fn execute(&self, dataset: &Dataset, query: &Query) -> Result<QueryResult> {
+        match &self.observer {
+            // Null-observer fast path: no trace is built at all.
+            None => self.execute_inner(dataset, query, None),
+            Some(obs) => {
+                let mut tb = TraceBuilder::new(query.to_string(), false);
+                let result = self.execute_inner(dataset, query, Some(&mut tb))?;
+                let (trace, _) = tb.finish(&result.metrics);
+                obs.on_query(&trace);
+                Ok(result)
+            }
+        }
+    }
+
+    /// Execute with tracing and return plan, span tree, and result —
+    /// the `EXPLAIN ANALYZE` entry point. Always traces, whether or
+    /// not an observer is installed; an installed observer also
+    /// receives the trace.
+    pub fn analyze(&self, dataset: &Dataset, query: &Query) -> Result<AnalyzedResult> {
+        let mut tb = TraceBuilder::new(query.to_string(), true);
+        let result = self.execute_inner(dataset, query, Some(&mut tb))?;
+        let (trace, plan) = tb.finish(&result.metrics);
+        let plan = plan.ok_or_else(|| QueryError::Plan("analyze produced no plan".into()))?;
+        if let Some(obs) = &self.observer {
+            obs.on_query(&trace);
+        }
+        Ok(AnalyzedResult {
+            plan,
+            trace,
+            result,
+        })
+    }
+
+    fn execute_inner(
+        &self,
+        dataset: &Dataset,
+        query: &Query,
+        mut sink: Option<&mut TraceBuilder>,
+    ) -> Result<QueryResult> {
         let plan = self.optimizer.plan_with(
             dataset,
             self.stats.as_ref(),
@@ -290,6 +347,9 @@ impl Executor {
         )?;
         self.validate_plan(dataset, &plan)?;
         let started = dataset.clock.now();
+        if let Some(tb) = sink.as_deref_mut() {
+            tb.record_plan(&plan, started);
+        }
 
         let mut m = ExecMetrics {
             virtual_cost: Duration::ZERO,
@@ -314,7 +374,13 @@ impl Executor {
             Access::Fetch {
                 fetches,
                 concurrent_sources,
-            } => self.run_fetches(dataset, fetches, *concurrent_sources, &mut m)?,
+            } => self.run_fetches(
+                dataset,
+                fetches,
+                *concurrent_sources,
+                &mut m,
+                sink.as_deref_mut(),
+            )?,
             Access::CacheProbe {
                 pushdown,
                 on_miss,
@@ -325,12 +391,30 @@ impl Executor {
                 match probe {
                     Some(hit) => {
                         m.cache_hit = Some(true);
+                        if let Some(tb) = sink.as_deref_mut() {
+                            let mut span =
+                                QuerySpan::new(Stage::CacheProbe, "hit", dataset.clock.now());
+                            span.rows = Some(hit.rows.len() as u64);
+                            tb.push(span);
+                        }
                         hit.rows
                     }
                     None => {
                         m.cache_hit = Some(false);
-                        let rows =
-                            self.run_fetches(dataset, on_miss, *concurrent_sources, &mut m)?;
+                        if let Some(tb) = sink.as_deref_mut() {
+                            tb.push(QuerySpan::new(
+                                Stage::CacheProbe,
+                                "miss",
+                                dataset.clock.now(),
+                            ));
+                        }
+                        let rows = self.run_fetches(
+                            dataset,
+                            on_miss,
+                            *concurrent_sources,
+                            &mut m,
+                            sink.as_deref_mut(),
+                        )?;
                         if *insert_on_miss {
                             self.cache
                                 .insert(plan.interval, pushdown.clone(), rows.clone());
@@ -342,6 +426,8 @@ impl Executor {
         };
 
         // 2. Widen to unified rows (ligand join when required).
+        let overlay_started = dataset.clock.now();
+        let rows_in = activity_rows.len() as u64;
         let mut rows = self.widen_rows(dataset, activity_rows, plan.ligand_join)?;
 
         // 3. Residual filter.
@@ -381,8 +467,29 @@ impl Executor {
             });
         }
 
+        if let Some(tb) = sink.as_deref_mut() {
+            let mut span = QuerySpan::new(Stage::Overlay, "", overlay_started);
+            span.ended = dataset.clock.now();
+            span.attrs.push(("rows_in", rows_in));
+            span.attrs.push(("rows_out", rows.len() as u64));
+            tb.push(span);
+        }
+
         // 6. Finish.
+        let finish_started = dataset.clock.now();
+        let finish_label = match &plan.finish {
+            Finish::Collect => "collect",
+            Finish::TopK { .. } => "top-k",
+            Finish::AggregateChildren { .. } => "aggregate",
+            Finish::CountPerLeaf => "count-per-leaf",
+        };
         let (columns, out_rows) = self.finish(dataset, &plan, rows)?;
+        if let Some(tb) = sink {
+            let mut span = QuerySpan::new(Stage::Finish, finish_label, finish_started);
+            span.ended = dataset.clock.now();
+            span.rows = Some(out_rows.len() as u64);
+            tb.push(span);
+        }
 
         m.finished = dataset.clock.now();
         m.virtual_cost = m.finished.since(m.started);
@@ -399,10 +506,12 @@ impl Executor {
         fetches: &[FetchPlan],
         concurrent_sources: bool,
         m: &mut ExecMetrics,
+        mut sink: Option<&mut TraceBuilder>,
     ) -> Result<Vec<Vec<Value>>> {
         let mut per_source_rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(fetches.len());
         let mut per_source_cost = Vec::with_capacity(fetches.len());
         for f in fetches {
+            let fetch_started = dataset.clock.now();
             let source = dataset.registry.by_name(&f.source)?;
             let dispatch = if f.concurrent {
                 Dispatch::Concurrent
@@ -428,6 +537,21 @@ impl Executor {
                 m.charged_cost += cf.charged;
                 m.flights_joined += usize::from(cf.flight_joined);
                 m.shared_batch_peers += cf.shared_with;
+                if let Some(tb) = sink.as_deref_mut() {
+                    let mut span = QuerySpan::new(Stage::Coalesce, f.source.clone(), fetch_started);
+                    span.actual = cf.charged;
+                    span.est_cost = Some(f.est_cost);
+                    span.est_rows = Some(f.est_rows);
+                    span.rows = Some(cf.rows.len() as u64);
+                    span.attrs = vec![
+                        ("requests", cf.requests as u64),
+                        ("keys", f.keys.len() as u64),
+                        ("retries", u64::from(cf.retries)),
+                        ("flights_joined", u64::from(cf.flight_joined)),
+                        ("shared_peers", cf.shared_with as u64),
+                    ];
+                    tb.push(span);
+                }
                 let mut unified = Vec::with_capacity(cf.rows.len());
                 for raw in &cf.rows {
                     match unify_assay_row(dataset, raw) {
@@ -463,6 +587,19 @@ impl Executor {
             m.retries += resp.retries as usize;
             m.source_requests += resp.requests;
             m.rows_fetched += resp.rows.len();
+            if let Some(tb) = sink.as_deref_mut() {
+                let mut span = QuerySpan::new(Stage::Fetch, f.source.clone(), fetch_started);
+                span.actual = resp.cost;
+                span.est_cost = Some(f.est_cost);
+                span.est_rows = Some(f.est_rows);
+                span.rows = Some(resp.rows.len() as u64);
+                span.attrs = vec![
+                    ("requests", resp.requests as u64),
+                    ("keys", f.keys.len() as u64),
+                    ("retries", u64::from(resp.retries)),
+                ];
+                tb.push(span);
+            }
             // Calibration feedback: record the observed virtual latency
             // of this fetch against the planner's estimate. Only the
             // direct path observes — coalesced cross-session batches

@@ -29,6 +29,9 @@
 //! * [`matview`] — materialized per-subtree aggregate views.
 //! * [`serve`] — the concurrent serving layer: N-way sharded semantic
 //!   cache plus re-exports of the cross-session fetch coordinator.
+//! * [`trace`] — the observability layer: per-query span trees on the
+//!   virtual clock, the [`Observer`] hook, lock-free metrics, and the
+//!   `EXPLAIN ANALYZE` rendering (design decision D9).
 //! * [`validate`] — plan-invariant validation (structural checks every
 //!   emitted plan must pass).
 
@@ -44,6 +47,7 @@ pub mod parser;
 pub mod plan;
 pub mod serve;
 pub mod stats;
+pub mod trace;
 pub mod validate;
 
 pub use ast::{Query, QueryKind, Scope};
@@ -53,6 +57,9 @@ pub use error::QueryError;
 pub use exec::{ExecMetrics, Executor, PlanEstimate, QueryResult};
 pub use optimizer::{Optimizer, OptimizerConfig};
 pub use serve::{FetchCoordinator, ServeConfig, ServeStats, ShardedSemanticCache};
+pub use trace::{
+    AnalyzedResult, GestureObservation, MetricsRegistry, Observer, QuerySpan, QueryTrace, Stage,
+};
 pub use validate::{InvariantViolation, PlanValidator};
 
 /// Convenience result alias used throughout the crate.

@@ -40,7 +40,7 @@ pub struct FetchPlan {
 /// that its cost is minimal and every cost is finite and non-negative.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanCandidate {
-    /// Choice group: "access", "cache", or "replica:<group leader>".
+    /// Choice group: "access", "cache", or "replica:\<group leader\>".
     pub group: String,
     /// Alternative label (e.g. "batched-fetch", a replica name).
     pub label: String,

@@ -55,8 +55,7 @@ pub fn assay_source(
 ) -> Result<SimulatedSource> {
     let mut table = Table::new("assays", assay_schema());
     for r in records {
-        r.validate()
-            .map_err(|e| crate::SourceError::Store(e.to_string()))?;
+        r.validate().map_err(crate::SourceError::Record)?;
         table.insert(assay_row(r))?;
     }
     SimulatedSource::new(

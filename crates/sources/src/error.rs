@@ -3,7 +3,13 @@
 use std::fmt;
 
 /// Errors from source fetches and federation.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a
+/// wildcard arm so new failure kinds can be added without a breaking
+/// release. Wrapped lower-layer errors are reachable through
+/// [`std::error::Error::source`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SourceError {
     /// The source cannot evaluate the requested pushdown.
     UnsupportedPushdown {
@@ -26,7 +32,16 @@ pub enum SourceError {
     /// A source with the same name is already registered.
     DuplicateSource(String),
     /// Underlying store failure surfaced through the source.
-    Store(String),
+    Store(drugtree_store::StoreError),
+    /// A record offered to a source failed chemistry-level validation.
+    Record(drugtree_chem::ChemError),
+    /// A schema-mapping adapter wrapped around the source failed.
+    Adapter(String),
+    /// The cross-session serving layer detected an invariant violation
+    /// or a malformed coalesced response.
+    Serve(String),
+    /// The source does not accept ingests (named source).
+    IngestRejected(String),
     /// A transient failure (timeout/503): safe to retry. Carries the
     /// virtual cost the failed attempt burned.
     Transient {
@@ -50,7 +65,13 @@ impl fmt::Display for SourceError {
             SourceError::DuplicateSource(name) => {
                 write!(f, "source {name:?} already registered")
             }
-            SourceError::Store(msg) => write!(f, "store error: {msg}"),
+            SourceError::Store(e) => write!(f, "store error: {e}"),
+            SourceError::Record(e) => write!(f, "invalid record: {e}"),
+            SourceError::Adapter(msg) => write!(f, "adapter error: {msg}"),
+            SourceError::Serve(msg) => write!(f, "serving error: {msg}"),
+            SourceError::IngestRejected(name) => {
+                write!(f, "source {name:?} does not accept ingests")
+            }
             SourceError::Transient { source, cost } => {
                 write!(f, "transient failure at {source:?} after {cost:?}")
             }
@@ -58,11 +79,25 @@ impl fmt::Display for SourceError {
     }
 }
 
-impl std::error::Error for SourceError {}
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SourceError::Store(e) => Some(e),
+            SourceError::Record(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<drugtree_store::StoreError> for SourceError {
     fn from(e: drugtree_store::StoreError) -> SourceError {
-        SourceError::Store(e.to_string())
+        SourceError::Store(e)
+    }
+}
+
+impl From<drugtree_chem::ChemError> for SourceError {
+    fn from(e: drugtree_chem::ChemError) -> SourceError {
+        SourceError::Record(e)
     }
 }
 

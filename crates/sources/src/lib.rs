@@ -37,6 +37,7 @@ pub mod ligand_db;
 pub mod protein_db;
 pub mod serve;
 pub mod source;
+pub mod telemetry;
 
 pub use clock::VirtualClock;
 pub use error::SourceError;

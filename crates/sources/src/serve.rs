@@ -259,6 +259,9 @@ pub struct FetchCoordinator {
     flights: Mutex<FxHashMap<FlightKey, Arc<FlightSlot>>>,
     batches: Mutex<FxHashMap<(String, String), Arc<BatchSlot>>>,
     counters: Counters,
+    /// Keys per dispatched coalesced batch, recorded lock-free so the
+    /// observability layer (D9) can report batch-shape distributions.
+    batch_sizes: crate::telemetry::FixedHistogram,
 }
 
 impl FetchCoordinator {
@@ -269,7 +272,13 @@ impl FetchCoordinator {
             flights: Mutex::new(FxHashMap::default()),
             batches: Mutex::new(FxHashMap::default()),
             counters: Counters::default(),
+            batch_sizes: crate::telemetry::FixedHistogram::size_buckets(),
         }
+    }
+
+    /// Distribution of keys per dispatched coalesced batch.
+    pub fn batch_size_histogram(&self) -> crate::telemetry::HistogramSnapshot {
+        self.batch_sizes.snapshot()
     }
 
     /// The tuning in effect.
@@ -546,13 +555,14 @@ impl FetchCoordinator {
         let sizes: Vec<usize> = union.chunks(max_batch).map(<[Value]>::len).collect();
         let violations = validate_coalesced(&preds, &sizes, source.capabilities().max_batch);
         if let Some(v) = violations.first() {
-            return Err(SourceError::Store(format!(
-                "serving invariant violated: [{}] {}",
+            return Err(SourceError::Serve(format!(
+                "invariant violated: [{}] {}",
                 v.rule, v.explanation
             )));
         }
 
         let resp = batched_lookup_with_retry(source, &union, pushdown, dispatch, retry)?;
+        self.batch_sizes.record(union.len() as u64);
         self.counters.batches.fetch_add(1, Ordering::Relaxed);
         self.counters
             .keys_coalesced
@@ -569,7 +579,7 @@ impl FetchCoordinator {
             .iter()
             .position(|c| c == source.key_column())
             .ok_or_else(|| {
-                SourceError::Store(format!(
+                SourceError::Serve(format!(
                     "source {:?} response lacks its key column {:?}",
                     source.name(),
                     source.key_column()

@@ -184,7 +184,7 @@ pub trait DataSource: Send + Sync {
     /// receiving new depositions). Sources that cannot accept writes
     /// return an error; the default does.
     fn ingest(&self, _row: Vec<Value>) -> Result<()> {
-        Err(SourceError::Store("source does not accept ingests".into()))
+        Err(SourceError::IngestRejected(self.name().to_string()))
     }
 }
 

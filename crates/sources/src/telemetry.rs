@@ -1,0 +1,247 @@
+//! Lock-free telemetry primitives: counters and fixed-bucket
+//! histograms.
+//!
+//! These are the building blocks of the query-path observability layer
+//! (design decision D9). They live in the sources crate — the lowest
+//! layer every other crate already depends on — so the federation
+//! coordinator can record batch shapes with the same primitives the
+//! query layer's `MetricsRegistry` aggregates into.
+//!
+//! Both types are updated with single relaxed atomic operations: a
+//! recording thread never takes a lock, so instrumenting the serving
+//! hot path cannot introduce contention that the uninstrumented path
+//! does not have. Reads (snapshots) are equally lock-free but only
+//! loosely ordered against concurrent writers, which is the right
+//! trade for monitoring data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing lock-free counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed bucket bounds, recorded lock-free.
+///
+/// `bounds[i]` is the *inclusive* upper bound of bucket `i`; one
+/// implicit overflow bucket catches everything larger. The bounds are
+/// fixed at construction, so recording is a binary search plus one
+/// relaxed `fetch_add` — no allocation, no lock, no resizing.
+#[derive(Debug)]
+pub struct FixedHistogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl FixedHistogram {
+    /// A histogram with the given inclusive upper bounds (sorted and
+    /// deduplicated; an overflow bucket is added implicitly).
+    pub fn new(bounds: &[u64]) -> FixedHistogram {
+        let mut bounds: Vec<u64> = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        FixedHistogram {
+            bounds: bounds.into_boxed_slice(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Default latency bounds in nanoseconds: 1 ms … 10 s in a
+    /// 1-2-5 decade ladder, matching the virtual-clock latency range
+    /// of the simulated sources.
+    pub fn latency_buckets() -> FixedHistogram {
+        const MS: u64 = 1_000_000;
+        FixedHistogram::new(&[
+            MS,
+            2 * MS,
+            5 * MS,
+            10 * MS,
+            20 * MS,
+            50 * MS,
+            100 * MS,
+            200 * MS,
+            500 * MS,
+            1_000 * MS,
+            2_000 * MS,
+            5_000 * MS,
+            10_000 * MS,
+        ])
+    }
+
+    /// Default size bounds (rows, keys, batch sizes): powers of two up
+    /// to 4096.
+    pub fn size_buckets() -> FixedHistogram {
+        FixedHistogram::new(&[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096])
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let bound = self.bounds.get(i).copied();
+                (bound, b.load(Ordering::Relaxed))
+            })
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`FixedHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `(inclusive upper bound, count)` per bucket; the final bucket
+    /// has no bound (overflow).
+    pub buckets: Vec<(Option<u64>, u64)>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile (0.0–1.0): the upper bound of the first
+    /// bucket whose cumulative count reaches `p * count`; the exact
+    /// maximum for the overflow bucket. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (bound, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                return bound.unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = FixedHistogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5 + 10 + 11 + 100 + 5000);
+        assert_eq!(s.max, 5000);
+        // Inclusive upper bounds: 10 lands in the first bucket.
+        assert_eq!(s.buckets[0], (Some(10), 2));
+        assert_eq!(s.buckets[1], (Some(100), 2));
+        assert_eq!(s.buckets[2], (Some(1000), 0));
+        assert_eq!(s.buckets[3], (None, 1), "overflow bucket");
+        assert!((s.mean() - 1025.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_walks_cumulative_counts() {
+        let h = FixedHistogram::new(&[10, 100, 1000]);
+        for _ in 0..9 {
+            h.record(10);
+        }
+        h.record(50_000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 10);
+        assert_eq!(s.percentile(0.9), 10);
+        // The overflow bucket reports the exact max.
+        assert_eq!(s.percentile(1.0), 50_000);
+        let empty = FixedHistogram::new(&[1]).snapshot();
+        assert_eq!(empty.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn duration_recording_uses_nanos() {
+        let h = FixedHistogram::latency_buckets();
+        h.record_duration(Duration::from_millis(3));
+        let s = h.snapshot();
+        assert_eq!(s.sum, 3_000_000);
+        // 3 ms lands in the 5 ms bucket.
+        assert_eq!(s.buckets[2], (Some(5_000_000), 1));
+    }
+
+    #[test]
+    fn unsorted_bounds_are_normalized() {
+        let h = FixedHistogram::new(&[100, 10, 100]);
+        h.record(10);
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), 3);
+        assert_eq!(s.buckets[0], (Some(10), 1));
+    }
+}

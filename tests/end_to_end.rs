@@ -147,7 +147,7 @@ fn virtual_clock_accounts_for_all_work() {
     let system = DrugTree::builder()
         .dataset(bundle.build_dataset())
         .optimizer(OptimizerConfig::naive())
-        .without_stats()
+        .with_stats(false)
         .build()
         .unwrap();
     let t0 = system.dataset().clock.now();

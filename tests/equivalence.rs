@@ -43,7 +43,7 @@ fn all_optimizer_configs_agree_with_naive() {
     let naive = DrugTree::builder()
         .dataset(bundle.build_dataset())
         .optimizer(OptimizerConfig::naive())
-        .without_stats()
+        .with_stats(false)
         .build()
         .unwrap();
 

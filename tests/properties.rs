@@ -17,7 +17,7 @@ fn deployment(leaves: usize, ligands: usize, seed: u64) -> (SyntheticBundle, Dru
     let naive = DrugTree::builder()
         .dataset(bundle.build_dataset())
         .optimizer(OptimizerConfig::naive())
-        .without_stats()
+        .with_stats(false)
         .build()
         .unwrap();
     let full = DrugTree::builder()
