@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Prints each reconstructed table/figure series (DESIGN.md §5) and
-//! writes the machine-readable results to `bench_results/<id>.json`.
+//! writes the machine-readable results to `bench_results/<id>.json`
+//! (`--out <dir>` redirects them, e.g. for the CI `benchdiff` gate).
 
 use drugtree_bench::table::ExperimentTable;
 use drugtree_bench::RunConfig;
@@ -18,11 +19,26 @@ type Experiment = (&'static str, fn(RunConfig) -> ExperimentTable);
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut out_dir = std::path::PathBuf::from("bench_results");
+    let mut selected: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => {}
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = std::path::PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --out needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+            other => selected.push(other),
+        }
+    }
     let all = selected.is_empty() || selected.contains(&"all");
     let config = RunConfig { quick };
 
@@ -39,10 +55,10 @@ fn main() {
         ("e11", drugtree_bench::e11_serving::run),
         ("e12", drugtree_bench::e12_calibration::run),
         ("e13", drugtree_bench::e13_observability::run),
+        ("e14", drugtree_bench::e14_fleet_obs::run),
     ];
 
-    let out_dir = std::path::Path::new("bench_results");
-    if let Err(e) = std::fs::create_dir_all(out_dir) {
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("warning: cannot create {}: {e}", out_dir.display());
     }
 

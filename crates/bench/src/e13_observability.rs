@@ -98,7 +98,9 @@ pub fn run(config: RunConfig) -> ExperimentTable {
             class.label().to_string(),
             fmt_ms(observed_mean),
             format!("{:.0}%", 100.0 * fetch_ns as f64 / query_ns as f64),
-            format!("{:.2}", registry.hit_rate()),
+            registry
+                .hit_rate()
+                .map_or_else(|| "-".to_string(), |rate| format!("{rate:.2}")),
             format!("{:.1}", registry.rows_fetched.get() as f64 / n as f64),
             format!("{:.2}", registry.source_requests.get() as f64 / n as f64),
             format!("{ratio:.4}"),

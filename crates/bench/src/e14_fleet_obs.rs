@@ -1,0 +1,256 @@
+//! E14: fleet observability — windowed SLO tracking over the E11
+//! shared-serving fleet.
+//!
+//! A [`FleetObserver`] rides along with the E11 Zipf fleet: every
+//! query folds into per-class rolling windows on the virtual clock,
+//! every gesture folds its charged latency into that session's window,
+//! the slow-query log keeps the top-K plan shapes by charged latency,
+//! and the trace export streams one JSONL event per query and per
+//! window rollover. The table reports per-class tail latency and SLO
+//! breach counts from the observer's own accumulators; the notes show
+//! the slow-log's worst plan fingerprints and the export volume.
+//!
+//! Two properties double as CI assertions here: installing the
+//! observer must not move virtual latency (the clock never charges for
+//! tracing), and a single-session export replayed on a fresh system
+//! must be byte-for-byte identical.
+
+use crate::table::ExperimentTable;
+use crate::{fmt_ms, RunConfig};
+use drugtree::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// CI ceiling on the fleet observer's latency overhead: mean charged
+/// latency with the full observer (windows + slow log + export)
+/// installed may differ from the no-observer baseline by at most 2%.
+pub const FLEET_OBSERVER_OVERHEAD_CEILING: f64 = 0.02;
+
+fn observer(sink: Option<Arc<VecSink>>) -> Arc<FleetObserver> {
+    let mut obs = FleetObserver::with_windows(
+        Duration::from_secs(2),
+        16,
+        SloPolicy::default().with_session_target(Duration::from_millis(100)),
+    )
+    .with_slowlog(8);
+    if let Some(sink) = sink {
+        obs = obs.with_export(sink as Arc<dyn Sink>);
+    }
+    Arc::new(obs)
+}
+
+/// Explicit search-box queries spliced into every session so the fleet
+/// exercises all six query classes (browsing gestures alone are
+/// subtree listings). Constants repeat so the slow log's fingerprint
+/// dedup has shapes to fold.
+const QUERY_POOL: [&str; 5] = [
+    "activities in tree where p_activity >= 6",
+    "activities similar to 'CCO' >= 0.6",
+    "activities in tree top 5 by p_activity",
+    "aggregate max_p_activity in tree",
+    "count per leaf in tree",
+];
+
+/// Replace every 4th gesture with a `RunQuery` cycling through
+/// [`QUERY_POOL`], staggered by session id (deterministic).
+fn with_query_mix(mut workloads: Vec<SessionWorkload>) -> Vec<SessionWorkload> {
+    for w in &mut workloads {
+        let mut next = w.session;
+        for (i, gesture) in w.script.iter_mut().enumerate() {
+            if i % 4 == 3 {
+                let text = QUERY_POOL[next % QUERY_POOL.len()];
+                next += 1;
+                *gesture =
+                    Gesture::RunQuery(Box::new(Query::parse(text).expect("pool query parses")));
+            }
+        }
+    }
+    workloads
+}
+
+/// Run E14.
+pub fn run(config: RunConfig) -> ExperimentTable {
+    let (leaves, sessions, len) = if config.quick {
+        (64, 8, 40)
+    } else {
+        (256, 64, 60)
+    };
+    let bundle = SyntheticBundle::generate(
+        &WorkloadSpec::default()
+            .leaves(leaves)
+            .ligands(leaves / 4)
+            .seed(1101),
+    );
+    let workloads = with_query_mix(zipf_sessions(
+        &bundle.tree,
+        &bundle.index,
+        sessions,
+        &GestureConfig {
+            len,
+            seed: 1101,
+            zipf_theta: 1.0,
+            revisit_prob: 0.3,
+        },
+    ));
+
+    let sink = Arc::new(VecSink::new());
+    let obs = observer(Some(Arc::clone(&sink)));
+    let server = DrugTree::builder()
+        .dataset(bundle.build_dataset())
+        .optimizer(OptimizerConfig::full())
+        .with_observer(Arc::clone(&obs) as Arc<dyn Observer>)
+        .build()
+        .expect("system builds")
+        .into_server(ServeConfig::default());
+    let report = server.run(&workloads).expect("fleet serves");
+
+    let mut table = ExperimentTable::new(
+        "E14 (extension)",
+        format!(
+            "fleet observability: {sessions} Zipf sessions x {len} gestures, {leaves} leaves, \
+             2s windows"
+        ),
+        vec![
+            "class", "queries", "p50", "p95", "p99", "max", "breach", "windows",
+        ],
+    );
+
+    let windows = obs.windows();
+    for class in QueryClass::ALL {
+        let snapshot = obs.class_snapshot(class);
+        let q = |p: f64| fmt_ms(Duration::from_nanos(snapshot.quantile(p).round() as u64));
+        table.row(vec![
+            class.label().to_string(),
+            snapshot.count.to_string(),
+            q(0.50),
+            q(0.95),
+            q(0.99),
+            fmt_ms(Duration::from_nanos(snapshot.max)),
+            windows.class_breaches(class).to_string(),
+            windows.class_summaries(class).len().to_string(),
+        ]);
+    }
+
+    let session_ids = windows.session_ids();
+    let breaching = session_ids
+        .iter()
+        .filter(|&&id| windows.session_breaches(id) > 0)
+        .count();
+    table.note(format!(
+        "{} gestures over {} sessions ({} with session-window SLO breaches); fleet makespan {}",
+        report.gestures,
+        session_ids.len(),
+        breaching,
+        fmt_ms(report.virtual_makespan()),
+    ));
+    if let Some(slowlog) = obs.slowlog() {
+        let entries = slowlog.entries();
+        let shown: Vec<String> = entries
+            .iter()
+            .take(3)
+            .map(|e| format!("{:016x} x{} {}", e.fingerprint, e.count, fmt_ms(e.charged)))
+            .collect();
+        table.note(format!(
+            "slow-log top shapes (fingerprint, occurrences, worst charged): {}",
+            shown.join("; "),
+        ));
+    }
+    table.note(format!(
+        "trace export: {} JSONL events ({} bytes)",
+        sink.lines().len(),
+        sink.lines().iter().map(|l| l.len() + 1).sum::<usize>(),
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_mobile::gestures::drill_down_script;
+
+    fn bundle() -> SyntheticBundle {
+        SyntheticBundle::generate(&WorkloadSpec::default().leaves(48).ligands(12).seed(7))
+    }
+
+    fn script(bundle: &SyntheticBundle) -> Vec<Gesture> {
+        drill_down_script(
+            &bundle.tree,
+            &bundle.index,
+            &GestureConfig {
+                len: 30,
+                seed: 5,
+                zipf_theta: 1.0,
+                revisit_prob: 0.3,
+            },
+        )
+    }
+
+    /// Replay one session; returns the summed charged latency and, if
+    /// an export sink was attached, its lines.
+    fn replay(bundle: &SyntheticBundle, obs: Option<Arc<FleetObserver>>) -> Duration {
+        let mut builder = DrugTree::builder()
+            .dataset(bundle.build_dataset())
+            .optimizer(OptimizerConfig::full());
+        if let Some(obs) = obs {
+            builder = builder.with_observer(obs as Arc<dyn Observer>);
+        }
+        let system = builder.build().expect("system builds");
+        let mut session = system.mobile_session(NetworkProfile::CELL_4G);
+        let mut total = Duration::ZERO;
+        for gesture in &script(bundle) {
+            total += session
+                .apply(gesture)
+                .expect("gesture applies")
+                .charged_latency;
+        }
+        total
+    }
+
+    #[test]
+    fn windowed_slo_tracking_over_the_fleet() {
+        let t = run(RunConfig { quick: true });
+        assert_eq!(t.rows.len(), 6, "one row per query class");
+        let total: u64 = t.rows.iter().map(|r| r[1].parse::<u64>().unwrap()).sum();
+        assert!(total > 0, "fleet ran queries: {t:?}");
+        for row in &t.rows {
+            let _breaches: u64 = row[6].parse().expect("breach column parses");
+        }
+        assert!(
+            t.notes.iter().any(|n| n.contains("slow-log top shapes")),
+            "slow-log note present: {:?}",
+            t.notes
+        );
+        assert!(t.notes.iter().any(|n| n.contains("trace export")));
+    }
+
+    /// The acceptance bar: the full observer (windows + slow log +
+    /// export) must not move charged latency — tracing never charges
+    /// the virtual clock, so the ratio is exactly 1.
+    #[test]
+    fn fleet_observer_adds_no_measurable_latency() {
+        let bundle = bundle();
+        let observed = replay(&bundle, Some(observer(Some(Arc::new(VecSink::new())))));
+        let baseline = replay(&bundle, None);
+        let ratio = observed.as_secs_f64() / baseline.as_secs_f64().max(1e-12);
+        assert!(
+            (ratio - 1.0).abs() < FLEET_OBSERVER_OVERHEAD_CEILING,
+            "observer overhead out of bounds: {observed:?} vs {baseline:?}"
+        );
+    }
+
+    /// The acceptance bar: replaying the same single-session workload
+    /// on a fresh system produces a byte-identical JSONL export.
+    #[test]
+    fn export_is_byte_identical_across_replays() {
+        let bundle = bundle();
+        let runs: Vec<Vec<String>> = (0..2)
+            .map(|_| {
+                let sink = Arc::new(VecSink::new());
+                replay(&bundle, Some(observer(Some(Arc::clone(&sink)))));
+                sink.lines()
+            })
+            .collect();
+        assert!(!runs[0].is_empty());
+        assert_eq!(runs[0], runs[1], "export differs between replays");
+    }
+}

@@ -44,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
             "--sources" => opts.sources = take("--sources")? as usize,
             "--help" | "-h" => {
                 println!("usage: drugtree [--leaves N] [--ligands N] [--seed N] [--sources N]");
+                println!("       drugtree top <export.jsonl>   fold a trace export into a workload summary");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -101,7 +102,34 @@ fn render_value(v: &Value) -> String {
     }
 }
 
+/// `drugtree top <export.jsonl>`: fold a fleet-observability JSONL
+/// export into a workload summary table.
+fn run_top(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: drugtree top <export.jsonl>");
+        return 2;
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return 2;
+        }
+    };
+    let report = TopReport::from_lines(content.lines());
+    if report.queries() == 0 && report.windows() == 0 {
+        eprintln!("error: {path}: no query or window events found");
+        return 1;
+    }
+    print!("{}", report.render());
+    0
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("top") {
+        std::process::exit(run_top(&raw[1..]));
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {

@@ -113,13 +113,6 @@ impl DrugTreeBuilder {
         self
     }
 
-    /// Deprecated alias of
-    /// [`with_cost_based_planner`](Self::with_cost_based_planner).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_cost_based_planner`")]
-    pub fn cost_based_planner(self) -> Self {
-        self.with_cost_based_planner()
-    }
-
     /// Choose the tree-construction method (from-sources path).
     pub fn tree_method(mut self, method: TreeMethod) -> Self {
         self.tree_method = method;
@@ -139,12 +132,6 @@ impl DrugTreeBuilder {
         self
     }
 
-    /// Deprecated alias of [`with_stats(false)`](Self::with_stats).
-    #[deprecated(since = "0.1.0", note = "use `with_stats(false)`")]
-    pub fn without_stats(self) -> Self {
-        self.with_stats(false)
-    }
-
     /// Also build the materialized aggregate view at startup.
     pub fn with_matview(mut self) -> Self {
         self.build_matview = true;
@@ -156,13 +143,6 @@ impl DrugTreeBuilder {
     pub fn with_midpoint_rooting(mut self) -> Self {
         self.midpoint_rooting = true;
         self
-    }
-
-    /// Deprecated alias of
-    /// [`with_midpoint_rooting`](Self::with_midpoint_rooting).
-    #[deprecated(since = "0.1.0", note = "renamed to `with_midpoint_rooting`")]
-    pub fn midpoint_rooting(self) -> Self {
-        self.with_midpoint_rooting()
     }
 
     /// Install an [`Observer`] on the executor: it receives a
@@ -454,16 +434,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_builder_shims_still_work() {
+    fn with_names_cover_the_old_builder_surface() {
+        // The PR-4 `#[deprecated]` shims (`without_stats`,
+        // `midpoint_rooting`, `cost_based_planner`) are gone; this
+        // pins that the `with_*` spellings reach the same
+        // configuration the shims used to.
         let (p, l, a) = sources();
         let system = DrugTree::builder()
             .register_source(p)
             .register_source(l)
             .register_source(a)
-            .without_stats()
-            .midpoint_rooting()
-            .cost_based_planner()
+            .with_stats(false)
+            .with_midpoint_rooting()
+            .with_cost_based_planner()
             .build()
             .unwrap();
         assert!(system.executor().stats().is_none());

@@ -32,11 +32,13 @@
 //! `drugtree-mobile`) and are re-exported under [`prelude`].
 
 pub mod builder;
+pub mod obs;
 pub mod serve;
 pub mod snapshot;
 pub mod system;
 
 pub use builder::DrugTreeBuilder;
+pub use obs::{JsonlFileSink, TopReport};
 pub use serve::{ServeReport, ServerHandle};
 pub use snapshot::{load_system, save_system};
 pub use system::{DrugTree, DrugTreeError, SystemReport};
@@ -44,6 +46,7 @@ pub use system::{DrugTree, DrugTreeError, SystemReport};
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::builder::DrugTreeBuilder;
+    pub use crate::obs::{JsonlFileSink, TopReport};
     pub use crate::serve::{ServeReport, ServerHandle};
     pub use crate::system::{DrugTree, DrugTreeError, SystemReport};
     pub use drugtree_mobile::gestures::{drill_down_script, GestureConfig};
@@ -58,6 +61,10 @@ pub mod prelude {
         AnalyzedResult, GestureObservation, MetricsRegistry, Observer, QuerySpan, QueryTrace, Stage,
     };
     pub use drugtree_query::{Dataset, ExecMetrics, Executor, QueryResult};
+    pub use drugtree_query::{
+        FleetObserver, QueryClass, RollingWindows, Sink, SloPolicy, SlowQueryLog, TraceExport,
+        VecSink, WindowSummary,
+    };
     pub use drugtree_store::expr::{CompareOp, Predicate};
     pub use drugtree_store::value::Value;
     // Re-exported for building deployments and benchmarks; an

@@ -1,0 +1,387 @@
+//! Fleet-observability I/O: the file-backed export sink and the
+//! `drugtree top` workload report.
+//!
+//! The query crate's [`TraceExport`] is I/O-free by design — it writes
+//! through the [`Sink`] trait. This module supplies the file half:
+//! [`JsonlFileSink`] appends one JSON record per line, and
+//! [`TopReport`] folds such an export back into the summary table the
+//! `drugtree top` subcommand prints (per-class QPS and tail latency,
+//! cache hit rate, the slowest plan fingerprints, and per-session SLO
+//! breaches).
+//!
+//! [`TraceExport`]: drugtree_query::TraceExport
+
+use drugtree_query::obs::{QueryEvent, Sink, WindowEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A [`Sink`] appending JSONL records to a file through a buffered
+/// writer. Call [`JsonlFileSink::flush`] (or drop the sink) before
+/// reading the file back.
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlFileSink {
+    /// Create (truncate) `path` and sink lines into it.
+    pub fn create(path: &Path) -> std::io::Result<JsonlFileSink> {
+        let file = File::create(path)?;
+        Ok(JsonlFileSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match self.writer.lock() {
+            Ok(mut writer) => writer.flush(),
+            Err(poisoned) => poisoned.into_inner().flush(),
+        }
+    }
+}
+
+impl Drop for JsonlFileSink {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl Sink for JsonlFileSink {
+    fn write_line(&self, line: &str) {
+        let mut writer = match self.writer.lock() {
+            Ok(writer) => writer,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClassAccumulator {
+    charged_ns: Vec<u64>,
+    breaches: u64,
+    probes: u64,
+    hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShapeAccumulator {
+    example: String,
+    count: u64,
+    max_charged_ns: u64,
+}
+
+/// A workload summary folded from a JSONL export: what `drugtree top`
+/// renders.
+#[derive(Debug, Default)]
+pub struct TopReport {
+    classes: BTreeMap<String, ClassAccumulator>,
+    shapes: BTreeMap<String, ShapeAccumulator>,
+    sessions: BTreeMap<u32, u64>,
+    first_started_ns: Option<u64>,
+    last_ended_ns: u64,
+    queries: u64,
+    windows: u64,
+    skipped: u64,
+}
+
+impl TopReport {
+    /// Fold an export, one JSONL line per item. Unparseable lines are
+    /// counted, not fatal — a truncated export still reports.
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> TopReport {
+        let mut report = TopReport::default();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("{\"event\":\"query\"") {
+                match serde_json::from_str::<QueryEvent>(line) {
+                    Ok(event) => report.fold_query(&event),
+                    Err(_) => report.skipped += 1,
+                }
+            } else if line.starts_with("{\"event\":\"window\"") {
+                match serde_json::from_str::<WindowEvent>(line) {
+                    Ok(event) => report.fold_window(&event),
+                    Err(_) => report.skipped += 1,
+                }
+            } else {
+                report.skipped += 1;
+            }
+        }
+        report
+    }
+
+    fn fold_query(&mut self, event: &QueryEvent) {
+        self.queries += 1;
+        self.first_started_ns = Some(
+            self.first_started_ns
+                .map_or(event.started_ns, |first| first.min(event.started_ns)),
+        );
+        self.last_ended_ns = self.last_ended_ns.max(event.ended_ns);
+        let class = self.classes.entry(event.class.clone()).or_default();
+        class.charged_ns.push(event.charged_ns);
+        if event.breach {
+            class.breaches += 1;
+        }
+        if let Some(hit) = event.cache_hit {
+            class.probes += 1;
+            if hit {
+                class.hits += 1;
+            }
+        }
+        let shape = self.shapes.entry(event.fingerprint.clone()).or_default();
+        shape.count += 1;
+        if event.charged_ns >= shape.max_charged_ns {
+            shape.max_charged_ns = event.charged_ns;
+            shape.example = event.query.clone();
+        }
+    }
+
+    fn fold_window(&mut self, event: &WindowEvent) {
+        self.windows += 1;
+        if let Some(id) = event.scope.strip_prefix("session:") {
+            if let Ok(id) = id.parse::<u32>() {
+                let breaches = self.sessions.entry(id).or_default();
+                *breaches = (*breaches).max(event.breaches);
+            }
+        }
+    }
+
+    /// Query events folded in.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Window events folded in.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Lines that failed to parse.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The workload summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let span_ns = self
+            .first_started_ns
+            .map_or(0, |first| self.last_ended_ns.saturating_sub(first));
+        let span_secs = span_ns as f64 / 1e9;
+        let _ = writeln!(
+            out,
+            "workload: {} queries, {} window rollovers over {:.2}s virtual",
+            self.queries, self.windows, span_secs
+        );
+        if self.skipped > 0 {
+            let _ = writeln!(out, "({} unparseable lines skipped)", self.skipped);
+        }
+        let _ = writeln!(out);
+        let header = [
+            "class", "queries", "qps", "p50", "p95", "p99", "breach", "hit rate",
+        ];
+        let mut rows: Vec<[String; 8]> = Vec::new();
+        for (label, acc) in &self.classes {
+            let mut sorted = acc.charged_ns.clone();
+            sorted.sort_unstable();
+            let qps = if span_secs > 0.0 {
+                sorted.len() as f64 / span_secs
+            } else {
+                0.0
+            };
+            let hit_rate = if acc.probes == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", acc.hits as f64 / acc.probes as f64)
+            };
+            rows.push([
+                label.clone(),
+                sorted.len().to_string(),
+                format!("{qps:.1}"),
+                fmt_ns(exact_percentile(&sorted, 0.50)),
+                fmt_ns(exact_percentile(&sorted, 0.95)),
+                fmt_ns(exact_percentile(&sorted, 0.99)),
+                acc.breaches.to_string(),
+                hit_rate,
+            ]);
+        }
+        render_table(&mut out, &header, &rows);
+        let mut shapes: Vec<(&String, &ShapeAccumulator)> = self.shapes.iter().collect();
+        shapes.sort_by(|a, b| {
+            b.1.max_charged_ns
+                .cmp(&a.1.max_charged_ns)
+                .then_with(|| a.0.cmp(b.0))
+        });
+        let _ = writeln!(out, "\ntop slow plan shapes (by worst charged latency):");
+        for (fingerprint, shape) in shapes.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {} x{:<4} worst={} {}",
+                fingerprint,
+                shape.count,
+                fmt_ns(shape.max_charged_ns),
+                truncate(&shape.example, 60),
+            );
+        }
+        if !self.sessions.is_empty() {
+            let breaching = self.sessions.values().filter(|&&b| b > 0).count();
+            let worst = self
+                .sessions
+                .iter()
+                .max_by_key(|(id, breaches)| (**breaches, std::cmp::Reverse(**id)));
+            let _ = write!(
+                out,
+                "\nsessions: {} with window rollovers, {} breaching",
+                self.sessions.len(),
+                breaching
+            );
+            if let Some((id, breaches)) = worst {
+                let _ = write!(out, "; worst session:{id} ({breaches} breaches)");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Exact percentile over sorted samples (nearest-rank; 0 when empty).
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ms = ns as f64 / 1e6;
+    if ms >= 1000.0 {
+        format!("{:.2}s", ms / 1000.0)
+    } else {
+        format!("{ms:.1}ms")
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+fn render_table(out: &mut String, header: &[&str; 8], rows: &[[String; 8]]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 0 {
+                    format!("{c:<w$}", w = widths[i])
+                } else {
+                    format!("{c:>w$}", w = widths[i])
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| (*h).to_string()).collect();
+    let _ = writeln!(out, "{}", line(&header_cells));
+    for row in rows {
+        let _ = writeln!(out, "{}", line(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drugtree_query::obs::VecSink;
+    use drugtree_query::{FleetObserver, Observer, SloPolicy};
+    use std::sync::Arc;
+
+    fn export_lines() -> Vec<String> {
+        use drugtree_query::optimizer::{Optimizer, OptimizerConfig};
+        use drugtree_query::parser::parse_query;
+        use drugtree_query::Executor;
+        use drugtree_sources::source::SourceCapabilities;
+        let dataset =
+            drugtree_query::dataset::test_fixtures::small_dataset(SourceCapabilities::full());
+        let sink = Arc::new(VecSink::new());
+        let observer = Arc::new(
+            FleetObserver::with_windows(
+                std::time::Duration::from_millis(10),
+                8,
+                SloPolicy::default(),
+            )
+            .with_slowlog(4)
+            .with_export(Arc::clone(&sink) as Arc<dyn drugtree_query::Sink>),
+        );
+        let mut executor = Executor::new(Optimizer::new(OptimizerConfig::full()));
+        executor.set_observer(observer as Arc<dyn Observer>);
+        for text in [
+            "activities in tree",
+            "activities in tree where p_activity >= 6",
+            "activities in tree where p_activity >= 7",
+            "activities in tree top 3 by p_activity",
+        ] {
+            executor
+                .execute(&dataset, &parse_query(text).unwrap())
+                .unwrap();
+        }
+        sink.lines()
+    }
+
+    #[test]
+    fn file_sink_round_trips_lines() {
+        let dir = std::env::temp_dir().join("drugtree-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("export.jsonl");
+        let sink = JsonlFileSink::create(&path).unwrap();
+        sink.write_line("{\"event\":\"query\"}");
+        sink.write_line("{\"event\":\"window\"}");
+        sink.flush().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\"event\":\"query\"}\n{\"event\":\"window\"}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn top_report_folds_an_export() {
+        let lines = export_lines();
+        assert!(!lines.is_empty());
+        let report = TopReport::from_lines(lines.iter().map(String::as_str));
+        assert_eq!(report.queries(), 4);
+        assert_eq!(report.skipped(), 0);
+        let rendered = report.render();
+        assert!(rendered.contains("workload: 4 queries"));
+        assert!(rendered.contains("listing"));
+        assert!(rendered.contains("filtered"));
+        assert!(rendered.contains("top_k"));
+        assert!(rendered.contains("top slow plan shapes"));
+        // The two filtered queries share one fingerprint line.
+        assert!(rendered.contains("x2"));
+    }
+
+    #[test]
+    fn top_report_tolerates_garbage_lines() {
+        let report = TopReport::from_lines(["not json", "", "{\"event\":\"query\",broken"]);
+        assert_eq!(report.queries(), 0);
+        assert_eq!(report.skipped(), 2, "blank lines are not counted");
+        assert!(report.render().contains("2 unparseable"));
+    }
+}

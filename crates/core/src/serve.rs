@@ -118,6 +118,7 @@ impl ServerHandle {
                     let executor = &self.executor;
                     scope.spawn(move || -> SessionOutcome {
                         let mut session = MobileSession::new(dataset, executor, w.network);
+                        session.set_session_id(w.session as u32);
                         let mut total = Duration::ZERO;
                         let mut latencies = Vec::with_capacity(w.script.len());
                         for gesture in &w.script {

@@ -106,6 +106,7 @@ pub struct MobileSession<'a> {
     progressive: bool,
     chunk_rows: usize,
     prefetcher: Option<Prefetcher>,
+    session_id: Option<u32>,
     log: Vec<InteractionResult>,
 }
 
@@ -127,6 +128,7 @@ impl<'a> MobileSession<'a> {
             progressive: true,
             chunk_rows: DEFAULT_CHUNK_ROWS,
             prefetcher: None,
+            session_id: None,
             log: Vec::new(),
         }
     }
@@ -134,6 +136,13 @@ impl<'a> MobileSession<'a> {
     /// Enable predictive prefetching after `Expand` gestures.
     pub fn enable_prefetch(&mut self, prefetcher: Prefetcher) {
         self.prefetcher = Some(prefetcher);
+    }
+
+    /// Tag this session with a serving-fleet id: every gesture
+    /// observation it emits carries the id, so a fleet observer can
+    /// attribute SLO breaches to sessions.
+    pub fn set_session_id(&mut self, id: u32) {
+        self.session_id = Some(id);
     }
 
     /// Switch between progressive and blocking delivery.
@@ -204,7 +213,7 @@ impl<'a> MobileSession<'a> {
     fn view_only(&self, kind: &'static str) -> InteractionResult {
         let render = self.render();
         let transfer = self.network.transfer_time(render.payload_bytes);
-        self.dataset.clock.advance(transfer);
+        let at = self.dataset.clock.advance(transfer);
         if let Some(obs) = self.executor.observer() {
             obs.on_gesture(&GestureObservation {
                 gesture: kind,
@@ -213,6 +222,9 @@ impl<'a> MobileSession<'a> {
                 network: transfer,
                 payload_bytes: render.payload_bytes,
                 cache_hit: None,
+                session: self.session_id,
+                charged: transfer,
+                at,
             });
         }
         InteractionResult {
@@ -238,7 +250,7 @@ impl<'a> MobileSession<'a> {
         } else {
             blocking_delivery(&result.rows, &self.network)
         };
-        self.dataset.clock.advance(schedule.complete());
+        let at = self.dataset.clock.advance(schedule.complete());
         let render = self.render();
         if let Some(obs) = self.executor.observer() {
             obs.on_gesture(&GestureObservation {
@@ -248,6 +260,9 @@ impl<'a> MobileSession<'a> {
                 network: schedule.complete(),
                 payload_bytes: schedule.total_bytes,
                 cache_hit: result.metrics.cache_hit,
+                session: self.session_id,
+                charged: result.metrics.charged_cost + schedule.complete(),
+                at,
             });
         }
         Ok(InteractionResult {

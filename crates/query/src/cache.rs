@@ -89,13 +89,15 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit fraction over all probes (0.0 when nothing probed yet) —
-    /// the number the observability layer (D9) and E13 report.
-    pub fn hit_rate(&self) -> f64 {
+    /// Hit fraction over all probes, or `None` when nothing probed
+    /// yet — the number the observability layer (D9) and E13 report.
+    /// "Never probed" must not render as a 0% hit rate: the first is
+    /// a workload property, the second a cache failure.
+    pub fn hit_rate(&self) -> Option<f64> {
         if self.probes == 0 {
-            0.0
+            None
         } else {
-            self.hits as f64 / self.probes as f64
+            Some(self.hits as f64 / self.probes as f64)
         }
     }
 }

@@ -304,10 +304,13 @@ impl Executor {
             // Null-observer fast path: no trace is built at all.
             None => self.execute_inner(dataset, query, None),
             Some(obs) => {
-                let mut tb = TraceBuilder::new(query.to_string(), false);
+                let mut tb = TraceBuilder::new(query, obs.wants_plan());
                 let result = self.execute_inner(dataset, query, Some(&mut tb))?;
-                let (trace, _) = tb.finish(&result.metrics);
-                obs.on_query(&trace);
+                let (trace, plan) = tb.finish(&result.metrics);
+                match plan {
+                    Some(plan) => obs.on_query_planned(&trace, &plan),
+                    None => obs.on_query(&trace),
+                }
                 Ok(result)
             }
         }
@@ -318,12 +321,12 @@ impl Executor {
     /// not an observer is installed; an installed observer also
     /// receives the trace.
     pub fn analyze(&self, dataset: &Dataset, query: &Query) -> Result<AnalyzedResult> {
-        let mut tb = TraceBuilder::new(query.to_string(), true);
+        let mut tb = TraceBuilder::new(query, true);
         let result = self.execute_inner(dataset, query, Some(&mut tb))?;
         let (trace, plan) = tb.finish(&result.metrics);
         let plan = plan.ok_or_else(|| QueryError::Plan("analyze produced no plan".into()))?;
         if let Some(obs) = &self.observer {
-            obs.on_query(&trace);
+            obs.on_query_planned(&trace, &plan);
         }
         Ok(AnalyzedResult {
             plan,

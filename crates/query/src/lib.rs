@@ -32,6 +32,9 @@
 //! * [`trace`] — the observability layer: per-query span trees on the
 //!   virtual clock, the [`Observer`] hook, lock-free metrics, and the
 //!   `EXPLAIN ANALYZE` rendering (design decision D9).
+//! * [`obs`] — continuous fleet observability: rolling SLO windows,
+//!   the slow-query log, and deterministic JSONL trace export
+//!   (design decision D10).
 //! * [`validate`] — plan-invariant validation (structural checks every
 //!   emitted plan must pass).
 
@@ -42,6 +45,7 @@ pub mod dataset;
 pub mod error;
 pub mod exec;
 pub mod matview;
+pub mod obs;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
@@ -55,6 +59,10 @@ pub use cost::{CalibrationReport, CostModel, CostParams};
 pub use dataset::Dataset;
 pub use error::QueryError;
 pub use exec::{ExecMetrics, Executor, PlanEstimate, QueryResult};
+pub use obs::{
+    FleetObserver, QueryClass, RollingWindows, Sink, SloPolicy, SlowQueryLog, TraceExport, VecSink,
+    WindowSummary,
+};
 pub use optimizer::{Optimizer, OptimizerConfig};
 pub use serve::{FetchCoordinator, ServeConfig, ServeStats, ShardedSemanticCache};
 pub use trace::{

@@ -1,0 +1,300 @@
+//! Structured JSONL trace export.
+//!
+//! [`TraceExport`] turns finished span trees and window rollovers into
+//! one JSON object per line, written through a [`Sink`]. The query
+//! crate performs **no I/O**: the file-backed sink lives in the core
+//! crate, and tests use [`VecSink`]. Every field is derived from the
+//! virtual clock and a process-local sequence number, so two replays
+//! of the same workload export byte-identical streams.
+
+use crate::trace::QueryTrace;
+use drugtree_sources::telemetry::WindowSummary;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Destination for exported JSONL lines.
+///
+/// Implementations append `line` (no trailing newline included) as
+/// one record. They must tolerate concurrent calls; ordering between
+/// racing writers is the sink's choice.
+pub trait Sink: Send + Sync {
+    /// Append one line to the export.
+    fn write_line(&self, line: &str);
+}
+
+/// An in-memory [`Sink`] collecting lines into a `Vec` (tests, and
+/// the determinism check in experiment E14).
+#[derive(Debug, Default)]
+pub struct VecSink(Mutex<Vec<String>>);
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.0.lock().clone()
+    }
+}
+
+impl Sink for VecSink {
+    fn write_line(&self, line: &str) {
+        self.0.lock().push(line.to_string());
+    }
+}
+
+/// One span of an exported query event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Stage label (`"fetch"`, `"overlay"`, …).
+    pub stage: String,
+    /// Stage detail (source name, `"hit"`/`"miss"`, …).
+    pub detail: String,
+    /// Virtual cost charged to the stage, in nanoseconds.
+    pub actual_ns: u64,
+    /// Rows the stage produced (0 when not meaningful).
+    pub rows: u64,
+}
+
+/// One finished query: the JSONL record emitted per span tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryEvent {
+    /// Record discriminator: always `"query"`.
+    pub event: String,
+    /// Export-order sequence number.
+    pub seq: u64,
+    /// Query class label.
+    pub class: String,
+    /// Query text.
+    pub query: String,
+    /// Plan-shape fingerprint, zero-padded hex.
+    pub fingerprint: String,
+    /// Virtual clock at query start.
+    pub started_ns: u64,
+    /// Virtual clock at query end.
+    pub ended_ns: u64,
+    /// Cost charged to this query alone (its share of coalesced
+    /// work), in nanoseconds.
+    pub charged_ns: u64,
+    /// End-to-end virtual cost, in nanoseconds.
+    pub total_ns: u64,
+    /// Rows shipped from sources.
+    pub rows: u64,
+    /// Cache outcome (absent when the plan had no probe).
+    pub cache_hit: Option<bool>,
+    /// Whether the charged cost breached the class SLO target.
+    pub breach: bool,
+    /// Child spans, in pipeline order.
+    pub spans: Vec<SpanEvent>,
+}
+
+/// One closed SLO window: the JSONL record emitted per rollover.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowEvent {
+    /// Record discriminator: always `"window"`.
+    pub event: String,
+    /// Export-order sequence number.
+    pub seq: u64,
+    /// Window scope: `"class:<label>"` or `"session:<id>"`.
+    pub scope: String,
+    /// Window index (`start_ns / width`).
+    pub index: u64,
+    /// Window open, virtual nanoseconds.
+    pub start_ns: u64,
+    /// Window close (exclusive), virtual nanoseconds.
+    pub end_ns: u64,
+    /// Records folded into the window.
+    pub count: u64,
+    /// Interpolated median, nanoseconds (rounded).
+    pub p50_ns: u64,
+    /// Interpolated p95, nanoseconds (rounded).
+    pub p95_ns: u64,
+    /// Interpolated p99, nanoseconds (rounded).
+    pub p99_ns: u64,
+    /// Window maximum, nanoseconds.
+    pub max_ns: u64,
+    /// Cumulative SLO breaches for the scope at rollover time.
+    pub breaches: u64,
+}
+
+/// JSONL writer for the observability event stream.
+///
+/// Sequence numbers are assigned at emit time, so a single-threaded
+/// replay exports a byte-identical stream; under concurrent serving
+/// the interleaving (only) follows thread scheduling.
+pub struct TraceExport {
+    sink: Arc<dyn Sink>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceExport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceExport")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TraceExport {
+    /// An exporter writing to `sink`.
+    pub fn new(sink: Arc<dyn Sink>) -> TraceExport {
+        TraceExport {
+            sink,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Emit one `query` record for a finished trace.
+    pub fn emit_query(&self, trace: &QueryTrace, breach: bool) {
+        let spans = trace
+            .root
+            .children
+            .iter()
+            .map(|s| SpanEvent {
+                stage: s.stage.label().to_string(),
+                detail: s.detail.clone(),
+                actual_ns: nanos(s.actual),
+                rows: s.rows.unwrap_or(0),
+            })
+            .collect();
+        let record = QueryEvent {
+            event: "query".to_string(),
+            seq: self.next_seq(),
+            class: trace.class.label().to_string(),
+            query: trace.query.clone(),
+            fingerprint: format!("{:016x}", trace.fingerprint),
+            started_ns: trace.root.started.0,
+            ended_ns: trace.root.ended.0,
+            charged_ns: nanos(trace.access_cost),
+            total_ns: nanos(trace.root.actual),
+            rows: trace.rows_fetched,
+            cache_hit: trace.cache_hit,
+            breach,
+            spans,
+        };
+        if let Ok(line) = serde_json::to_string(&record) {
+            self.sink.write_line(&line);
+        }
+    }
+
+    /// Emit one `window` record for a closed window.
+    pub fn emit_window(&self, scope: &str, window: &WindowSummary, breaches: u64) {
+        let record = WindowEvent {
+            event: "window".to_string(),
+            seq: self.next_seq(),
+            scope: scope.to_string(),
+            index: window.index,
+            start_ns: window.start_ns,
+            end_ns: window.end_ns,
+            count: window.count,
+            p50_ns: window.p50.round() as u64,
+            p95_ns: window.p95.round() as u64,
+            p99_ns: window.p99.round() as u64,
+            max_ns: window.max,
+            breaches,
+        };
+        if let Ok(line) = serde_json::to_string(&record) {
+            self.sink.write_line(&line);
+        }
+    }
+}
+
+fn nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::QueryClass;
+    use crate::trace::{QuerySpan, Stage};
+    use drugtree_sources::clock::VirtualInstant;
+    use std::time::Duration;
+
+    fn trace() -> QueryTrace {
+        let mut root = QuerySpan::new(Stage::Query, "", VirtualInstant(1_000));
+        root.ended = VirtualInstant(13_000_000);
+        root.actual = Duration::from_millis(12);
+        let mut fetch = QuerySpan::new(Stage::Fetch, "assay-sim", VirtualInstant(2_000));
+        fetch.actual = Duration::from_millis(11);
+        fetch.rows = Some(3);
+        root.children.push(fetch);
+        QueryTrace {
+            query: "activities in tree".into(),
+            root,
+            access_cost: Duration::from_millis(11),
+            rows_fetched: 3,
+            cache_hit: Some(false),
+            class: QueryClass::Listing,
+            fingerprint: 0xabc,
+        }
+    }
+
+    fn exporter() -> (TraceExport, Arc<VecSink>) {
+        let sink = Arc::new(VecSink::new());
+        (TraceExport::new(Arc::clone(&sink) as Arc<dyn Sink>), sink)
+    }
+
+    #[test]
+    fn query_events_round_trip_and_replay_identically() {
+        let t = trace();
+        let emit = |t: &QueryTrace| {
+            let (export, sink) = exporter();
+            export.emit_query(t, true);
+            assert_eq!(export.emitted(), 1);
+            sink.lines()
+        };
+        let lines1 = emit(&t);
+        let lines2 = emit(&t);
+        assert_eq!(lines1, lines2, "same trace exports identical bytes");
+        assert_eq!(lines1.len(), 1);
+        let parsed: QueryEvent = serde_json::from_str(&lines1[0]).unwrap();
+        assert_eq!(parsed.event, "query");
+        assert_eq!(parsed.seq, 0);
+        assert_eq!(parsed.class, "listing");
+        assert_eq!(parsed.fingerprint, "0000000000000abc");
+        assert_eq!(parsed.charged_ns, 11_000_000);
+        assert_eq!(parsed.started_ns, 1_000);
+        assert!(parsed.breach);
+        assert_eq!(parsed.spans.len(), 1);
+        assert_eq!(parsed.spans[0].stage, "fetch");
+        assert_eq!(parsed.spans[0].rows, 3);
+    }
+
+    #[test]
+    fn window_events_round_trip() {
+        let (export, sink) = exporter();
+        let summary = WindowSummary {
+            index: 2,
+            start_ns: 2_000_000_000,
+            end_ns: 3_000_000_000,
+            count: 7,
+            p50: 10.4,
+            p95: 99.6,
+            p99: 100.0,
+            max: 120,
+        };
+        export.emit_window("class:listing", &summary, 3);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        let parsed: WindowEvent = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(parsed.scope, "class:listing");
+        assert_eq!(parsed.p50_ns, 10, "rounded");
+        assert_eq!(parsed.p95_ns, 100, "rounded");
+        assert_eq!(parsed.breaches, 3);
+        assert_eq!(export.emitted(), 1);
+    }
+}

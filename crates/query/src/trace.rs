@@ -22,7 +22,9 @@
 //! estimate-vs-actual columns next to the plan's `est_cost`/`est_rows`
 //! fields so cost-model calibration error is visible per plan node.
 
+use crate::ast::Query;
 use crate::exec::{ExecMetrics, QueryResult};
+use crate::obs::QueryClass;
 use crate::plan::PhysicalPlan;
 use drugtree_sources::clock::VirtualInstant;
 pub use drugtree_sources::telemetry::{Counter, FixedHistogram, HistogramSnapshot};
@@ -165,6 +167,13 @@ pub struct QueryTrace {
     pub rows_fetched: u64,
     /// Cache outcome (`None` when the plan had no probe).
     pub cache_hit: Option<bool>,
+    /// Workload class derived from the query AST (drives per-class
+    /// SLO windows and the `drugtree top` breakdown).
+    pub class: QueryClass,
+    /// Stable fingerprint of the plan *shape* (predicate constants
+    /// stripped), or 0 when planning was never reached. Equal shapes
+    /// dedupe into one slow-query-log entry.
+    pub fingerprint: u64,
 }
 
 impl QueryTrace {
@@ -199,8 +208,10 @@ impl QueryTrace {
 #[derive(Debug)]
 pub struct TraceBuilder {
     query: String,
+    class: QueryClass,
     want_plan: bool,
     plan: Option<PhysicalPlan>,
+    fingerprint: u64,
     est_cost: Duration,
     est_rows: u64,
     spans: Vec<QuerySpan>,
@@ -208,13 +219,16 @@ pub struct TraceBuilder {
 
 impl TraceBuilder {
     /// A builder for one query. `want_plan` keeps a clone of the
-    /// physical plan for `EXPLAIN ANALYZE` rendering (skipped on the
-    /// observer-only path, which needs just the spans).
-    pub fn new(query: String, want_plan: bool) -> TraceBuilder {
+    /// physical plan for `EXPLAIN ANALYZE` rendering and observers
+    /// that asked for plans (skipped otherwise — the metrics-only
+    /// path needs just the spans).
+    pub fn new(query: &Query, want_plan: bool) -> TraceBuilder {
         TraceBuilder {
-            query,
+            query: query.to_string(),
+            class: QueryClass::of(query),
             want_plan,
             plan: None,
+            fingerprint: 0,
             est_cost: Duration::ZERO,
             est_rows: 0,
             spans: Vec::new(),
@@ -225,6 +239,7 @@ impl TraceBuilder {
     pub fn record_plan(&mut self, plan: &PhysicalPlan, at: VirtualInstant) {
         self.est_cost = plan.estimated_cost;
         self.est_rows = plan.estimated_rows;
+        self.fingerprint = crate::obs::plan_fingerprint(plan);
         let mut span = QuerySpan::new(Stage::Plan, "", at);
         span.est_cost = Some(plan.estimated_cost);
         span.est_rows = Some(plan.estimated_rows);
@@ -256,6 +271,8 @@ impl TraceBuilder {
                 access_cost: metrics.charged_cost,
                 rows_fetched: metrics.rows_fetched as u64,
                 cache_hit: metrics.cache_hit,
+                class: self.class,
+                fingerprint: self.fingerprint,
             },
             self.plan,
         )
@@ -277,6 +294,23 @@ pub trait Observer: Send + Sync {
     /// Called after every executed query with its completed trace.
     fn on_query(&self, trace: &QueryTrace) {
         let _ = trace;
+    }
+
+    /// Whether this observer wants [`Observer::on_query_planned`]
+    /// with the physical plan. Returning `true` makes the executor
+    /// clone each query's plan into its trace, so leave the default
+    /// `false` unless the plan is actually used (the slow-query log
+    /// needs it for `EXPLAIN ANALYZE` renderings).
+    fn wants_plan(&self) -> bool {
+        false
+    }
+
+    /// Called instead of [`Observer::on_query`] when
+    /// [`Observer::wants_plan`] returned `true` and a plan was
+    /// captured. Defaults to forwarding to `on_query`.
+    fn on_query_planned(&self, trace: &QueryTrace, plan: &PhysicalPlan) {
+        let _ = plan;
+        self.on_query(trace);
     }
 
     /// Called by interactive mobile sessions after each gesture with
@@ -302,6 +336,15 @@ pub struct GestureObservation {
     pub payload_bytes: usize,
     /// Cache outcome of the underlying query, when one ran.
     pub cache_hit: Option<bool>,
+    /// Serving-fleet session id, when the session runs under a
+    /// `ServerHandle` (None for standalone sessions).
+    pub session: Option<u32>,
+    /// End-to-end latency charged to the user for this gesture:
+    /// attributable compute cost plus the mobile-link transfer.
+    pub charged: Duration,
+    /// Virtual clock when the gesture completed (places the gesture
+    /// in a rolling SLO window).
+    pub at: VirtualInstant,
 }
 
 /// Per-source counters and latency distribution.
@@ -420,15 +463,16 @@ impl MetricsRegistry {
         self.stage_nanos[stage.index()].get()
     }
 
-    /// Cache hit rate over observed queries that probed (0.0 when none
-    /// did).
-    pub fn hit_rate(&self) -> f64 {
+    /// Cache hit rate over observed queries that probed, or `None`
+    /// when no query probed at all — "never probed" and "always
+    /// missed" are different situations and must not both print 0.
+    pub fn hit_rate(&self) -> Option<f64> {
         let hits = self.cache_hits.get();
         let total = hits + self.cache_misses.get();
         if total == 0 {
-            0.0
+            None
         } else {
-            hits as f64 / total as f64
+            Some(hits as f64 / total as f64)
         }
     }
 
@@ -506,11 +550,7 @@ impl AnalyzedResult {
     /// view), where the miss-path estimate has no observed
     /// counterpart.
     pub fn access_error(&self) -> Option<f64> {
-        let actual = self.trace.access_cost.as_secs_f64();
-        if actual <= 0.0 {
-            return None;
-        }
-        Some((self.plan.estimated_cost.as_secs_f64() - actual).abs() / actual)
+        access_error(&self.plan, &self.trace)
     }
 
     /// Multi-line `EXPLAIN ANALYZE` rendering: the plan's EXPLAIN text
@@ -520,61 +560,78 @@ impl AnalyzedResult {
     /// The plain [`PhysicalPlan::explain`] rendering is embedded
     /// unchanged, so tooling that parses EXPLAIN keeps working.
     pub fn render(&self) -> String {
-        let mut fetch_spans: Vec<&QuerySpan> = self.trace.fetch_spans();
-        let mut out = String::new();
-        for line in self.plan.explain().lines() {
-            out.push_str(line);
-            let trimmed = line.trim_start();
-            if trimmed.starts_with("Plan: ") {
-                let _ = write!(
-                    out,
-                    " | actual: cost={:?} rows={}",
-                    self.trace.access_cost, self.trace.rows_fetched
-                );
-                match self.access_error() {
-                    Some(err) => {
-                        let _ = write!(out, " err={err:.2}");
-                    }
-                    None => {
-                        if self.trace.cache_hit == Some(true) {
-                            out.push_str(" (cache hit)");
-                        }
-                    }
+        render_analyzed(&self.plan, &self.trace)
+    }
+}
+
+/// [`AnalyzedResult::access_error`] for a bare plan + trace pair.
+fn access_error(plan: &PhysicalPlan, trace: &QueryTrace) -> Option<f64> {
+    let actual = trace.access_cost.as_secs_f64();
+    if actual <= 0.0 {
+        return None;
+    }
+    Some((plan.estimated_cost.as_secs_f64() - actual).abs() / actual)
+}
+
+/// The `EXPLAIN ANALYZE` rendering for a plan + trace pair — the body
+/// of [`AnalyzedResult::render`], exposed separately so the slow-query
+/// log can render entries from an observed plan without a
+/// [`QueryResult`] in hand.
+pub fn render_analyzed(plan: &PhysicalPlan, trace: &QueryTrace) -> String {
+    let mut fetch_spans: Vec<&QuerySpan> = trace.fetch_spans();
+    let mut out = String::new();
+    for line in plan.explain().lines() {
+        out.push_str(line);
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("Plan: ") {
+            let _ = write!(
+                out,
+                " | actual: cost={:?} rows={}",
+                trace.access_cost, trace.rows_fetched
+            );
+            match access_error(plan, trace) {
+                Some(err) => {
+                    let _ = write!(out, " err={err:.2}");
                 }
-            } else if trimmed.starts_with("CacheProbe ") {
-                match self.trace.cache_hit {
-                    Some(true) => out.push_str(" | actual: hit"),
-                    Some(false) => out.push_str(" | actual: miss"),
-                    None => {}
-                }
-            } else if let Some(source) = fetch_line_source(trimmed) {
-                match take_span(&mut fetch_spans, source) {
-                    Some(span) => {
-                        let _ = write!(
-                            out,
-                            " | actual: cost={:?} rows={} requests={}",
-                            span.actual,
-                            span.rows.unwrap_or(0),
-                            span.attr("requests").unwrap_or(0),
-                        );
-                        if span.stage == Stage::Coalesce {
-                            let _ = write!(
-                                out,
-                                " flights_joined={} shared_peers={}",
-                                span.attr("flights_joined").unwrap_or(0),
-                                span.attr("shared_peers").unwrap_or(0),
-                            );
-                        }
+                None => {
+                    if trace.cache_hit == Some(true) {
+                        out.push_str(" (cache hit)");
                     }
-                    None => out.push_str(" | actual: not executed"),
                 }
             }
-            out.push('\n');
+        } else if trimmed.starts_with("CacheProbe ") {
+            match trace.cache_hit {
+                Some(true) => out.push_str(" | actual: hit"),
+                Some(false) => out.push_str(" | actual: miss"),
+                None => {}
+            }
+        } else if let Some(source) = fetch_line_source(trimmed) {
+            match take_span(&mut fetch_spans, source) {
+                Some(span) => {
+                    let _ = write!(
+                        out,
+                        " | actual: cost={:?} rows={} requests={}",
+                        span.actual,
+                        span.rows.unwrap_or(0),
+                        span.attr("requests").unwrap_or(0),
+                    );
+                    if span.stage == Stage::Coalesce {
+                        let _ = write!(
+                            out,
+                            " flights_joined={} shared_peers={}",
+                            span.attr("flights_joined").unwrap_or(0),
+                            span.attr("shared_peers").unwrap_or(0),
+                        );
+                    }
+                }
+                None => out.push_str(" | actual: not executed"),
+            }
         }
-        out.push_str("  Trace:\n");
-        render_span(&mut out, &self.trace.root, 2);
-        out
+        out.push('\n');
     }
+    out.push_str("  Trace:\n");
+    render_span(&mut out, &trace.root, 2);
+    out
 }
 
 /// The source name of an EXPLAIN `SourceFetch` line, if it is one.
@@ -643,6 +700,8 @@ mod tests {
             access_cost: Duration::from_millis(12),
             rows_fetched: 3,
             cache_hit,
+            class: QueryClass::Listing,
+            fingerprint: 0,
         }
     }
 
@@ -676,7 +735,8 @@ mod tests {
         assert_eq!(r.queries.get(), 2);
         assert_eq!(r.cache_hits.get(), 1);
         assert_eq!(r.cache_misses.get(), 1);
-        assert!((r.hit_rate() - 0.5).abs() < 1e-9);
+        let rate = r.hit_rate().expect("two probes observed");
+        assert!((rate - 0.5).abs() < 1e-9);
         assert_eq!(r.rows_fetched.get(), 6, "both traces report 3");
         assert_eq!(r.source_requests.get(), 2);
         assert_eq!(r.flights_joined.get(), 1);
@@ -694,6 +754,9 @@ mod tests {
             network: Duration::from_millis(40),
             payload_bytes: 300,
             cache_hit: Some(false),
+            session: None,
+            charged: Duration::from_millis(52),
+            at: VirtualClock::new().now(),
         });
         assert_eq!(r.gestures.get(), 1);
         assert_eq!(r.gesture_network.snapshot().sum, 40_000_000);

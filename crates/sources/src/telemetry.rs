@@ -14,10 +14,17 @@
 //! loosely ordered against concurrent writers, which is the right
 //! trade for monitoring data.
 
+use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A monotonically increasing lock-free counter.
+///
+/// Additions saturate at `u64::MAX`: a counter that has run for long
+/// enough to exhaust 64 bits pins at the ceiling instead of silently
+/// wrapping back to small values, so rates computed from two reads can
+/// never go negative.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
@@ -27,9 +34,29 @@ impl Counter {
         Counter(AtomicU64::new(0))
     }
 
-    /// Add `n` to the counter.
+    /// Add `n` to the counter, saturating at `u64::MAX`.
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        // A plain `fetch_add` wraps on overflow; retry with
+        // `saturating_add` instead. The loop is contention-only — in
+        // the common (non-saturated) case one CAS succeeds.
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            if current == u64::MAX {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                current.saturating_add(n),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
     }
 
     /// Increment by one.
@@ -117,6 +144,35 @@ impl FixedHistogram {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// The configured inclusive upper bounds (without the implicit
+    /// overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Fold another histogram's recorded values into this one. Both
+    /// histograms must share the same bucket bounds (they describe the
+    /// same quantity); merging mismatched layouts is a caller bug.
+    ///
+    /// Lock-free like recording: each bucket is added with one relaxed
+    /// atomic, so a merge concurrent with writers folds a consistent-
+    /// enough monitoring view, not a linearizable snapshot.
+    pub fn merge_from(&self, other: &FixedHistogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Copy out the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets = self
@@ -177,6 +233,168 @@ impl HistogramSnapshot {
             }
         }
         self.max
+    }
+
+    /// Interpolated quantile (0.0–1.0): locates the bucket holding the
+    /// target rank like [`HistogramSnapshot::percentile`], then
+    /// interpolates linearly between the bucket's lower and upper
+    /// bounds by the rank's position inside it. The overflow bucket
+    /// spans `(last bound, max]`, and the result is clamped to the
+    /// recorded maximum so a sparse top bucket cannot report a value
+    /// nothing ever reached. Returns 0.0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        let mut lower = 0u64;
+        for (bound, n) in &self.buckets {
+            let upper = bound.unwrap_or(self.max).max(lower);
+            if *n > 0 && (cumulative + n) as f64 >= target {
+                let within = (target - cumulative as f64) / *n as f64;
+                let value = lower as f64 + (upper - lower) as f64 * within.clamp(0.0, 1.0);
+                return value.min(self.max as f64);
+            }
+            cumulative += n;
+            lower = upper;
+        }
+        self.max as f64
+    }
+}
+
+/// A finalized time window folded from a [`FixedHistogram`]: one slot
+/// of a [`WindowedHistogram`] after its interval closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSummary {
+    /// Window index: `start_ns / width`.
+    pub index: u64,
+    /// Virtual-clock nanoseconds at which the window opened.
+    pub start_ns: u64,
+    /// Virtual-clock nanoseconds at which the window closed
+    /// (exclusive).
+    pub end_ns: u64,
+    /// Values recorded inside the window.
+    pub count: u64,
+    /// Interpolated median.
+    pub p50: f64,
+    /// Interpolated 95th percentile.
+    pub p95: f64,
+    /// Interpolated 99th percentile.
+    pub p99: f64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl WindowSummary {
+    fn from_snapshot(index: u64, width_ns: u64, s: &HistogramSnapshot) -> WindowSummary {
+        WindowSummary {
+            index,
+            start_ns: index * width_ns,
+            end_ns: (index + 1) * width_ns,
+            count: s.count,
+            p50: s.quantile(0.50),
+            p95: s.quantile(0.95),
+            p99: s.quantile(0.99),
+            max: s.max,
+        }
+    }
+}
+
+/// Time-windowed rolling aggregation: a live [`FixedHistogram`] for
+/// the current fixed-width window plus a ring of the last N finalized
+/// [`WindowSummary`]s.
+///
+/// Windows are aligned to the **virtual clock** (`window index =
+/// timestamp / width`), so rollover points — and therefore every
+/// summary — are deterministic under replay. Recording takes a short
+/// mutex (unlike the bare histogram) because a rollover swaps the live
+/// slot; the critical section is a few bucket additions.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    width_ns: u64,
+    ring: usize,
+    bounds: Vec<u64>,
+    state: Mutex<WindowState>,
+}
+
+#[derive(Debug)]
+struct WindowState {
+    /// Window index of the live slot.
+    epoch: u64,
+    /// Whether the live slot has recorded anything yet (a silent
+    /// stream emits no empty summaries).
+    live: FixedHistogram,
+    recorded: bool,
+    /// Last N finalized summaries, oldest first.
+    recent: VecDeque<WindowSummary>,
+}
+
+impl WindowedHistogram {
+    /// A windowed histogram with `width` per window, a ring of `ring`
+    /// retained summaries, and the given bucket bounds for each slot.
+    pub fn new(width: Duration, ring: usize, bounds: &[u64]) -> WindowedHistogram {
+        let width_ns = u64::try_from(width.as_nanos()).unwrap_or(u64::MAX).max(1);
+        WindowedHistogram {
+            width_ns,
+            ring: ring.max(1),
+            bounds: bounds.to_vec(),
+            state: Mutex::new(WindowState {
+                epoch: 0,
+                live: FixedHistogram::new(bounds),
+                recorded: false,
+                recent: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Window width in nanoseconds.
+    pub fn width_ns(&self) -> u64 {
+        self.width_ns
+    }
+
+    /// Record `value` at virtual time `at_ns`. If `at_ns` falls past
+    /// the live window, that window is finalized first; every summary
+    /// closed by this call is returned (normally zero or one, more
+    /// after an idle gap) so callers can export rollover events.
+    pub fn record(&self, at_ns: u64, value: u64) -> Vec<WindowSummary> {
+        let epoch = at_ns / self.width_ns;
+        let mut state = self.state.lock();
+        let mut closed = Vec::new();
+        if epoch > state.epoch {
+            if state.recorded {
+                let summary = WindowSummary::from_snapshot(
+                    state.epoch,
+                    self.width_ns,
+                    &state.live.snapshot(),
+                );
+                closed.push(summary.clone());
+                if state.recent.len() == self.ring {
+                    state.recent.pop_front();
+                }
+                state.recent.push_back(summary);
+                state.live = FixedHistogram::new(&self.bounds);
+                state.recorded = false;
+            }
+            state.epoch = epoch;
+        }
+        // Late records (at_ns before the live window, possible under
+        // concurrent serving) fold into the live slot rather than
+        // reopening a closed one: windows only ever close forward.
+        state.live.record(value);
+        state.recorded = true;
+        closed
+    }
+
+    /// The last N finalized summaries, oldest first (the live window
+    /// is not included until it closes).
+    pub fn summaries(&self) -> Vec<WindowSummary> {
+        self.state.lock().recent.iter().cloned().collect()
+    }
+
+    /// Snapshot of the live (not yet closed) window.
+    pub fn live_snapshot(&self) -> HistogramSnapshot {
+        self.state.lock().live.snapshot()
     }
 }
 
@@ -243,5 +461,140 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.buckets.len(), 3);
         assert_eq!(s.buckets[0], (Some(10), 1));
+    }
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let c = Counter::new();
+        c.add(u64::MAX - 3);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX, "add past the ceiling pins at MAX");
+        c.incr();
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "a saturated counter never wraps");
+    }
+
+    #[test]
+    fn quantile_empty_window_is_zero() {
+        let s = FixedHistogram::new(&[10, 100]).snapshot();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_single_sample_clamps_to_max() {
+        let h = FixedHistogram::new(&[10, 100]);
+        h.record(42);
+        let s = h.snapshot();
+        // One sample: every quantile is that sample, clamped to max
+        // rather than interpolated up to the bucket's 100 bound.
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(s.quantile(q), 42.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_one_bucket() {
+        let h = FixedHistogram::new(&[100, 200]);
+        // Four samples, all in the (100, 200] bucket.
+        for v in [110, 150, 160, 200] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Ranks interpolate linearly across the bucket span 100..200:
+        // q=0.5 → rank 2 of 4 → 100 + 200*(2/4)/2 = 150.
+        assert_eq!(s.quantile(0.5), 150.0);
+        assert_eq!(s.quantile(0.25), 125.0);
+        assert_eq!(s.quantile(1.0), 200.0);
+        // Monotone in q even at the clamp edge.
+        assert!(s.quantile(0.99) <= s.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_uses_recorded_max() {
+        let h = FixedHistogram::new(&[10]);
+        h.record(5);
+        h.record(90);
+        h.record(100);
+        let s = h.snapshot();
+        // The overflow bucket spans (10, max]; the top quantile never
+        // exceeds what was actually recorded.
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert!(s.quantile(0.95) <= 100.0);
+        assert!(s.quantile(0.6) > 10.0);
+    }
+
+    #[test]
+    fn merge_folds_histograms_with_different_counts() {
+        let a = FixedHistogram::new(&[10, 100]);
+        for v in [5, 7, 50] {
+            a.record(v);
+        }
+        let b = FixedHistogram::new(&[10, 100]);
+        for v in [9, 500] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 5 + 7 + 50 + 9 + 500);
+        assert_eq!(s.max, 500);
+        assert_eq!(s.buckets[0], (Some(10), 3));
+        assert_eq!(s.buckets[1], (Some(100), 1));
+        assert_eq!(s.buckets[2], (None, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let a = FixedHistogram::new(&[10]);
+        let b = FixedHistogram::new(&[20]);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn windowed_histogram_rolls_over_on_epoch_advance() {
+        const S: u64 = 1_000_000_000;
+        let w = WindowedHistogram::new(Duration::from_secs(1), 4, &[10, 100]);
+        assert!(w.record(100, 5).is_empty(), "first window stays open");
+        assert!(w.record(200, 7).is_empty());
+        // Crossing into window 2 closes window 0; the gap window 1 was
+        // never recorded into, so exactly one summary comes back.
+        let closed = w.record(2 * S + 1, 50);
+        assert_eq!(closed.len(), 1);
+        let s = &closed[0];
+        assert_eq!(s.index, 0);
+        assert_eq!(s.start_ns, 0);
+        assert_eq!(s.end_ns, S);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 7);
+        assert_eq!(w.summaries(), closed);
+        // The live window holds only the post-rollover sample.
+        assert_eq!(w.live_snapshot().count, 1);
+    }
+
+    #[test]
+    fn windowed_histogram_ring_is_bounded() {
+        const S: u64 = 1_000_000_000;
+        let w = WindowedHistogram::new(Duration::from_secs(1), 2, &[10]);
+        for i in 0..5u64 {
+            w.record(i * S + 1, i);
+        }
+        let kept = w.summaries();
+        assert_eq!(kept.len(), 2, "ring keeps the last N summaries");
+        assert_eq!(kept[0].index, 2);
+        assert_eq!(kept[1].index, 3);
+    }
+
+    #[test]
+    fn windowed_histogram_late_records_fold_forward() {
+        const S: u64 = 1_000_000_000;
+        let w = WindowedHistogram::new(Duration::from_secs(1), 4, &[10]);
+        w.record(3 * S + 1, 1);
+        // A record stamped before the live window cannot reopen a
+        // closed slot; it folds into the live one.
+        assert!(w.record(10, 2).is_empty());
+        assert_eq!(w.live_snapshot().count, 2);
+        assert!(w.summaries().is_empty());
     }
 }
