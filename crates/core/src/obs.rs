@@ -12,12 +12,12 @@
 //! [`TraceExport`]: drugtree_query::TraceExport
 
 use drugtree_query::obs::{QueryEvent, Sink, WindowEvent};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
-use std::sync::Mutex;
 
 /// A [`Sink`] appending JSONL records to a file through a buffered
 /// writer. Call [`JsonlFileSink::flush`] (or drop the sink) before
@@ -38,10 +38,7 @@ impl JsonlFileSink {
 
     /// Flush buffered lines to disk.
     pub fn flush(&self) -> std::io::Result<()> {
-        match self.writer.lock() {
-            Ok(mut writer) => writer.flush(),
-            Err(poisoned) => poisoned.into_inner().flush(),
-        }
+        self.writer.lock().flush()
     }
 }
 
@@ -53,10 +50,7 @@ impl Drop for JsonlFileSink {
 
 impl Sink for JsonlFileSink {
     fn write_line(&self, line: &str) {
-        let mut writer = match self.writer.lock() {
-            Ok(writer) => writer,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut writer = self.writer.lock();
         let _ = writer.write_all(line.as_bytes());
         let _ = writer.write_all(b"\n");
     }

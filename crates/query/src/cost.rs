@@ -14,9 +14,9 @@
 //! (and the CI calibration-regression check) can report mean relative
 //! estimation error before and after calibration.
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Minimum observations for a source before its fitted parameters replace the
@@ -249,11 +249,8 @@ impl CostModel {
         state.err_count = 0;
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CostState> {
-        match self.inner.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+    fn lock(&self) -> parking_lot::MutexGuard<'_, CostState> {
+        self.inner.lock()
     }
 }
 

@@ -335,6 +335,86 @@ mod tests {
     }
 
     #[test]
+    fn fnv1a_matches_published_vectors() {
+        // Pinned against Noll's published FNV-1a 64 test vectors: the
+        // fingerprint is persisted in exports and compared across
+        // builds, so the function may never drift.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        // One-byte edits move the hash — the slowlog keys on it.
+        assert_ne!(fnv1a(b"shape"), fnv1a(b"shapf"));
+    }
+
+    #[test]
+    fn constant_stripped_shapes_collide_and_distinct_shapes_do_not() {
+        let dataset = small_dataset(SourceCapabilities::full());
+        let executor = Executor::new(Optimizer::new(OptimizerConfig::full()));
+        let fp = |text: &str| {
+            let query = parse_query(text).unwrap();
+            plan_fingerprint(&executor.analyze(&dataset, &query).unwrap().plan)
+        };
+        // Collisions are the point: every class of stripped constant —
+        // comparison literals, disjunction literals, key lists — folds
+        // into one workload shape.
+        assert_eq!(
+            fp("activities in tree where p_activity >= 6"),
+            fp("activities in tree where p_activity >= 7"),
+        );
+        assert_eq!(
+            fp("activities where (year = 2010 or year = 2012) and mw < 500"),
+            fp("activities where (year = 2011 or year = 2013) and mw < 900"),
+        );
+        assert_eq!(
+            fp("activities in leaves('P1', 'P2')"),
+            fp("activities in leaves('P3')"),
+        );
+        // Structurally distinct plans must not fold together: collide
+        // here and `drugtree top` blames the wrong workload.
+        let corpus = [
+            "activities in tree",
+            "activities in tree where p_activity >= 6",
+            "activities in tree where p_activity < 6",
+            "activities in tree top 3 by p_activity",
+            "count per leaf in tree",
+        ];
+        let prints: Vec<u64> = corpus.iter().map(|q| fp(q)).collect();
+        for i in 0..prints.len() {
+            for j in (i + 1)..prints.len() {
+                assert_ne!(
+                    prints[i], prints[j],
+                    "{:?} and {:?} must not share a fingerprint",
+                    corpus[i], corpus[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_byte_identical_across_fresh_replays() {
+        let replay = || -> Vec<u64> {
+            let dataset = small_dataset(SourceCapabilities::full());
+            let executor = Executor::new(Optimizer::new(OptimizerConfig::full()));
+            [
+                "activities in tree",
+                "activities in tree where p_activity >= 6",
+                "activities in tree top 3 by p_activity",
+                "count per leaf in tree",
+            ]
+            .iter()
+            .map(|text| {
+                let query = parse_query(text).unwrap();
+                plan_fingerprint(&executor.analyze(&dataset, &query).unwrap().plan)
+            })
+            .collect()
+        };
+        // Nothing run-dependent (addresses, hash seeds, iteration
+        // order) may leak into the fingerprint: replay tooling joins
+        // exports from different processes on it.
+        assert_eq!(replay(), replay());
+    }
+
+    #[test]
     fn fleet_observer_folds_classes_and_slowlog() {
         let observer = Arc::new(FleetObserver::new().with_slowlog(8));
         run_fleet(Arc::clone(&observer));

@@ -10,7 +10,7 @@
 //! Renderings are produced lazily — a query that will not be admitted
 //! never formats anything.
 
-use parking_lot::Mutex;
+use drugtree_sources::sync::Mutex;
 use rustc_hash::FxHashMap;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -10,10 +10,10 @@
 //! retains the most recent N summaries per scope.
 
 use crate::ast::{Query, QueryKind};
+use drugtree_sources::sync::RwLock;
 use drugtree_sources::telemetry::{Counter, FixedHistogram};
 pub use drugtree_sources::telemetry::{WindowSummary, WindowedHistogram};
 use drugtree_store::expr::Predicate;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;

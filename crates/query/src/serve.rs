@@ -36,9 +36,9 @@ pub use drugtree_sources::serve::{
 
 use crate::cache::{CacheConfig, CacheHit, CacheStats, SemanticCache};
 use drugtree_phylo::index::LeafInterval;
+use drugtree_sources::sync::Mutex;
 use drugtree_store::expr::Predicate;
 use drugtree_store::value::Value;
-use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 

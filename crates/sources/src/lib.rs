@@ -25,6 +25,9 @@
 //!   batch coalescing across queries.
 //! * [`flaky`] — failure injection: wrap any source to fail a
 //!   deterministic fraction of requests transiently.
+//! * [`sync`] — loom-swappable lock primitives for the serving stack
+//!   (parking_lot normally, loom's instrumented types under
+//!   `--cfg loom` for model checking).
 
 pub mod assay_db;
 pub mod batcher;
@@ -37,6 +40,7 @@ pub mod ligand_db;
 pub mod protein_db;
 pub mod serve;
 pub mod source;
+pub mod sync;
 pub mod telemetry;
 
 pub use clock::VirtualClock;

@@ -36,13 +36,14 @@
 
 use crate::batcher::{batched_lookup_with_retry, Dispatch, RetryPolicy};
 use crate::source::DataSource;
+use crate::sync::{Condvar, Mutex};
 use crate::{Result, SourceError};
 use drugtree_store::expr::Predicate;
 use drugtree_store::value::Value;
 use rustc_hash::FxHashMap;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Rule name: a coalesced request never exceeds the source batch cap.
@@ -194,13 +195,6 @@ struct BatchSlot {
     cv: Condvar,
 }
 
-/// Lock a mutex, recovering from poisoning: the protected state is
-/// only ever replaced wholesale, so a panicking peer cannot leave it
-/// torn.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// Stable per-process identity of a pushdown predicate. Fetches only
 /// share a request when their predicate keys are byte-identical —
 /// sound (never mixes incompatible filters) and cheap, at the price of
@@ -319,7 +313,7 @@ impl FetchCoordinator {
             keys: keys.to_vec(),
         };
         let slot = {
-            let mut flights = lock(&self.flights);
+            let mut flights = self.flights.lock();
             match flights.get(&key) {
                 Some(slot) => Some(Arc::clone(slot)),
                 None => {
@@ -337,9 +331,9 @@ impl FetchCoordinator {
 
         if let Some(slot) = slot {
             // Joiner: wait for the leader's broadcast.
-            let mut done = lock(&slot.done);
+            let mut done = slot.done.lock();
             while done.is_none() {
-                done = slot.cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+                slot.cv.wait(&mut done);
             }
             self.counters.flights_joined.fetch_add(1, Ordering::Relaxed);
             let shared = match done.as_ref() {
@@ -376,9 +370,9 @@ impl FetchCoordinator {
             }),
             Err(e) => Err(e.clone()),
         };
-        let slot = lock(&self.flights).remove(&key);
+        let slot = self.flights.lock().remove(&key);
         if let Some(slot) = slot {
-            *lock(&slot.done) = Some(broadcast);
+            *slot.done.lock() = Some(broadcast);
             slot.cv.notify_all();
         }
         outcome
@@ -413,14 +407,14 @@ impl FetchCoordinator {
 
         let bkey = (source.name().to_string(), pred_key(pushdown));
         let (slot, my_index) = {
-            let mut batches = lock(&self.batches);
+            let mut batches = self.batches.lock();
             match batches.get(&bkey) {
                 Some(slot) => {
                     // The map only holds Forming slots (closing removes
                     // the entry under this same map lock), so joining
                     // cannot race a dispatch.
                     let slot = Arc::clone(slot);
-                    let mut st = lock(&slot.state);
+                    let mut st = slot.state.lock();
                     debug_assert!(matches!(st.phase, BatchPhase::Forming));
                     st.participants.push(keys.to_vec());
                     let idx = st.participants.len() - 1;
@@ -450,9 +444,9 @@ impl FetchCoordinator {
 
     /// Wait for the batch leader's dispatch and take our split.
     fn await_batch(&self, slot: &BatchSlot, my_index: usize) -> Result<CoordinatedFetch> {
-        let mut st = lock(&slot.state);
+        let mut st = slot.state.lock();
         while st.outcome.is_none() {
-            st = slot.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            slot.cv.wait(&mut st);
         }
         self.counters.batch_joins.fetch_add(1, Ordering::Relaxed);
         match st.outcome.as_ref() {
@@ -488,7 +482,7 @@ impl FetchCoordinator {
         // number of times, closing early once the key budget is full.
         for _ in 0..self.config.delay_yields {
             std::thread::yield_now();
-            let st = lock(&slot.state);
+            let st = slot.state.lock();
             let pending: usize = st.participants.iter().map(Vec::len).sum();
             if pending >= max_batch {
                 break;
@@ -498,8 +492,8 @@ impl FetchCoordinator {
         // form a new one) while marking it dispatched, atomically with
         // respect to joiners (they hold the map lock while enrolling).
         let participants = {
-            let mut batches = lock(&self.batches);
-            let mut st = lock(&slot.state);
+            let mut batches = self.batches.lock();
+            let mut st = slot.state.lock();
             st.phase = BatchPhase::Done;
             batches.remove(bkey);
             st.participants.clone()
@@ -521,7 +515,7 @@ impl FetchCoordinator {
             Err(e) => Err(e.clone()),
         };
         {
-            let mut st = lock(&slot.state);
+            let mut st = slot.state.lock();
             st.outcome = Some(match outcome {
                 Ok(o) => Ok(o.into_state()),
                 Err(e) => Err(e),

@@ -23,6 +23,7 @@ use drugtree_sources::source::{
     DataSource, FetchRequest, FetchResponse, MetricsSnapshot, SimulatedSource, SourceCapabilities,
     SourceKind,
 };
+use drugtree_sources::sync::{Condvar, Mutex};
 use drugtree_sources::Result as SourceResult;
 use drugtree_store::expr::{CompareOp, Predicate};
 use drugtree_store::schema::{Column, Schema};
@@ -30,7 +31,7 @@ use drugtree_store::table::Table;
 use drugtree_store::value::{Value, ValueType};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 /// A `(k, v)` source with `v = 10 k`, the given batch cap, and a flat
@@ -103,7 +104,7 @@ impl GatedSource {
 
     /// Release every blocked (and all future) fetches.
     fn open_gate(&self) {
-        *self.open.lock().unwrap() = true;
+        *self.open.lock() = true;
         self.cv.notify_all();
     }
 }
@@ -131,9 +132,9 @@ impl DataSource for GatedSource {
 
     fn fetch(&self, request: &FetchRequest) -> SourceResult<FetchResponse> {
         self.entered.fetch_add(1, Ordering::SeqCst);
-        let mut open = self.open.lock().unwrap();
+        let mut open = self.open.lock();
         while !*open {
-            open = self.cv.wait(open).unwrap();
+            self.cv.wait(&mut open);
         }
         drop(open);
         self.inner.fetch(request)

@@ -1,0 +1,12 @@
+// Seeded violations for the clock-discipline pass: raw wall-clock
+// reads that would make runs machine-dependent.
+
+fn naive_timing() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    expensive();
+    start.elapsed()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

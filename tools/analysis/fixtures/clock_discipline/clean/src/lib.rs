@@ -1,0 +1,12 @@
+// Clean twin for the clock-discipline pass: timing flows through the
+// sanctioned deterministic clock API — the pass must stay silent.
+
+fn timed() -> u64 {
+    let start = drugtree_sources::clock::wall_now();
+    expensive();
+    drugtree_sources::clock::wall_now().saturating_sub(start)
+}
+
+fn simulated(clock: &drugtree_sources::VirtualClock) {
+    clock.charge_nanos(1_500_000);
+}

@@ -1,0 +1,53 @@
+// Clean twin for the guard-scope pass: every shape here is the
+// sanctioned fix for a pattern in bad/; the pass must stay silent.
+
+struct Cache {
+    map: parking_lot::RwLock<std::collections::BTreeMap<u32, u32>>,
+    queue: parking_lot::Mutex<Vec<u32>>,
+    cv: parking_lot::Condvar,
+}
+
+impl Cache {
+    // OK: early-return `if let` — with no else branch the scrutinee
+    // temporary dies with the statement, and the write lock is taken
+    // only after it is gone.
+    fn get_or_insert(&self, k: u32) -> u32 {
+        if let Some(v) = self.map.read().get(&k) {
+            return *v;
+        }
+        *self.map.write().entry(k).or_insert(0)
+    }
+
+    // OK: bind the fast-path lookup to a local first, then branch on
+    // the owned value (the PR-5 fix shape).
+    fn get_or_default(&self, k: u32) -> u32 {
+        let existing = self.map.read().get(&k).copied();
+        match existing {
+            Some(v) => v,
+            None => *self.map.write().entry(k).or_insert(0),
+        }
+    }
+
+    // OK: the first guard is dropped before the lock is re-taken.
+    fn sequential(&self) -> usize {
+        let q = self.queue.lock();
+        let n = q.len();
+        drop(q);
+        self.queue.lock().len() + n
+    }
+
+    // OK: the wait releases exactly the guard being held.
+    fn wait(&self) {
+        let mut q = self.queue.lock();
+        while q.is_empty() {
+            self.cv.wait(&mut q);
+        }
+    }
+
+    // OK: yield first, lock after — nothing is held across the yield.
+    fn yield_then_lock(&self) -> usize {
+        std::thread::yield_now();
+        let q = self.queue.lock();
+        q.len()
+    }
+}

@@ -1,0 +1,32 @@
+// Seeded violations for the lock-order pass. The path mimics the real
+// sources crate so class names land in the canonical order's
+// namespace (`sources:batches`, `sources:state`).
+
+impl Coordinator {
+    // BAD (canonical reversal): the canonical order ranks batches
+    // before state, so taking batches under a live state guard runs
+    // backwards through it.
+    fn close_wrong_order(&self, slot: &BatchSlot) {
+        let mut st = slot.state.lock();
+        let mut batches = self.batches.lock();
+        st.phase = Phase::Done;
+        batches.remove(&self.key);
+    }
+}
+
+impl Pair {
+    // BAD (cycle): alpha -> beta here, beta -> alpha below; two
+    // threads entering from different ends deadlock. Neither class is
+    // ranked canonically — the cycle check alone must catch this.
+    fn ab(&self) -> usize {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        a.len() + b.len()
+    }
+
+    fn ba(&self) -> usize {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        a.len() + b.len()
+    }
+}

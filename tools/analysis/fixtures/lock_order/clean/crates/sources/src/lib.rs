@@ -1,0 +1,21 @@
+// Clean twin for the lock-order pass: the one nested acquisition
+// follows the canonical order (batches before state) and the graph is
+// acyclic, so the pass must stay silent.
+
+impl Coordinator {
+    fn close(&self, slot: &BatchSlot) {
+        let mut batches = self.batches.lock();
+        let mut st = slot.state.lock();
+        st.phase = Phase::Done;
+        batches.remove(&self.key);
+    }
+
+    // Sequential (non-nested) acquisitions in either order are fine:
+    // the first guard is gone before the second lock is taken.
+    fn sequential(&self, slot: &BatchSlot) {
+        let st = slot.state.lock();
+        drop(st);
+        let mut batches = self.batches.lock();
+        batches.clear();
+    }
+}

@@ -1,0 +1,15 @@
+// Seeded violations for the sync-hygiene pass: std's poisoning lock
+// primitives in every import shape the scanner understands.
+
+use std::sync::Condvar;
+use std::sync::{Arc, Mutex};
+
+struct Shared {
+    state: std::sync::RwLock<Vec<u32>>,
+    gate: Mutex<bool>,
+    cv: Condvar,
+}
+
+fn guard(m: &std::sync::Mutex<u32>) -> std::sync::MutexGuard<'_, u32> {
+    m.lock().unwrap()
+}

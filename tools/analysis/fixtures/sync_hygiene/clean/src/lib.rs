@@ -1,0 +1,21 @@
+// Clean twin for the sync-hygiene pass: parking_lot locks plus the
+// std::sync types that remain sanctioned (Arc, atomics, Barrier,
+// mpsc, OnceLock, PoisonError) — the pass must stay silent.
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Barrier, OnceLock};
+
+struct Shared {
+    state: RwLock<Vec<u32>>,
+    queue: Mutex<Vec<u32>>,
+    cv: Condvar,
+    epoch: AtomicU64,
+}
+
+fn fan_out(n: usize) -> Arc<Barrier> {
+    let (tx, _rx) = mpsc::channel::<u32>();
+    drop(tx);
+    Arc::new(Barrier::new(n))
+}

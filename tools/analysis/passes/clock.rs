@@ -1,0 +1,58 @@
+//! clock-discipline: every simulated latency is charged to the
+//! deterministic `VirtualClock`, never slept, and the one sanctioned
+//! wall-clock read is `drugtree_sources::clock::wall_now()`. A raw
+//! `Instant::now()` / `SystemTime::now()` anywhere else silently makes
+//! runs machine-dependent, so this pass rejects them. The clock module
+//! itself is exempted via `tools/analysis/allow/clock-discipline.allow`.
+//!
+//! (This is the original `repo-lint` clock lint, migrated into the
+//! pass registry; it now also benefits from the model's comment/string
+//! stripping, so doc examples no longer need phrasing care.)
+
+use crate::model::SourceModel;
+use crate::registry::{Pass, Violation};
+
+pub struct Clock;
+
+/// Forbidden call patterns. Assembled at runtime so this file would
+/// not flag itself even if the tools tree were ever scanned.
+fn forbidden_patterns() -> Vec<String> {
+    ["Instant", "SystemTime"]
+        .iter()
+        .map(|ty| format!("{ty}::now()"))
+        .collect()
+}
+
+impl Pass for Clock {
+    fn name(&self) -> &'static str {
+        "clock-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "reject raw Instant::now()/SystemTime::now() outside the virtual-clock module"
+    }
+
+    fn run(&self, model: &SourceModel) -> Vec<Violation> {
+        let patterns = forbidden_patterns();
+        let mut out = Vec::new();
+        for fm in &model.files {
+            for (li, line) in fm.code.iter().enumerate() {
+                for pat in &patterns {
+                    if line.contains(pat.as_str()) {
+                        out.push(Violation {
+                            pass: self.name(),
+                            file: fm.path.clone(),
+                            line: li + 1,
+                            message: format!(
+                                "`{pat}` outside crates/sources/src/clock.rs; use \
+                                 drugtree_sources::clock::wall_now() (harness timing) \
+                                 or the VirtualClock (simulated latency)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}

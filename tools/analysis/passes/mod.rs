@@ -1,0 +1,21 @@
+//! The registered analysis passes. Adding a pass means: a module here,
+//! a `Box::new` in [`all`], fixtures under `tools/analysis/fixtures/
+//! <snake_name>/{bad,clean}/`, and (optionally) an allowlist under
+//! `tools/analysis/allow/<name>.allow`.
+
+pub mod clock;
+pub mod guard_scope;
+pub mod lock_order;
+pub mod sync_hygiene;
+
+use crate::registry::Pass;
+
+/// Every pass, in reporting order.
+pub fn all() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(guard_scope::GuardScope),
+        Box::new(lock_order::LockOrder),
+        Box::new(sync_hygiene::SyncHygiene),
+        Box::new(clock::Clock),
+    ]
+}

@@ -1,0 +1,101 @@
+//! sync-hygiene: the workspace locks with parking_lot (or the
+//! loom-swappable `drugtree_sources::sync` shim in the serving stack),
+//! never raw `std::sync` lock primitives.
+//!
+//! std's `Mutex`/`RwLock`/`Condvar` poison on panic, which forces
+//! `.unwrap()` noise at every acquisition and turns one panicked
+//! writer into a cascade; they also cannot be swapped for loom's
+//! instrumented types. `Arc`, atomics, `Barrier`, `mpsc`, `OnceLock`,
+//! and `PoisonError` remain fine — only the lock primitives are held
+//! to the standard. `clippy.toml`'s `disallowed-types` is the backup
+//! enforcement for type positions this token scan cannot see.
+
+use crate::model::SourceModel;
+use crate::registry::{Pass, Violation};
+
+/// The std::sync names the workspace bans.
+const DENY: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+];
+
+pub struct SyncHygiene;
+
+impl Pass for SyncHygiene {
+    fn name(&self) -> &'static str {
+        "sync-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "reject std::sync lock primitives where the workspace standard is parking_lot"
+    }
+
+    fn run(&self, model: &SourceModel) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for fm in &model.files {
+            for (li, line) in fm.code.iter().enumerate() {
+                for name in qualified_hits(line) {
+                    out.push(violation(self.name(), fm, li, name));
+                }
+                for name in grouped_import_hits(line) {
+                    out.push(violation(self.name(), fm, li, name));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn violation(pass: &'static str, fm: &crate::model::FileModel, li: usize, name: &str) -> Violation {
+    Violation {
+        pass,
+        file: fm.path.clone(),
+        line: li + 1,
+        message: format!(
+            "`std::sync::{name}` is a poisoning lock; use `parking_lot::{name}` \
+             (or `drugtree_sources::sync::{name}` in the serving stack so loom \
+             can swap it) — see clippy.toml disallowed-types"
+        ),
+    }
+}
+
+/// Fully qualified uses: `std::sync::Mutex`, `use std::sync::RwLock;`.
+fn qualified_hits(line: &str) -> Vec<&'static str> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(p) = line[from..].find("std::sync::") {
+        let after = &line[from + p + "std::sync::".len()..];
+        let ident: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(name) = DENY.iter().find(|d| **d == ident) {
+            hits.push(*name);
+        }
+        from += p + "std::sync::".len();
+    }
+    hits
+}
+
+/// Brace-grouped imports: `use std::sync::{Arc, Mutex as M};`.
+fn grouped_import_hits(line: &str) -> Vec<&'static str> {
+    let trimmed = line.trim_start();
+    let Some(rest) = trimmed.strip_prefix("use std::sync::{") else {
+        return Vec::new();
+    };
+    let group = rest.split('}').next().unwrap_or(rest);
+    group
+        .split(',')
+        .filter_map(|item| {
+            // First path segment of the item, ignoring any `as` alias.
+            let item = item.trim();
+            let head = item.split("::").next().unwrap_or(item);
+            let head = head.split_whitespace().next().unwrap_or(head);
+            DENY.iter().find(|d| **d == head).copied()
+        })
+        .collect()
+}

@@ -1,0 +1,125 @@
+//! Pass registry plumbing: the [`Pass`] trait, [`Violation`] records,
+//! per-pass allowlists, and machine-readable JSON output.
+//!
+//! Allowlist files live under `tools/analysis/allow/<pass>.allow`, one
+//! entry per line:
+//!
+//! ```text
+//! # comment
+//! <path-glob> [message substring]
+//! ```
+//!
+//! The path glob supports `*`; the optional remainder of the line must
+//! appear verbatim in the violation message for the entry to match.
+//! Every allowlist entry is a debt record — it names a finding the
+//! team has looked at and accepted, not one the tool should un-learn.
+
+use crate::model::SourceModel;
+use std::path::Path;
+
+/// One finding from one pass.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Emitting pass name (kebab-case).
+    pub pass: &'static str,
+    /// Scan-root-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+}
+
+/// A registered analysis pass.
+pub trait Pass {
+    /// Kebab-case name (`guard-scope`), also the allowlist file stem.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Run over the model; return every violation found (allowlist
+    /// filtering happens in the driver, not here).
+    fn run(&self, model: &SourceModel) -> Vec<Violation>;
+}
+
+/// Parsed allowlist for one pass.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, Option<String>)>,
+}
+
+impl Allowlist {
+    /// Load `<dir>/<pass>.allow`; a missing file is an empty list.
+    pub fn load(dir: &Path, pass: &str) -> Allowlist {
+        let path = dir.join(format!("{pass}.allow"));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Allowlist::default();
+        };
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| match l.split_once(char::is_whitespace) {
+                Some((glob, detail)) => (glob.to_string(), Some(detail.trim().to_string())),
+                None => (l.to_string(), None),
+            })
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// Does any entry cover this violation?
+    pub fn permits(&self, v: &Violation) -> bool {
+        self.entries.iter().any(|(glob, detail)| {
+            glob_match(glob, &v.file)
+                && detail
+                    .as_ref()
+                    .is_none_or(|d| v.message.contains(d.as_str()))
+        })
+    }
+}
+
+/// Minimal `*`-glob matcher (no `?`, no character classes).
+pub fn glob_match(pat: &str, s: &str) -> bool {
+    if !pat.contains('*') {
+        return pat == s;
+    }
+    let parts: Vec<&str> = pat.split('*').collect();
+    let mut pos = 0usize;
+    let last = parts.len() - 1;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !s.starts_with(part) {
+                return false;
+            }
+            pos = part.len();
+        } else if i == last {
+            return s.len() >= pos + part.len() && s.ends_with(part);
+        } else {
+            match s[pos..].find(part) {
+                Some(k) => pos = pos + k + part.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

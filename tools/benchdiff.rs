@@ -13,7 +13,10 @@
 //! and label columns are skipped, as are `shared-serving` rows, whose
 //! cross-thread coalescing varies slightly with OS scheduling. A
 //! candidate worse than baseline by more than the relative threshold
-//! on any compared cell is a regression and the exit code is 1.
+//! on any compared cell is a regression and the exit code is 1. A
+//! baseline table with no counterpart file in the candidate tree is a
+//! coverage failure, not a skip: it exits 3 so CI can distinguish "got
+//! slower" from "the gate never looked". Usage and I/O errors exit 2.
 //!
 //! CI runs the quick experiment suite into a scratch directory and
 //! gates it against the committed `bench_results/quick/` baselines.
@@ -83,6 +86,27 @@ fn metric_value(cell: &str) -> Option<f64> {
 /// Baselines smaller than this (ms or unitless) are noise floors, not
 /// meaningful denominators; such cells are never flagged.
 const MIN_BASE: f64 = 0.05;
+
+/// Exit codes, kept distinct so CI can tell "the candidate got slower"
+/// (fix the code) from "the gate lost coverage" (fix the harness):
+/// 0 clean, 1 regression past threshold, 2 usage or I/O error,
+/// 3 baseline table(s) missing from the candidate tree.
+const EXIT_REGRESSION: u8 = 1;
+const EXIT_ERROR: u8 = 2;
+const EXIT_MISSING_BASELINE: u8 = 3;
+
+/// Map what the diff found to an exit code. Lost coverage outranks a
+/// regression verdict: a "pass" that silently skipped tables is the
+/// more dangerous lie.
+fn verdict(missing: usize, regressions: usize) -> u8 {
+    if missing > 0 {
+        EXIT_MISSING_BASELINE
+    } else if regressions > 0 {
+        EXIT_REGRESSION
+    } else {
+        0
+    }
+}
 
 /// One regression found.
 #[derive(Debug)]
@@ -169,6 +193,7 @@ fn json_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
 
 fn run(baseline_dir: &Path, candidate_dir: &Path, threshold: f64) -> Result<ExitCode, String> {
     let mut regressions = Vec::new();
+    let mut missing: Vec<PathBuf> = Vec::new();
     let mut compared = 0usize;
     for base_path in json_files(baseline_dir)? {
         let Some(name) = base_path.file_name() else {
@@ -176,10 +201,7 @@ fn run(baseline_dir: &Path, candidate_dir: &Path, threshold: f64) -> Result<Exit
         };
         let cand_path = candidate_dir.join(name);
         if !cand_path.is_file() {
-            eprintln!(
-                "note: {} missing from candidate; skipping",
-                cand_path.display()
-            );
+            missing.push(cand_path);
             continue;
         }
         let baseline = load_table(&base_path)?;
@@ -187,37 +209,51 @@ fn run(baseline_dir: &Path, candidate_dir: &Path, threshold: f64) -> Result<Exit
         compared += 1;
         regressions.extend(compare_tables(&baseline, &candidate, threshold));
     }
-    if compared == 0 {
+    if compared == 0 && missing.is_empty() {
         return Err(format!(
             "no comparable result files between {} and {}",
             baseline_dir.display(),
             candidate_dir.display()
         ));
     }
-    if regressions.is_empty() {
+    if !regressions.is_empty() {
         println!(
-            "benchdiff: {compared} table(s) compared, no regression past {:.0}%",
+            "benchdiff: {} regression(s) past {:.0}% across {compared} table(s):",
+            regressions.len(),
             threshold * 100.0
         );
-        return Ok(ExitCode::SUCCESS);
+        for r in &regressions {
+            println!(
+                "  {} [{} / {}]: {:.3} -> {:.3} (+{:.1}%)",
+                r.table,
+                r.row,
+                r.column,
+                r.baseline,
+                r.candidate,
+                r.ratio * 100.0
+            );
+        }
     }
-    println!(
-        "benchdiff: {} regression(s) past {:.0}% across {compared} table(s):",
-        regressions.len(),
-        threshold * 100.0
-    );
-    for r in &regressions {
-        println!(
-            "  {} [{} / {}]: {:.3} -> {:.3} (+{:.1}%)",
-            r.table,
-            r.row,
-            r.column,
-            r.baseline,
-            r.candidate,
-            r.ratio * 100.0
+    if !missing.is_empty() {
+        eprintln!(
+            "error: {} baseline table(s) have no counterpart in the candidate tree \
+             — the gate did not cover them (did the experiment suite fail to emit them?):",
+            missing.len()
         );
+        for path in &missing {
+            eprintln!("  missing: {}", path.display());
+        }
     }
-    Ok(ExitCode::FAILURE)
+    match verdict(missing.len(), regressions.len()) {
+        0 => {
+            println!(
+                "benchdiff: {compared} table(s) compared, no regression past {:.0}%",
+                threshold * 100.0
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        code => Ok(ExitCode::from(code)),
+    }
 }
 
 fn main() -> ExitCode {
@@ -230,7 +266,7 @@ fn main() -> ExitCode {
             "--threshold" => {
                 let Some(value) = iter.next().and_then(|v| v.parse().ok()) else {
                     eprintln!("error: --threshold needs a fraction, e.g. 0.10");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_ERROR);
                 };
                 threshold = value;
             }
@@ -243,13 +279,13 @@ fn main() -> ExitCode {
     }
     let [baseline, candidate] = dirs.as_slice() else {
         eprintln!("usage: benchdiff <baseline-dir> <candidate-dir> [--threshold 0.10]");
-        return ExitCode::from(2);
+        return ExitCode::from(EXIT_ERROR);
     };
     match run(baseline, candidate, threshold) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
@@ -336,6 +372,23 @@ mod tests {
             ],
         );
         assert!(compare_tables(&base, &cand, 0.10).is_empty());
+    }
+
+    #[test]
+    fn missing_baseline_coverage_has_its_own_exit_code() {
+        // Clean run.
+        assert_eq!(verdict(0, 0), 0);
+        // Regressions alone exit 1, as before.
+        assert_eq!(verdict(0, 3), EXIT_REGRESSION);
+        // A missing counterpart is never a silent skip...
+        assert_eq!(verdict(1, 0), EXIT_MISSING_BASELINE);
+        // ...and outranks a regression verdict: lost coverage is the
+        // bigger problem than what the covered tables showed.
+        assert_eq!(verdict(2, 5), EXIT_MISSING_BASELINE);
+        // All three outcomes stay distinguishable from usage errors.
+        const {
+            assert!(EXIT_MISSING_BASELINE != EXIT_ERROR && EXIT_REGRESSION != EXIT_ERROR);
+        }
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Offline stand-in for `loom`: randomized-schedule model checking.
+//!
+//! The real loom exhaustively enumerates thread interleavings with a
+//! cooperative scheduler. This stand-in takes the shuttle approach
+//! instead: [`model`] runs the closure many times on real OS threads,
+//! and every instrumented lock operation injects a seeded,
+//! per-iteration-varying number of `yield_now` calls before and after
+//! acquiring, perturbing the schedule so distinct interleavings are
+//! probed across iterations. Coverage is probabilistic rather than
+//! exhaustive, but each iteration exercises the *real* concurrent code
+//! under a genuinely different schedule.
+//!
+//! API deviations from the real crate (documented per vendor/README):
+//! the `sync` lock types mirror *parking_lot*'s panic-free shape
+//! (`lock()` returns a guard, `Condvar::wait(&mut guard)`) rather than
+//! std's `Result` shape, because this workspace's loom-swappable shim
+//! (`drugtree_sources::sync`) standardizes on parking_lot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The per-iteration schedule salt; every instrumented operation mixes
+/// it into its thread-local RNG so iteration k yields differently from
+/// iteration k+1.
+static SCHEDULE: AtomicU64 = AtomicU64::new(0);
+
+/// Number of schedules explored per [`model`] call (override with the
+/// `LOOM_ITERS` environment variable).
+fn iterations() -> u64 {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Run `f` under many perturbed schedules, panicking (and thereby
+/// failing the test) if any iteration panics.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for iter in 0..iterations() {
+        SCHEDULE.store(
+            (iter + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            Ordering::SeqCst,
+        );
+        f();
+    }
+}
+
+/// Inject a schedule-dependent number of scheduler yields (0–3).
+fn maybe_yield() {
+    use std::cell::Cell;
+    thread_local! {
+        static STATE: Cell<u64> = const { Cell::new(0x243f_6a88_85a3_08d3) };
+    }
+    let salt = SCHEDULE.load(Ordering::Relaxed);
+    let n = STATE.with(|s| {
+        let x = s
+            .get()
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407 ^ salt);
+        s.set(x);
+        (x >> 60) & 3
+    });
+    for _ in 0..n {
+        std::thread::yield_now();
+    }
+}
+
+/// Instrumented `std::thread` facade.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn with a schedule perturbation at the spawn point and at
+    /// thread start.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::maybe_yield();
+        std::thread::spawn(move || {
+            super::maybe_yield();
+            f()
+        })
+    }
+
+    /// A plain scheduler yield.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Instrumented synchronization primitives (parking_lot-shaped).
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Atomics pass through uninstrumented: the stand-in perturbs
+    /// schedules at lock boundaries, not per atomic op.
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized>(parking_lot_shim::MutexGuard<'a, T>);
+
+    /// Yield-injecting mutex.
+    pub struct Mutex<T: ?Sized>(parking_lot_shim::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Mutex<T> {
+            Mutex(parking_lot_shim::Mutex::new(value))
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            super::maybe_yield();
+            let guard = self.0.lock();
+            super::maybe_yield();
+            MutexGuard(guard)
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            super::maybe_yield();
+            self.0.try_lock().map(MutexGuard)
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Mutex<T> {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&self.0, f)
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    /// Yield-injecting condition variable.
+    #[derive(Default)]
+    pub struct Condvar(parking_lot_shim::Condvar);
+
+    impl Condvar {
+        pub const fn new() -> Condvar {
+            Condvar(parking_lot_shim::Condvar::new())
+        }
+
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            self.0.wait(&mut guard.0);
+            super::maybe_yield();
+        }
+
+        pub fn notify_one(&self) {
+            super::maybe_yield();
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            super::maybe_yield();
+            self.0.notify_all();
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
+
+    pub struct RwLockReadGuard<'a, T: ?Sized>(parking_lot_shim::RwLockReadGuard<'a, T>);
+    pub struct RwLockWriteGuard<'a, T: ?Sized>(parking_lot_shim::RwLockWriteGuard<'a, T>);
+
+    /// Yield-injecting reader-writer lock.
+    pub struct RwLock<T: ?Sized>(parking_lot_shim::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        pub const fn new(value: T) -> RwLock<T> {
+            RwLock(parking_lot_shim::RwLock::new(value))
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            super::maybe_yield();
+            let guard = self.0.read();
+            super::maybe_yield();
+            RwLockReadGuard(guard)
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            super::maybe_yield();
+            let guard = self.0.write();
+            super::maybe_yield();
+            RwLockWriteGuard(guard)
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> RwLock<T> {
+            RwLock::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&self.0, f)
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// The non-instrumented primitives the instrumented ones wrap.
+    /// Inlined from the workspace's parking_lot stand-in so this crate
+    /// stays dependency-free (vendor crates must not depend on each
+    /// other: `[patch.crates-io]` would make the graph cyclic).
+    mod parking_lot_shim {
+        use std::ops::{Deref, DerefMut};
+        use std::sync::PoisonError;
+
+        pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+        pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+        pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+        pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+        impl<T> Mutex<T> {
+            pub const fn new(value: T) -> Self {
+                Self(std::sync::Mutex::new(value))
+            }
+        }
+
+        impl<T: ?Sized> Mutex<T> {
+            pub fn lock(&self) -> MutexGuard<'_, T> {
+                MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+            }
+
+            pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+                self.0.try_lock().ok().map(|g| MutexGuard(Some(g)))
+            }
+
+            pub fn get_mut(&mut self) -> &mut T {
+                self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+
+        impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self.try_lock() {
+                    Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+                    None => f.write_str("Mutex(<locked>)"),
+                }
+            }
+        }
+
+        impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+            type Target = T;
+
+            fn deref(&self) -> &T {
+                match &self.0 {
+                    Some(guard) => guard,
+                    None => unreachable!("guard is only empty mid-wait"),
+                }
+            }
+        }
+
+        impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                match &mut self.0 {
+                    Some(guard) => guard,
+                    None => unreachable!("guard is only empty mid-wait"),
+                }
+            }
+        }
+
+        #[derive(Default)]
+        pub struct Condvar(std::sync::Condvar);
+
+        impl Condvar {
+            pub const fn new() -> Condvar {
+                Condvar(std::sync::Condvar::new())
+            }
+
+            pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+                if let Some(inner) = guard.0.take() {
+                    guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+                }
+            }
+
+            pub fn notify_one(&self) {
+                self.0.notify_one();
+            }
+
+            pub fn notify_all(&self) {
+                self.0.notify_all();
+            }
+        }
+
+        pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+        impl<T> RwLock<T> {
+            pub const fn new(value: T) -> Self {
+                Self(std::sync::RwLock::new(value))
+            }
+        }
+
+        impl<T: ?Sized> RwLock<T> {
+            pub fn read(&self) -> RwLockReadGuard<'_, T> {
+                self.0.read().unwrap_or_else(PoisonError::into_inner)
+            }
+
+            pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+                self.0.write().unwrap_or_else(PoisonError::into_inner)
+            }
+
+            pub fn get_mut(&mut self) -> &mut T {
+                self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+            }
+        }
+
+        impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                match self.0.try_read() {
+                    Ok(guard) => f.debug_tuple("RwLock").field(&&*guard).finish(),
+                    Err(_) => f.write_str("RwLock(<locked>)"),
+                }
+            }
+        }
+    }
+}

@@ -1,13 +1,54 @@
 //! Offline stand-in for `parking_lot`: thin wrappers over the std
 //! sync primitives with parking_lot's panic-free, non-poisoning API.
+//!
+//! `MutexGuard` is a newtype (not an alias) so [`Condvar::wait`] can
+//! take the guard by `&mut` the way parking_lot's does; the inner
+//! `Option` is only ever `None` for the instant a wait swaps the std
+//! guard out and back.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        match &self.0 {
+            Some(guard) => guard,
+            None => unreachable!("guard is only empty mid-wait"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.0 {
+            Some(guard) => guard,
+            None => unreachable!("guard is only empty mid-wait"),
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized + std::fmt::Display> std::fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(&**self, f)
+    }
+}
 
 impl<T> Mutex<T> {
     #[inline]
@@ -24,12 +65,12 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     #[inline]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        self.0.try_lock().ok()
+        self.0.try_lock().ok().map(|g| MutexGuard(Some(g)))
     }
 
     #[inline]
@@ -50,6 +91,43 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
             Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
             None => f.write_str("Mutex(<locked>)"),
         }
+    }
+}
+
+/// Condition variable pairing with [`Mutex`]: parking_lot's
+/// `&mut guard` wait API over `std::sync::Condvar`.
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    #[inline]
+    pub const fn new() -> Condvar {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified, atomically releasing and re-acquiring the
+    /// guard's mutex (spurious wakeups possible, as with std).
+    #[inline]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some(inner) = guard.0.take() {
+            guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+        }
+    }
+
+    #[inline]
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    #[inline]
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
     }
 }
 
