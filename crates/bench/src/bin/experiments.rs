@@ -56,6 +56,7 @@ fn main() {
         ("e12", drugtree_bench::e12_calibration::run),
         ("e13", drugtree_bench::e13_observability::run),
         ("e14", drugtree_bench::e14_fleet_obs::run),
+        ("e15", drugtree_bench::e15_kernels::run),
     ];
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

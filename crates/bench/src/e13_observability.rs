@@ -9,6 +9,12 @@
 //! spans at all). Latencies are virtual-clock measurements and tracing
 //! never charges the clock, so the observed/baseline ratio must be
 //! exactly 1.0 — the quick run doubles as the CI overhead assertion.
+//!
+//! A third observed run per class has the columnar activity mirror
+//! built (`with_columnar`): the breakdown then shifts from fetch-
+//! dominated to [`Stage::Compute`]-dominated, and the `local mean` /
+//! `compute share` columns quantify the local-compute path the
+//! federated columns cannot show (design decision D12).
 
 use crate::table::ExperimentTable;
 use crate::{fmt_ms, mean, RunConfig};
@@ -48,6 +54,8 @@ pub fn run(config: RunConfig) -> ExperimentTable {
             "hit rate",
             "rows/query",
             "reqs/query",
+            "local mean",
+            "compute share",
             "obs/null ratio",
         ],
     );
@@ -65,12 +73,15 @@ pub fn run(config: RunConfig) -> ExperimentTable {
             },
         );
 
-        let run_stream = |observer: Option<Arc<MetricsRegistry>>| -> Duration {
+        let run_stream = |observer: Option<Arc<MetricsRegistry>>, columnar: bool| -> Duration {
             let mut builder = DrugTree::builder()
                 .dataset(bundle.build_dataset())
                 .optimizer(OptimizerConfig::full());
             if let Some(registry) = observer {
                 builder = builder.with_observer(registry);
+            }
+            if columnar {
+                builder = builder.with_columnar();
             }
             let system = builder.build().expect("system builds");
             let latencies: Vec<Duration> = queries
@@ -87,9 +98,16 @@ pub fn run(config: RunConfig) -> ExperimentTable {
         };
 
         let registry = Arc::new(MetricsRegistry::new());
-        let observed_mean = run_stream(Some(Arc::clone(&registry)));
-        let baseline_mean = run_stream(None);
+        let observed_mean = run_stream(Some(Arc::clone(&registry)), false);
+        let baseline_mean = run_stream(None, false);
         let ratio = observed_mean.as_secs_f64() / baseline_mean.as_secs_f64().max(1e-12);
+
+        // Same traffic with the columnar mirror built: the trace's
+        // cost mass moves from the fetch stages to Stage::Compute.
+        let local_registry = Arc::new(MetricsRegistry::new());
+        let local_mean = run_stream(Some(Arc::clone(&local_registry)), true);
+        let local_query_ns = local_registry.stage_nanos(Stage::Query).max(1);
+        let compute_ns = local_registry.stage_nanos(Stage::Compute);
 
         let n = registry.queries.get().max(1);
         let query_ns = registry.stage_nanos(Stage::Query).max(1);
@@ -103,6 +121,8 @@ pub fn run(config: RunConfig) -> ExperimentTable {
                 .map_or_else(|| "-".to_string(), |rate| format!("{rate:.2}")),
             format!("{:.1}", registry.rows_fetched.get() as f64 / n as f64),
             format!("{:.2}", registry.source_requests.get() as f64 / n as f64),
+            fmt_ms(local_mean),
+            format!("{:.0}%", 100.0 * compute_ns as f64 / local_query_ns as f64),
             format!("{ratio:.4}"),
         ]);
     }
@@ -157,7 +177,7 @@ mod tests {
         let t = run(RunConfig { quick: true });
         assert_eq!(t.rows.len(), 4);
         for row in &t.rows {
-            let ratio: f64 = row[6].parse().expect("ratio parses");
+            let ratio: f64 = row[8].parse().expect("ratio parses");
             assert!(
                 (ratio - 1.0).abs() < NULL_OBSERVER_OVERHEAD_CEILING,
                 "{} observer overhead out of bounds: {row:?}",
@@ -167,6 +187,29 @@ mod tests {
             assert!(
                 (0.0..=100.0).contains(&share),
                 "{} fetch share implausible: {row:?}",
+                row[0]
+            );
+        }
+    }
+
+    /// With the columnar mirror built the breakdown must show actual
+    /// local compute: a nonzero `compute share` and a `local mean`
+    /// below the federated mean for every class.
+    #[test]
+    fn columnar_run_shows_local_compute_share() {
+        let t = run(RunConfig { quick: true });
+        for row in &t.rows {
+            let compute: f64 = row[7].trim_end_matches('%').parse().expect("share parses");
+            assert!(
+                compute > 0.0 && compute <= 100.0,
+                "{} compute share not in (0, 100]: {row:?}",
+                row[0]
+            );
+            let federated: f64 = row[1].trim_end_matches("ms").parse().expect("parses");
+            let local: f64 = row[6].trim_end_matches("ms").parse().expect("parses");
+            assert!(
+                local < federated,
+                "{} local compute not faster than federated: {row:?}",
                 row[0]
             );
         }

@@ -1,0 +1,212 @@
+//! E15: vectorized kernel throughput vs row-at-a-time scanning.
+//!
+//! The store-level microbenchmark behind the columnar engine (design
+//! decision D12): the same filtered aggregate — select rows by
+//! predicate, then `sum`/`count` the `p_activity` column — runs once
+//! through the typed bitmap kernels over a [`ColumnarTable`] and once
+//! as a `Predicate::matches` scan over materialized `Vec<Value>` rows.
+//! Both paths visit rows in ascending index order, so their float sums
+//! are bitwise identical — checked on every measurement, making this a
+//! throughput *and* equivalence harness.
+//!
+//! Unlike the other experiments these are **wall-clock** measurements
+//! (via the declared [`wall_now`] shim — kernel CPU cost is exactly
+//! what the virtual clock cannot tell us), so the wall columns use
+//! benchdiff-neutral headers: the committed baseline gates coverage
+//! and the deterministic row counts, not machine-dependent timings.
+//! The acceptance target lives in the full run: a ≥10x kernel
+//! advantage on a million-row filtered aggregate; the quick run
+//! asserts a conservative ≥[`QUICK_MIN_SPEEDUP`]x so CI stays robust
+//! to noisy shared runners.
+
+use crate::table::ExperimentTable;
+use crate::RunConfig;
+use drugtree_sources::clock::wall_now;
+use drugtree_store::columnar::ColumnarTable;
+use drugtree_store::expr::{CompareOp, Predicate};
+use drugtree_store::kernel;
+use drugtree_store::schema::{Column, Schema};
+use drugtree_store::value::{Value, ValueType};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Quick-mode CI floor on the kernel/row-scan speedup. The full-mode
+/// target is 10x; the quick gate is deliberately loose because CI
+/// runners are shared and the quick table is small.
+pub const QUICK_MIN_SPEEDUP: f64 = 3.0;
+
+/// A synthetic activity table in the activity-half layout, plus the
+/// same data as materialized rows for the baseline scan.
+fn synthetic_table(rows: usize, seed: u64) -> (ColumnarTable, Vec<Vec<Value>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(rows);
+    for rank in 0..rows {
+        let p_activity = rng.gen_range(3.5..9.5);
+        let value_nm = 10f64.powf(9.0 - p_activity);
+        data.push(vec![
+            Value::Int(rank as i64),
+            Value::from(format!("P{:07}", rank)),
+            Value::from(format!("L{:03}", rng.gen_range(0..64))),
+            Value::from(match rng.gen_range(0..4) {
+                0 => "Ki",
+                1 => "Kd",
+                2 => "IC50",
+                _ => "EC50",
+            }),
+            Value::Float(value_nm),
+            Value::Float(p_activity),
+            Value::from("synthetic-assays"),
+            Value::Int(rng.gen_range(1995..=2013)),
+        ]);
+    }
+    let schema = Schema::new(vec![
+        Column::required("leaf_rank", ValueType::Int),
+        Column::required("protein_accession", ValueType::Text),
+        Column::required("ligand_id", ValueType::Text),
+        Column::required("activity_type", ValueType::Text),
+        Column::required("value_nm", ValueType::Float),
+        Column::required("p_activity", ValueType::Float),
+        Column::required("source", ValueType::Text),
+        Column::required("year", ValueType::Int),
+    ]);
+    let table =
+        ColumnarTable::from_rows("e15", schema, data.clone()).expect("synthetic rows fit schema");
+    (table, data)
+}
+
+/// Best-of-`reps` wall time of `f` (after one untimed warm-up), with
+/// the result of the last run.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut last = f();
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = wall_now();
+        last = f();
+        best = best.min(wall_now().duration_since(t));
+    }
+    (best, last)
+}
+
+/// Run E15.
+pub fn run(config: RunConfig) -> ExperimentTable {
+    let (rows, reps) = if config.quick {
+        (131_072, 3)
+    } else {
+        (1_048_576, 5)
+    };
+    let (table_cols, table_rows) = synthetic_table(rows, 0xE15);
+    let schema = table_cols.schema().clone();
+    let p_col = table_cols.column(5);
+
+    let predicates: Vec<(&str, Predicate)> = vec![
+        (
+            "p_activity >= 7.5",
+            Predicate::cmp("p_activity", CompareOp::Ge, 7.5),
+        ),
+        (
+            "6.0 <= p_activity < 8.0 AND year >= 2008",
+            Predicate::between("p_activity", 6.0, 8.0).and(Predicate::cmp(
+                "year",
+                CompareOp::Ge,
+                2008i64,
+            )),
+        ),
+        ("activity_type = 'Ki'", Predicate::eq("activity_type", "Ki")),
+    ];
+
+    let mut out = ExperimentTable::new(
+        "E15",
+        format!("filtered-aggregate kernel throughput, {rows} rows, best of {reps}"),
+        vec![
+            "predicate",
+            "rows",
+            "selected",
+            "kernel wall",
+            "row-scan wall",
+            "ratio vs row-scan",
+        ],
+    );
+
+    let mut worst_speedup = f64::INFINITY;
+    for (label, pred) in &predicates {
+        let bound = pred.bind(&schema).expect("columns exist");
+
+        let (kernel_wall, (kernel_count, kernel_sum)) = best_of(reps, || {
+            let selection = table_cols.eval(&bound, 0..rows);
+            (
+                kernel::count(&selection),
+                kernel::sum_f64(p_col, &selection),
+            )
+        });
+
+        let (scan_wall, (scan_count, scan_sum)) = best_of(reps, || {
+            let mut n = 0usize;
+            let mut sum = 0.0f64;
+            for row in &table_rows {
+                if bound.matches(row) {
+                    n += 1;
+                    if let Value::Float(p) = row[5] {
+                        sum += p;
+                    }
+                }
+            }
+            (n, sum)
+        });
+
+        // Equivalence is part of the measurement: identical visit order
+        // makes even the float sums bitwise equal.
+        assert_eq!(kernel_count, scan_count, "{label}: selection diverged");
+        assert_eq!(
+            kernel_sum.to_bits(),
+            scan_sum.to_bits(),
+            "{label}: kernel sum {kernel_sum} != scan sum {scan_sum}"
+        );
+
+        let speedup = scan_wall.as_secs_f64() / kernel_wall.as_secs_f64().max(1e-12);
+        worst_speedup = worst_speedup.min(speedup);
+        out.row(vec![
+            (*label).to_string(),
+            rows.to_string(),
+            kernel_count.to_string(),
+            format!("{:.3}ms", kernel_wall.as_secs_f64() * 1e3),
+            format!("{:.3}ms", scan_wall.as_secs_f64() * 1e3),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+
+    out.note(format!(
+        "worst-case kernel speedup {worst_speedup:.1}x (target: >= 10x full, \
+         >= {QUICK_MIN_SPEEDUP:.0}x quick); sums bitwise-equal across paths"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CI smoke: the kernels must beat the row scan by the quick floor
+    /// on every predicate shape (equivalence asserts live inside
+    /// `run`). The speedup floor only holds for optimized builds —
+    /// unoptimized bitmap words are slower than the interpreter-ish
+    /// row scan — so it is release-gated; CI runs this test under
+    /// `--release` in the E15 smoke step. The full-mode 10x target is
+    /// checked offline via `experiments e15`.
+    #[test]
+    fn kernels_beat_row_scan() {
+        let t = run(RunConfig { quick: true });
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let speedup: f64 = row[5].trim_end_matches('x').parse().expect("parses");
+            #[cfg(not(debug_assertions))]
+            assert!(
+                speedup >= QUICK_MIN_SPEEDUP,
+                "{}: kernel speedup {speedup:.1}x under the {QUICK_MIN_SPEEDUP}x floor",
+                row[0]
+            );
+            #[cfg(debug_assertions)]
+            assert!(speedup > 0.0, "{}: speedup not positive: {row:?}", row[0]);
+        }
+    }
+}

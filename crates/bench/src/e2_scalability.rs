@@ -2,37 +2,81 @@
 //!
 //! Paper-shape expectation: naive latency grows roughly linearly in
 //! the number of leaves (one round-trip per leaf), while the optimized
-//! path stays near-flat until result size dominates transfer.
+//! path stays near-flat until result size dominates transfer. The
+//! third series is the columnar local-compute path (design decision
+//! D12): with the activity mirror built, interval scopes never leave
+//! the process, so latency is pure kernel time — it must stay
+//! sub-millisecond even at a million leaves, which is why the size
+//! sweep extends far past the point where per-leaf round-trips are
+//! even simulable.
+//!
+//! Federated series stop at [`MAX_FEDERATED_LEAVES`] (simulating one
+//! round-trip per leaf across millions of leaves is wall-clock
+//! prohibitive and adds nothing to the curve); the local-compute
+//! series continues to 1,048,576 leaves with ~1 activity record per
+//! leaf. Cells that a series does not cover hold `-`.
 
 use crate::table::ExperimentTable;
 use crate::{fmt_ms, mean, RunConfig};
 use drugtree::prelude::*;
+use drugtree_workload::assays::AssaySpec;
 use drugtree_workload::queries::{class_stream, QueryClass, QueryWorkloadConfig};
 use std::time::Duration;
+
+/// Largest tree the naive/optimized federated series run at; beyond
+/// this only the local-compute series is measured.
+pub const MAX_FEDERATED_LEAVES: usize = 4096;
+
+/// The full-mode local-compute sweep must stay under this mean at its
+/// largest size — the paper's "sub-millisecond local compute" claim.
+pub const LOCAL_COMPUTE_CEILING: Duration = Duration::from_millis(1);
+
+/// Spec for one E2 size point: past [`MAX_FEDERATED_LEAVES`] the
+/// ligand count is capped (assay generation is O(ligands × leaves))
+/// and the off-target rate tuned so the record count stays ~1/leaf.
+fn spec_for(leaves: usize, seed: u64) -> WorkloadSpec {
+    let ligands = (leaves / 8).clamp(8, 64);
+    let mut spec = WorkloadSpec::default()
+        .leaves(leaves)
+        .ligands(ligands)
+        .seed(seed);
+    if leaves > MAX_FEDERATED_LEAVES {
+        // ~1 record/leaf in expectation: ligands × (1 - empty) × rate.
+        spec.assay = AssaySpec {
+            hit_density: 0.9,
+            off_target_rate: 1.0 / (ligands as f64 * 0.75),
+            empty_leaf_fraction: 0.25,
+            seed: 11,
+        };
+    }
+    spec
+}
 
 /// Run E2.
 pub fn run(config: RunConfig) -> ExperimentTable {
     let sizes: Vec<usize> = if config.quick {
         vec![32, 64, 128]
     } else {
-        vec![64, 128, 256, 512, 1024, 2048, 4096]
+        vec![64, 256, 1024, 4096, 65_536, 262_144, 1_048_576]
     };
     let per_size = if config.quick { 6 } else { 25 };
 
     let mut table = ExperimentTable::new(
         "E2 (Fig 1)",
-        "subtree-listing latency vs tree size (series: naive, optimized)",
-        vec!["leaves", "naive mean", "optimized mean", "ratio"],
+        "subtree-listing latency vs tree size (series: naive, optimized, local compute)",
+        vec![
+            "leaves",
+            "naive mean",
+            "optimized mean",
+            "local compute mean",
+            "naive/opt ratio",
+        ],
     );
 
     let mut naive_series: Vec<(usize, Duration)> = Vec::new();
+    let mut local_series: Vec<(usize, Duration, usize)> = Vec::new();
     for &leaves in &sizes {
-        let bundle = SyntheticBundle::generate(
-            &WorkloadSpec::default()
-                .leaves(leaves)
-                .ligands((leaves / 8).max(8))
-                .seed(202),
-        );
+        let bundle = SyntheticBundle::generate(&spec_for(leaves, 202));
         let queries = class_stream(
             QueryClass::SubtreeListing,
             &bundle.tree,
@@ -44,29 +88,40 @@ pub fn run(config: RunConfig) -> ExperimentTable {
                 scope_theta: 0.5,
             },
         );
-        let measure = |cfg: OptimizerConfig| {
-            let system = DrugTree::builder()
+        let measure = |cfg: OptimizerConfig, columnar: bool| {
+            let mut builder = DrugTree::builder()
                 .dataset(bundle.build_dataset())
-                .optimizer(cfg)
-                .build()
-                .expect("system builds");
+                .optimizer(cfg);
+            if columnar {
+                builder = builder.with_columnar();
+            }
+            let system = builder.build().expect("system builds");
             let latencies: Vec<Duration> = queries
                 .iter()
                 .map(|q| system.execute(q).expect("executes").metrics.virtual_cost)
                 .collect();
             mean(&latencies)
         };
-        let naive = measure(OptimizerConfig::naive());
-        let optimized = measure(OptimizerConfig::full());
-        naive_series.push((leaves, naive));
+        let federated = leaves <= MAX_FEDERATED_LEAVES;
+        let naive = federated.then(|| measure(OptimizerConfig::naive(), false));
+        let optimized = federated.then(|| measure(OptimizerConfig::full(), false));
+        let local = measure(OptimizerConfig::full(), true);
+        if let Some(n) = naive {
+            naive_series.push((leaves, n));
+        }
+        local_series.push((leaves, local, bundle.activities.len()));
+        let dash = || "-".to_string();
         table.row(vec![
             leaves.to_string(),
-            fmt_ms(naive),
-            fmt_ms(optimized),
-            format!(
-                "{:.1}x",
-                naive.as_secs_f64() / optimized.as_secs_f64().max(1e-9)
-            ),
+            naive.map_or_else(dash, fmt_ms),
+            optimized.map_or_else(dash, fmt_ms),
+            fmt_ms(local),
+            match (naive, optimized) {
+                (Some(n), Some(o)) => {
+                    format!("{:.1}x", n.as_secs_f64() / o.as_secs_f64().max(1e-9))
+                }
+                _ => dash(),
+            },
         ]);
     }
 
@@ -76,6 +131,18 @@ pub fn run(config: RunConfig) -> ExperimentTable {
         let size_growth = last.0 as f64 / first.0 as f64;
         table.note(format!(
             "naive latency grew {growth:.1}x over a {size_growth:.0}x size increase"
+        ));
+    }
+    if let Some((leaves, local, records)) = local_series.last() {
+        table.note(format!(
+            "local compute at {leaves} leaves ({records} activity records): \
+             {:.3}ms mean — {} the 1ms ceiling",
+            local.as_secs_f64() * 1e3,
+            if *local < LOCAL_COMPUTE_CEILING {
+                "under"
+            } else {
+                "OVER"
+            },
         ));
     }
     table
@@ -92,7 +159,7 @@ mod tests {
         let ratios: Vec<f64> = t
             .rows
             .iter()
-            .map(|r| r[3].trim_end_matches('x').parse().expect("parses"))
+            .map(|r| r[4].trim_end_matches('x').parse().expect("parses"))
             .collect();
         // The advantage widens (or at least holds) as the tree grows.
         assert!(
@@ -100,5 +167,21 @@ mod tests {
             "ratios {ratios:?}"
         );
         assert!(ratios.iter().all(|&r| r > 1.0));
+    }
+
+    #[test]
+    fn local_compute_stays_sub_millisecond() {
+        let t = run(RunConfig { quick: true });
+        for row in &t.rows {
+            let local: f64 = row[3].trim_end_matches("ms").parse().expect("parses");
+            assert!(
+                local < 1.0,
+                "local compute {local}ms at {} leaves breaks the sub-ms budget",
+                row[0]
+            );
+            // Local compute must also beat the federated optimized path.
+            let optimized: f64 = row[2].trim_end_matches("ms").parse().expect("parses");
+            assert!(local < optimized, "row {row:?}");
+        }
     }
 }

@@ -50,6 +50,7 @@ pub struct DrugTreeBuilder {
     distance_model: DistanceModel,
     collect_stats: bool,
     build_matview: bool,
+    build_columnar: bool,
     midpoint_rooting: bool,
     observer: Option<Arc<dyn Observer>>,
 }
@@ -72,6 +73,7 @@ impl DrugTreeBuilder {
             distance_model: DistanceModel::Poisson,
             collect_stats: true,
             build_matview: false,
+            build_columnar: false,
             midpoint_rooting: false,
             observer: None,
         }
@@ -138,6 +140,15 @@ impl DrugTreeBuilder {
         self
     }
 
+    /// Also build the columnar activity mirror at startup: interval
+    /// scopes are then answered by local vectorized kernels over
+    /// rank-sorted typed segments instead of source round-trips
+    /// (design decision D12).
+    pub fn with_columnar(mut self) -> Self {
+        self.build_columnar = true;
+        self
+    }
+
     /// Midpoint-root the constructed tree (from-sources path with
     /// neighbor joining, whose root placement is otherwise arbitrary).
     pub fn with_midpoint_rooting(mut self) -> Self {
@@ -175,6 +186,9 @@ impl DrugTreeBuilder {
         }
         if self.build_matview {
             executor.build_matview(&dataset)?;
+        }
+        if self.build_columnar {
+            executor.build_columnar(&dataset)?;
         }
         Ok(DrugTree::from_parts(dataset, executor))
     }
@@ -465,5 +479,21 @@ mod tests {
             .unwrap();
         let r = system.query("aggregate count in tree").unwrap();
         assert_eq!(r.metrics.source_requests, 0);
+    }
+
+    #[test]
+    fn with_columnar_serves_scans_locally() {
+        let (p, l, a) = sources();
+        let system = DrugTree::builder()
+            .register_source(p)
+            .register_source(l)
+            .register_source(a)
+            .with_columnar()
+            .build()
+            .unwrap();
+        assert!(system.executor().columnar().is_some());
+        let r = system.query("activities in tree").unwrap();
+        assert_eq!(r.metrics.source_requests, 0, "mirror answers locally");
+        assert!(!r.rows.is_empty());
     }
 }

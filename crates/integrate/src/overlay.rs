@@ -415,7 +415,7 @@ mod tests {
         let in_clade_a = Predicate::between("leaf_rank", 0i64, 1i64)
             .bind(t.schema())
             .unwrap();
-        assert_eq!(t.select(&in_clade_a).len(), 2);
+        assert_eq!(t.select(&in_clade_a).count(), 2);
         // Fingerprints cached.
         assert!(overlay.fingerprint("L1").is_some());
         assert!(overlay.fingerprint("L9").is_none());

@@ -8,6 +8,7 @@
 
 use crate::ast::{Metric, Query};
 use crate::cache::{CacheConfig, CacheStats};
+use crate::columnar::ActivityColumns;
 use crate::cost::{CalibrationReport, CostModel};
 use crate::dataset::{unified_schema, unify_assay_row, Dataset};
 use crate::matview::MaterializedAggregates;
@@ -20,12 +21,15 @@ use crate::{QueryError, Result};
 use drugtree_chem::similarity::tanimoto;
 use drugtree_integrate::overlay::tables;
 use drugtree_phylo::index::LeafInterval;
+use drugtree_phylo::tree::NodeId;
 pub use drugtree_sources::batcher::RetryPolicy;
 use drugtree_sources::batcher::{
     batched_lookup_with_retry, singleton_lookups_with_retry, Dispatch,
 };
 use drugtree_sources::clock::VirtualInstant;
-use drugtree_store::expr::Predicate;
+use drugtree_store::bitmap::Bitmap;
+use drugtree_store::expr::{BoundPredicate, Predicate};
+use drugtree_store::kernel;
 use drugtree_store::value::Value;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
@@ -102,6 +106,7 @@ pub struct Executor {
     cache_config: CacheConfig,
     stats: Option<OverlayStats>,
     matview: Option<MaterializedAggregates>,
+    columnar: Option<ActivityColumns>,
     retry: RetryPolicy,
     coordinator: Option<Arc<FetchCoordinator>>,
     /// Calibrated cost model: prices plan alternatives in cost-based
@@ -134,6 +139,7 @@ impl Executor {
             cache_config: cache,
             stats: None,
             matview: None,
+            columnar: None,
             retry: RetryPolicy::default(),
             coordinator: None,
             cost: Arc::new(CostModel::new()),
@@ -177,10 +183,11 @@ impl Executor {
     /// executing it (the mobile prefetch budgeter prices candidate
     /// subtrees this way).
     pub fn estimate(&self, dataset: &Dataset, query: &Query) -> Result<PlanEstimate> {
-        let plan = self.optimizer.plan_with(
+        let plan = self.optimizer.plan_full(
             dataset,
             self.stats.as_ref(),
             self.matview.as_ref(),
+            self.columnar.as_ref(),
             Some(&self.cost),
             query,
         )?;
@@ -245,6 +252,23 @@ impl Executor {
         Ok(cost)
     }
 
+    /// Build (or rebuild) the columnar activity mirror. Charges the
+    /// build scan to the dataset clock. With a fresh mirror and the
+    /// `columnar_scan` rule enabled, interval scopes execute as local
+    /// vectorized kernel scans instead of source fetches.
+    pub fn build_columnar(&mut self, dataset: &Dataset) -> Result<Duration> {
+        let mirror = ActivityColumns::build(dataset)?;
+        let cost = mirror.build_cost;
+        dataset.clock.advance(cost);
+        self.columnar = Some(mirror);
+        Ok(cost)
+    }
+
+    /// The columnar activity mirror, if built.
+    pub fn columnar(&self) -> Option<&ActivityColumns> {
+        self.columnar.as_ref()
+    }
+
     /// Drop all cached results (call after a source refresh).
     pub fn invalidate(&self) {
         self.cache.invalidate_all();
@@ -274,10 +298,11 @@ impl Executor {
 
     /// EXPLAIN a query without executing it.
     pub fn explain(&self, dataset: &Dataset, query: &Query) -> Result<String> {
-        let plan = self.optimizer.plan_with(
+        let plan = self.optimizer.plan_full(
             dataset,
             self.stats.as_ref(),
             self.matview.as_ref(),
+            self.columnar.as_ref(),
             Some(&self.cost),
             query,
         )?;
@@ -341,10 +366,11 @@ impl Executor {
         query: &Query,
         mut sink: Option<&mut TraceBuilder>,
     ) -> Result<QueryResult> {
-        let plan = self.optimizer.plan_with(
+        let plan = self.optimizer.plan_full(
             dataset,
             self.stats.as_ref(),
             self.matview.as_ref(),
+            self.columnar.as_ref(),
             Some(&self.cost),
             query,
         )?;
@@ -370,10 +396,50 @@ impl Executor {
             notes: plan.notes.clone(),
         };
 
+        // Columnar aggregate fast path: a pure whole-row aggregate over
+        // the mirror needs no row materialization at all — the
+        // sum/count/max kernels fold each child's selected range
+        // directly from the column buffers.
+        if let Access::ColumnarScan { pushdown } = &plan.access {
+            if let Finish::AggregateChildren { children, metric } = &plan.finish {
+                if !matches!(metric, Metric::DistinctLigands)
+                    && plan.residual == Predicate::True
+                    && plan.similarity.is_none()
+                    && plan.substructure.is_none()
+                    && !plan.ligand_join
+                {
+                    return self.columnar_aggregate(
+                        dataset,
+                        &plan,
+                        pushdown.as_ref(),
+                        children,
+                        *metric,
+                        m,
+                        sink,
+                    );
+                }
+            }
+        }
+
         // 1. Obtain activity-half rows.
         let activity_rows: Vec<Vec<Value>> = match &plan.access {
             Access::ProvedEmpty => Vec::new(),
             Access::MaterializedView => Vec::new(), // finish reads the view directly
+            Access::ColumnarScan { pushdown } => {
+                let (_, selection) = self.columnar_select(
+                    dataset,
+                    &plan,
+                    pushdown.as_ref(),
+                    &mut m,
+                    sink.as_deref_mut(),
+                    "columnar-scan",
+                )?;
+                let cols = self.columnar_mirror()?;
+                selection
+                    .iter_ones()
+                    .map(|i| cols.table().get_row(i))
+                    .collect()
+            }
             Access::Fetch {
                 fetches,
                 concurrent_sources,
@@ -494,6 +560,132 @@ impl Executor {
             tb.push(span);
         }
 
+        m.finished = dataset.clock.now();
+        m.virtual_cost = m.finished.since(m.started);
+        Ok(QueryResult {
+            columns,
+            rows: out_rows,
+            metrics: m,
+        })
+    }
+
+    /// The built mirror, or a plan error — a `ColumnarScan` access can
+    /// only be planned when the executor carries one.
+    fn columnar_mirror(&self) -> Result<&ActivityColumns> {
+        self.columnar
+            .as_ref()
+            .ok_or_else(|| QueryError::Plan("columnar plan without a built mirror".into()))
+    }
+
+    /// Run the interval range-slice plus filter kernels over the
+    /// mirror: binary-search the plan interval to a contiguous row
+    /// range, evaluate the pushdown as bitmap kernels over it, charge
+    /// the modeled compute cost, and emit a [`Stage::Compute`] span.
+    fn columnar_select(
+        &self,
+        dataset: &Dataset,
+        plan: &PhysicalPlan,
+        pushdown: Option<&Predicate>,
+        m: &mut ExecMetrics,
+        sink: Option<&mut TraceBuilder>,
+        detail: &str,
+    ) -> Result<(usize, Bitmap)> {
+        let cols = self.columnar_mirror()?;
+        let started = dataset.clock.now();
+        let range = cols.rows_in(plan.interval)?;
+        let scanned = range.len();
+        let selection = match pushdown {
+            Some(p) => cols
+                .table()
+                .eval(&p.bind(cols.table().schema())?, range.clone()),
+            None => cols.table().eval(&BoundPredicate::True, range.clone()),
+        };
+        let cost = crate::cost::columnar_scan_cost(scanned as u64);
+        dataset.clock.advance(cost);
+        m.charged_cost += cost;
+        if let Some(tb) = sink {
+            let mut span = QuerySpan::new(Stage::Compute, detail, started);
+            span.ended = dataset.clock.now();
+            span.actual = cost;
+            span.rows = Some(selection.count_ones() as u64);
+            span.attrs = vec![
+                ("rows_scanned", scanned as u64),
+                ("rows_selected", selection.count_ones() as u64),
+            ];
+            tb.push(span);
+        }
+        Ok((scanned, selection))
+    }
+
+    /// Aggregate-kernel fast path: fold each child interval's selected
+    /// range with the sum/count/max kernels, byte-identical to
+    /// materializing the rows and running the generic finish.
+    #[allow(clippy::too_many_arguments)]
+    fn columnar_aggregate(
+        &self,
+        dataset: &Dataset,
+        plan: &PhysicalPlan,
+        pushdown: Option<&Predicate>,
+        children: &[(NodeId, String, LeafInterval)],
+        metric: Metric,
+        mut m: ExecMetrics,
+        mut sink: Option<&mut TraceBuilder>,
+    ) -> Result<QueryResult> {
+        let (_, selection) = self.columnar_select(
+            dataset,
+            plan,
+            pushdown,
+            &mut m,
+            sink.as_deref_mut(),
+            "columnar-aggregate",
+        )?;
+        let cols = self.columnar_mirror()?;
+        let finish_started = dataset.clock.now();
+        // p_activity is column 5 of the activity-half schema.
+        let p_col = cols.table().column(5);
+        let mut out_rows = Vec::with_capacity(children.len());
+        for (_, label, iv) in children {
+            let r = cols.rows_in(*iv)?;
+            let mut mask = Bitmap::new(cols.len());
+            mask.set_range(r.start, r.end);
+            mask.and_assign(&selection);
+            let value = match metric {
+                Metric::Count => Value::Int(kernel::count(&mask) as i64),
+                Metric::MaxPActivity => kernel::max_value(p_col, &mask).unwrap_or(Value::Null),
+                Metric::MeanPActivity => {
+                    let n = kernel::count(&mask);
+                    if n == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(kernel::sum_f64(p_col, &mask) / n as f64)
+                    }
+                }
+                // Gated by the caller; distinct counting needs the rows.
+                Metric::DistinctLigands => {
+                    return Err(QueryError::Plan(
+                        "distinct-ligands has no aggregate kernel".into(),
+                    ))
+                }
+            };
+            out_rows.push(vec![
+                Value::from(label.clone()),
+                Value::from(iv.lo),
+                Value::from(iv.hi),
+                value,
+            ]);
+        }
+        let columns = vec![
+            "clade".to_string(),
+            "leaf_lo".to_string(),
+            "leaf_hi".to_string(),
+            metric.label().to_string(),
+        ];
+        if let Some(tb) = sink {
+            let mut span = QuerySpan::new(Stage::Finish, "aggregate", finish_started);
+            span.ended = dataset.clock.now();
+            span.rows = Some(out_rows.len() as u64);
+            tb.push(span);
+        }
         m.finished = dataset.clock.now();
         m.virtual_cost = m.finished.since(m.started);
         Ok(QueryResult {
@@ -798,8 +990,10 @@ impl Executor {
     }
 }
 
-/// Keep the most recent measurement per (rank, ligand, type).
-fn dedupe_most_recent(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+/// Keep the most recent measurement per (rank, ligand, type). Shared
+/// with the columnar mirror build so both row paths resolve
+/// cross-source conflicts identically.
+pub(crate) fn dedupe_most_recent(rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
     let mut best: FxHashMap<(i64, String, String), Vec<Value>> = FxHashMap::default();
     for row in rows {
         let key = (
@@ -989,6 +1183,81 @@ mod tests {
         assert_eq!(r.rows[0][3], Value::Int(3));
         assert_eq!(r.rows[1][3], Value::Int(1));
         assert!(r.metrics.notes.iter().any(|n| n.contains("matview")));
+    }
+
+    #[test]
+    fn interval_scope_served_by_columnar_mirror() {
+        let d = small_dataset(SourceCapabilities::full());
+        let naive = executor(OptimizerConfig::naive());
+        let mut e = executor(OptimizerConfig::full());
+        e.build_columnar(&d).unwrap();
+        for query in [
+            Query::activities(Scope::Tree),
+            Query::activities(Scope::Subtree("cladeA".into())),
+            Query::activities(Scope::Tree).filter(Predicate::cmp("p_activity", CompareOp::Ge, 6.5)),
+            Query::activities(Scope::Tree).top_k("p_activity", 2, true),
+        ] {
+            let a = naive.execute(&d, &query).unwrap();
+            let b = e.execute(&d, &query).unwrap();
+            assert_eq!(a.columns, b.columns);
+            assert_eq!(a.rows, b.rows, "query {query:?}");
+            assert_eq!(b.metrics.source_requests, 0, "mirror answers locally");
+            assert!(b.metrics.notes.iter().any(|n| n.contains("columnar")));
+        }
+    }
+
+    #[test]
+    fn aggregates_served_by_columnar_kernels() {
+        let d = small_dataset(SourceCapabilities::full());
+        let naive = executor(OptimizerConfig::naive());
+        let mut e = executor(OptimizerConfig::full());
+        e.build_columnar(&d).unwrap();
+        for metric in [Metric::Count, Metric::MeanPActivity, Metric::MaxPActivity] {
+            let q = Query::activities(Scope::Tree).aggregate(metric);
+            let a = naive.execute(&d, &q).unwrap();
+            let b = e.execute(&d, &q).unwrap();
+            assert_eq!(a.columns, b.columns);
+            assert_eq!(a.rows, b.rows, "metric {metric:?}");
+            assert_eq!(b.metrics.source_requests, 0);
+        }
+        // DistinctLigands needs the rows; the kernel fast path must
+        // decline it, not answer it wrong.
+        let q = Query::activities(Scope::Tree).aggregate(Metric::DistinctLigands);
+        let a = naive.execute(&d, &q).unwrap();
+        let b = e.execute(&d, &q).unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn columnar_trace_carries_compute_span() {
+        let d = small_dataset(SourceCapabilities::full());
+        let mut e = executor(OptimizerConfig::full());
+        e.build_columnar(&d).unwrap();
+        let q =
+            Query::activities(Scope::Tree).filter(Predicate::cmp("p_activity", CompareOp::Ge, 6.5));
+        let analyzed = e.analyze(&d, &q).unwrap();
+        assert!(
+            analyzed.trace.stage_total(crate::trace::Stage::Compute) > Duration::ZERO,
+            "columnar execution must attribute cost to the compute stage"
+        );
+        assert_eq!(
+            analyzed.trace.stage_total(crate::trace::Stage::Fetch),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn matview_still_preferred_over_columnar_for_aggregates() {
+        let d = small_dataset(SourceCapabilities::full());
+        let mut e = executor(OptimizerConfig::full());
+        e.build_matview(&d).unwrap();
+        e.build_columnar(&d).unwrap();
+        let q = Query::activities(Scope::Tree).aggregate(Metric::Count);
+        let r = e.execute(&d, &q).unwrap();
+        // The view is precomputed (zero per-row work at query time), so
+        // it outranks even the kernel path when both are fresh.
+        assert!(r.metrics.notes.iter().any(|n| n.contains("matview")));
+        assert_eq!(r.rows[0][3], Value::Int(3));
     }
 
     #[test]

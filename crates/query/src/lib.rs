@@ -26,6 +26,9 @@
 //!   (design decision D8).
 //! * [`cache`] — the semantic result cache (design decision D2).
 //! * [`exec`] — the executor and its metrics.
+//! * [`columnar`] — the columnar activity mirror: rank-sorted typed
+//!   segments answering interval scopes with vectorized kernels
+//!   instead of source round-trips (design decision D12).
 //! * [`matview`] — materialized per-subtree aggregate views.
 //! * [`serve`] — the concurrent serving layer: N-way sharded semantic
 //!   cache plus re-exports of the cross-session fetch coordinator.
@@ -40,6 +43,7 @@
 
 pub mod ast;
 pub mod cache;
+pub mod columnar;
 pub mod cost;
 pub mod dataset;
 pub mod error;
@@ -55,6 +59,7 @@ pub mod trace;
 pub mod validate;
 
 pub use ast::{Query, QueryKind, Scope};
+pub use columnar::ActivityColumns;
 pub use cost::{CalibrationReport, CostModel, CostParams};
 pub use dataset::Dataset;
 pub use error::QueryError;

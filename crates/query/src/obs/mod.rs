@@ -72,6 +72,9 @@ pub fn plan_shape(plan: &PhysicalPlan) -> String {
                 join_fetches(fetches)
             );
         }
+        Access::ColumnarScan { pushdown } => {
+            let _ = write!(s, "columnar-scan(pushdown={})", pred_shape_opt(pushdown));
+        }
         Access::MaterializedView => s.push_str("matview"),
         Access::ProvedEmpty => s.push_str("proved-empty"),
     }

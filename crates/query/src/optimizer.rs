@@ -36,6 +36,7 @@
 //! recorded on the plan for EXPLAIN and validation.
 
 use crate::ast::{columns, Query, QueryKind, SimilaritySpec};
+use crate::columnar::ActivityColumns;
 use crate::cost::CostModel;
 use crate::dataset::{unified_schema, Dataset};
 use crate::matview::MaterializedAggregates;
@@ -74,6 +75,10 @@ pub struct OptimizerConfig {
     /// Serve each declared replica group from its cheapest member
     /// instead of fetching every copy.
     pub replica_selection: bool,
+    /// Answer interval scopes from the local columnar activity mirror
+    /// (when one is built and fresh) with vectorized kernels instead
+    /// of fetching from sources.
+    pub columnar_scan: bool,
     /// Run the plan-invariant validator on every plan the executor
     /// receives (debug builds always validate inside the optimizer;
     /// this flag extends the check to release builds so benches can
@@ -99,6 +104,7 @@ impl OptimizerConfig {
             selectivity_ordering: true,
             use_matview: true,
             replica_selection: true,
+            columnar_scan: true,
             validate: true,
             cost_based: false,
         }
@@ -124,6 +130,7 @@ impl OptimizerConfig {
             selectivity_ordering: false,
             use_matview: false,
             replica_selection: false,
+            columnar_scan: false,
             validate: false,
             cost_based: false,
         }
@@ -143,6 +150,7 @@ impl OptimizerConfig {
             "selectivity_ordering" => c.selectivity_ordering = false,
             "use_matview" => c.use_matview = false,
             "replica_selection" => c.replica_selection = false,
+            "columnar_scan" => c.columnar_scan = false,
             other => return Err(QueryError::UnknownRule(other.to_string())),
         }
         Ok(c)
@@ -158,6 +166,7 @@ impl OptimizerConfig {
         "selectivity_ordering",
         "use_matview",
         "replica_selection",
+        "columnar_scan",
     ];
 }
 
@@ -193,12 +202,28 @@ impl Optimizer {
 
     /// Plan a query, pricing cost-based alternatives with `cost` (the
     /// prior-only default model when absent). Fixed-order planning
-    /// ignores `cost` entirely.
+    /// ignores `cost` entirely. Plans without a columnar mirror; the
+    /// executor carries one via [`Optimizer::plan_full`].
     pub fn plan_with(
         &self,
         dataset: &Dataset,
         stats: Option<&OverlayStats>,
         matview: Option<&MaterializedAggregates>,
+        cost: Option<&CostModel>,
+        query: &Query,
+    ) -> Result<PhysicalPlan> {
+        self.plan_full(dataset, stats, matview, None, cost, query)
+    }
+
+    /// Plan with every auxiliary structure the executor can carry: the
+    /// materialized aggregate view, the columnar activity mirror, and
+    /// the calibrated cost model.
+    pub fn plan_full(
+        &self,
+        dataset: &Dataset,
+        stats: Option<&OverlayStats>,
+        matview: Option<&MaterializedAggregates>,
+        columnar: Option<&ActivityColumns>,
         cost: Option<&CostModel>,
         query: &Query,
     ) -> Result<PhysicalPlan> {
@@ -462,6 +487,12 @@ impl Optimizer {
             && similarity.is_none()
             && substructure.is_none();
 
+        // Columnar-scan eligibility: the mirror replays the fetch
+        // path's row pipeline at build time, so any interval scope can
+        // be served locally as long as no source has drifted since.
+        let columnar_ready =
+            self.config.columnar_scan && columnar.is_some_and(|c| c.is_fresh(dataset));
+
         // The cache key must capture every row-reducing effect of
         // this plan's fetch: the source pushdown AND any
         // statistics-pruning potency bound (pruned leaves' weak
@@ -505,6 +536,12 @@ impl Optimizer {
             if self.config.use_matview && matview_eligible {
                 alternatives.push(("matview", 0.0));
             }
+            if columnar_ready {
+                alternatives.push((
+                    "columnar-scan",
+                    crate::cost::columnar_scan_secs(expected_rows),
+                ));
+            }
             alternatives.push(("batched-fetch", price_variant(true)));
             alternatives.push(("per-key-fetch", price_variant(false)));
             let best = alternatives
@@ -535,6 +572,14 @@ impl Optimizer {
             if chosen_label == "matview" {
                 notes.push("matview: aggregate served from materialized view".into());
                 Access::MaterializedView
+            } else if chosen_label == "columnar-scan" {
+                notes.push(format!(
+                    "columnar-scan: interval [{}, {}) served by vectorized kernels",
+                    interval.lo, interval.hi
+                ));
+                Access::ColumnarScan {
+                    pushdown: pushdown.clone(),
+                }
             } else {
                 let batched = chosen_label == "batched-fetch";
                 let fetches: Vec<FetchPlan> = chosen_sources
@@ -589,6 +634,14 @@ impl Optimizer {
         } else if self.config.use_matview && matview_eligible {
             notes.push("matview: aggregate served from materialized view".into());
             Access::MaterializedView
+        } else if columnar_ready {
+            notes.push(format!(
+                "columnar-scan: interval [{}, {}) served by vectorized kernels",
+                interval.lo, interval.hi
+            ));
+            Access::ColumnarScan {
+                pushdown: pushdown.clone(),
+            }
         } else if self.config.semantic_cache {
             Access::CacheProbe {
                 pushdown: cache_key(),
@@ -605,8 +658,12 @@ impl Optimizer {
 
         // Cost estimate (for EXPLAIN and plan-choice validation):
         // combine the per-fetch estimates the same way the executor
-        // combines charged latency.
-        let estimated_cost = combine_access_cost(&access);
+        // combines charged latency; a columnar scan's estimate is the
+        // modeled local-compute term.
+        let estimated_cost = match &access {
+            Access::ColumnarScan { .. } => crate::cost::columnar_scan_cost(expected_rows),
+            _ => combine_access_cost(&access),
+        };
         let estimated_rows = match &access {
             Access::MaterializedView | Access::ProvedEmpty => 0,
             _ => expected_rows,
@@ -925,7 +982,11 @@ fn combine_access_cost(access: &Access) -> Duration {
             concurrent_sources,
             ..
         } => (on_miss, *concurrent_sources),
-        Access::MaterializedView | Access::ProvedEmpty => return Duration::ZERO,
+        // Columnar scans price via the compute model, not fetch
+        // estimates; the caller special-cases them before combining.
+        Access::ColumnarScan { .. } | Access::MaterializedView | Access::ProvedEmpty => {
+            return Duration::ZERO
+        }
     };
     if concurrent_sources {
         fetches

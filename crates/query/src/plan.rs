@@ -73,6 +73,15 @@ pub enum Access {
         /// Whether per-source results may be combined concurrently.
         concurrent_sources: bool,
     },
+    /// Served locally from the columnar activity mirror: the interval
+    /// rewrite becomes a binary-searched row range over rank-sorted
+    /// column buffers, and predicate leaves run as vectorized
+    /// bitmap-producing kernels. No source round-trip.
+    ColumnarScan {
+        /// Predicate the filter kernels evaluate over the range (the
+        /// residual still re-applies the full query predicate).
+        pushdown: Option<Predicate>,
+    },
     /// Answered entirely by a materialized aggregate view.
     MaterializedView,
     /// Proven empty by statistics; no access at all.
@@ -194,6 +203,13 @@ impl PhysicalPlan {
                 for f in fetches {
                     let _ = writeln!(out, "    {}", fmt_fetch(f));
                 }
+            }
+            Access::ColumnarScan { pushdown } => {
+                let _ = writeln!(
+                    out,
+                    "  ColumnarScan kernels=range-slice+filter pushdown={}",
+                    fmt_pred_opt(pushdown)
+                );
             }
             Access::MaterializedView => {
                 let _ = writeln!(out, "  MaterializedView");

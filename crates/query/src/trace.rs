@@ -50,6 +50,9 @@ pub enum Stage {
     /// A fetch routed through the cross-session coordinator
     /// (single-flight / shared batches).
     Coalesce,
+    /// Local vectorized compute: columnar kernel evaluation over the
+    /// activity mirror (no source round-trip at all).
+    Compute,
     /// Client-side overlay work: widen, residual, similarity,
     /// substructure.
     Overlay,
@@ -59,13 +62,14 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Query,
         Stage::Parse,
         Stage::Plan,
         Stage::CacheProbe,
         Stage::Fetch,
         Stage::Coalesce,
+        Stage::Compute,
         Stage::Overlay,
         Stage::Finish,
     ];
@@ -79,6 +83,7 @@ impl Stage {
             Stage::CacheProbe => "cache-probe",
             Stage::Fetch => "fetch",
             Stage::Coalesce => "coalesce",
+            Stage::Compute => "compute",
             Stage::Overlay => "overlay",
             Stage::Finish => "finish",
         }
@@ -92,8 +97,9 @@ impl Stage {
             Stage::CacheProbe => 3,
             Stage::Fetch => 4,
             Stage::Coalesce => 5,
-            Stage::Overlay => 6,
-            Stage::Finish => 7,
+            Stage::Compute => 6,
+            Stage::Overlay => 7,
+            Stage::Finish => 8,
         }
     }
 }

@@ -29,6 +29,9 @@
 //!   under the wrong key.
 //! * **matview-purity** — the materialized view only answers pure
 //!   aggregates: no residual predicate, no similarity, no substructure.
+//! * **columnar-kernel-columns** — a columnar scan's pushdown
+//!   references only columns of the activity-half mirror schema, so
+//!   every predicate leaf has a vectorized kernel to run on.
 //! * **finish-shape** — the finish operator addresses real columns of
 //!   the unified schema and in-bounds child intervals.
 //! * **cost-choice-minimal** — within every candidate group the
@@ -95,6 +98,8 @@ pub const RULE_PRUNING: &str = "pruning-consistency";
 pub const RULE_CACHE_KEY: &str = "cache-key-consistency";
 /// Rule name: materialized view only answers pure aggregates.
 pub const RULE_MATVIEW: &str = "matview-purity";
+/// Rule name: columnar pushdown columns exist in the mirror schema.
+pub const RULE_COLUMNAR: &str = "columnar-kernel-columns";
 /// Rule name: finish operator addresses real columns and intervals.
 pub const RULE_FINISH: &str = "finish-shape";
 /// Rule name: chosen candidate's estimate minimal within its group.
@@ -149,6 +154,7 @@ impl<'a> PlanValidator<'a> {
         self.check_fetches(plan, &mut out);
         self.check_cache_key(plan, &mut out);
         self.check_matview(plan, &mut out);
+        self.check_columnar(plan, &mut out);
         self.check_finish(plan, &mut out);
         self.check_costs(plan, &mut out);
         out
@@ -473,6 +479,30 @@ impl<'a> PlanValidator<'a> {
         }
     }
 
+    /// A columnar scan's pushdown runs as bitmap kernels over the
+    /// activity mirror, so every column it names must exist in the
+    /// activity-half schema (binding would fail at execution time,
+    /// but the validator reports it as a structured violation first).
+    fn check_columnar(&self, plan: &PhysicalPlan, out: &mut Vec<InvariantViolation>) {
+        let Access::ColumnarScan { pushdown } = &plan.access else {
+            return;
+        };
+        let Some(pred) = pushdown else { return };
+        let schema = crate::dataset::activity_half_schema();
+        for col in pred.columns() {
+            if schema.column_index(col).is_err() {
+                out.push(InvariantViolation {
+                    rule: RULE_COLUMNAR,
+                    path: "access.pushdown".into(),
+                    explanation: format!(
+                        "columnar pushdown references `{col}`, which has no column \
+                         (and hence no kernel) in the activity mirror"
+                    ),
+                });
+            }
+        }
+    }
+
     fn check_finish(&self, plan: &PhysicalPlan, out: &mut Vec<InvariantViolation>) {
         match &plan.finish {
             Finish::TopK { column, .. } => {
@@ -522,7 +552,7 @@ fn fetches_of(access: &Access) -> Vec<(String, &FetchPlan)> {
             .enumerate()
             .map(|(i, f)| (format!("access.on_miss[{i}]"), f))
             .collect(),
-        Access::MaterializedView | Access::ProvedEmpty => Vec::new(),
+        Access::ColumnarScan { .. } | Access::MaterializedView | Access::ProvedEmpty => Vec::new(),
     }
 }
 
@@ -803,6 +833,23 @@ mod tests {
         plan.access = Access::MaterializedView;
         plan.residual = Predicate::cmp("year", CompareOp::Ge, 2012i64);
         assert!(rules_of(&PlanValidator::new(&d).check(&plan)).contains(&RULE_MATVIEW));
+    }
+
+    #[test]
+    fn rejects_columnar_pushdown_on_unknown_column() {
+        use drugtree_store::expr::CompareOp;
+        let d = small_dataset(SourceCapabilities::full());
+        let mut plan = planned(&d, OptimizerConfig::full(), &filtered_query());
+        plan.access = Access::ColumnarScan {
+            pushdown: Some(Predicate::cmp("no_such_column", CompareOp::Ge, 1i64)),
+        };
+        assert!(rules_of(&PlanValidator::new(&d).check(&plan)).contains(&RULE_COLUMNAR));
+
+        // A pushdown over real mirror columns passes the rule.
+        plan.access = Access::ColumnarScan {
+            pushdown: Some(Predicate::cmp("p_activity", CompareOp::Ge, 6.5)),
+        };
+        assert!(!rules_of(&PlanValidator::new(&d).check(&plan)).contains(&RULE_COLUMNAR));
     }
 
     #[test]

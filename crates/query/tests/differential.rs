@@ -337,6 +337,7 @@ fn single_rule_configs() -> Vec<(String, OptimizerConfig)> {
                 "selectivity_ordering" => c.selectivity_ordering = true,
                 "use_matview" => c.use_matview = true,
                 "replica_selection" => c.replica_selection = true,
+                "columnar_scan" => c.columnar_scan = true,
                 other => panic!("unknown rule {other:?}"),
             }
             (format!("only-{rule}"), c)
@@ -370,6 +371,7 @@ fn optimizer_rules_preserve_query_semantics() {
         let mut exec = Executor::new(Optimizer::new(config));
         exec.collect_stats(&dataset).expect("stats");
         exec.build_matview(&dataset).expect("matview");
+        exec.build_columnar(&dataset).expect("columnar");
         candidates.push((name, exec));
     }
 
@@ -458,6 +460,10 @@ fn concurrent_shared_executor_matches_naive_baseline() {
     let mut exec = Executor::new(Optimizer::new(config));
     exec.collect_stats(&dataset).expect("stats");
     exec.build_matview(&dataset).expect("matview");
+    // No columnar mirror here on purpose: a fresh mirror answers every
+    // interval scope locally, and this test's subject is the shared
+    // *fetch* path (coalescing, single-flight, sharded cache) under
+    // concurrency — the columnar path is differentially tested above.
     exec.enable_serving(drugtree_query::ServeConfig::default());
     let exec = Arc::new(exec);
 

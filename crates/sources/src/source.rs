@@ -272,29 +272,6 @@ impl DataSource for SimulatedSource {
             }
         }
 
-        let (candidate_ids, rows_scanned) = match &request.keys {
-            Some(keys) => {
-                if keys.len() > self.capabilities.max_batch {
-                    return Err(SourceError::BatchTooLarge {
-                        source: self.name.clone(),
-                        max: self.capabilities.max_batch,
-                        got: keys.len(),
-                    });
-                }
-                let mut ids = Vec::new();
-                for key in keys {
-                    ids.extend(table.lookup_eq(&self.key_column, key)?);
-                }
-                let scanned = ids.len().max(keys.len());
-                (ids, scanned)
-            }
-            None => {
-                let all: Vec<_> = table.scan().map(|(id, _)| id).collect();
-                let scanned = all.len();
-                (all, scanned)
-            }
-        };
-
         let bound = match &request.predicate {
             Some(p) => Some(p.bind(&schema)?),
             None => None,
@@ -313,18 +290,47 @@ impl DataSource for SimulatedSource {
             None => schema.columns().iter().map(|c| c.name.clone()).collect(),
         };
 
+        let project = |row: &[Value]| match &projection_idx {
+            Some(idx) => idx.iter().map(|&i| row[i].clone()).collect(),
+            None => row.to_vec(),
+        };
+
         let mut rows = Vec::new();
-        for id in candidate_ids {
-            let row = table.get(id)?;
-            if bound.as_ref().is_some_and(|p| !p.matches(row)) {
-                continue;
+        let rows_scanned = match &request.keys {
+            Some(keys) => {
+                if keys.len() > self.capabilities.max_batch {
+                    return Err(SourceError::BatchTooLarge {
+                        source: self.name.clone(),
+                        max: self.capabilities.max_batch,
+                        got: keys.len(),
+                    });
+                }
+                let mut matched = 0usize;
+                for key in keys {
+                    for id in table.lookup_eq(&self.key_column, key)? {
+                        matched += 1;
+                        let row = table.get(id)?;
+                        if bound.as_ref().is_some_and(|p| !p.matches(row)) {
+                            continue;
+                        }
+                        rows.push(project(row));
+                    }
+                }
+                matched.max(keys.len())
             }
-            let out = match &projection_idx {
-                Some(idx) => idx.iter().map(|&i| row[i].clone()).collect(),
-                None => row.to_vec(),
-            };
-            rows.push(out);
-        }
+            None => {
+                // Streamed full scan: no intermediate Vec<RowId>.
+                let mut scanned = 0usize;
+                for (_, row) in table.scan() {
+                    scanned += 1;
+                    if bound.as_ref().is_some_and(|p| !p.matches(row)) {
+                        continue;
+                    }
+                    rows.push(project(row));
+                }
+                scanned
+            }
+        };
 
         let cost = self
             .latency

@@ -1,0 +1,542 @@
+//! Columnar tables: one typed [`Segment`] per schema column.
+//!
+//! A [`ColumnarTable`] is the column-oriented counterpart of
+//! [`crate::Table`]: same schema language, same predicate semantics,
+//! but rows live as contiguous typed buffers so the query executor can
+//! take zero-copy [`ColumnSlice`] views and run vectorized kernels
+//! over row ranges instead of gathering row ids. A table sorted by an
+//! integer column (the Euler-tour leaf rank, in the query engine's
+//! use) answers interval scopes with a binary search that yields a
+//! contiguous row range — the optimizer's interval rewrite becomes a
+//! range-slice, not a row-id gather.
+//!
+//! Snapshots are canonical: dictionaries are re-coded in
+//! first-occurrence row order on save, so save→load→save is
+//! byte-identical regardless of intern history.
+
+use crate::bitmap::Bitmap;
+use crate::dict::Dictionary;
+use crate::expr::BoundPredicate;
+use crate::kernel;
+use crate::schema::Schema;
+use crate::segment::{ColumnSlice, Segment, SegmentData};
+use crate::value::{Value, ValueType};
+use crate::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A column-oriented table with optional sort metadata.
+#[derive(Debug, Clone)]
+pub struct ColumnarTable {
+    name: String,
+    schema: Schema,
+    segments: Vec<Segment>,
+    len: usize,
+    /// Column index declared ascending-sorted (non-null Int), if any.
+    sorted_by: Option<usize>,
+}
+
+impl ColumnarTable {
+    /// An empty columnar table for a schema. Every column must have a
+    /// storable type (no `ValueType::Null` columns).
+    pub fn new(name: impl Into<String>, schema: Schema) -> Result<ColumnarTable> {
+        let segments = schema
+            .columns()
+            .iter()
+            .map(|c| Segment::new(c.ty))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ColumnarTable {
+            name: name.into(),
+            schema,
+            segments,
+            len: 0,
+            sorted_by: None,
+        })
+    }
+
+    /// Build a table by appending rows in order.
+    pub fn from_rows<I>(name: impl Into<String>, schema: Schema, rows: I) -> Result<ColumnarTable>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[Value]>,
+    {
+        let mut t = ColumnarTable::new(name, schema)?;
+        for row in rows {
+            t.append_row(row.as_ref())?;
+        }
+        Ok(t)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The declared sort column, if [`declare_sorted`] has run.
+    ///
+    /// [`declare_sorted`]: ColumnarTable::declare_sorted
+    pub fn sorted_by(&self) -> Option<usize> {
+        self.sorted_by
+    }
+
+    /// Append one validated row to every segment.
+    pub fn append_row(&mut self, row: &[Value]) -> Result<()> {
+        self.schema.validate_row(row)?;
+        // Pre-check the one failure `validate_row` cannot see (Int in
+        // a Float column too wide to widen exactly) so a mid-row error
+        // cannot leave segments at different lengths.
+        for (cell, seg) in row.iter().zip(&self.segments) {
+            if seg.value_type() == ValueType::Float {
+                if let Value::Int(i) = cell {
+                    if i.abs() > (1 << 53) {
+                        return Err(StoreError::Columnar(format!(
+                            "integer {i} in a Float column is not exactly representable as f64"
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(col) = self.sorted_by {
+            let last = self
+                .len
+                .checked_sub(1)
+                .map(|i| self.segments[col].slice().value_at(i));
+            if row[col].is_null() || matches!(&last, Some(prev) if prev > &row[col]) {
+                return Err(StoreError::Columnar(format!(
+                    "append violates declared sort order on column {col}"
+                )));
+            }
+        }
+        for (cell, seg) in row.iter().zip(&mut self.segments) {
+            seg.push_value(cell)?;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Declare `column` ascending-sorted; verifies it is a fully
+    /// non-NULL Int column in non-decreasing order. Enables
+    /// [`range_of_i64`] binary searches.
+    ///
+    /// [`range_of_i64`]: ColumnarTable::range_of_i64
+    pub fn declare_sorted(&mut self, column: &str) -> Result<()> {
+        let col = self.schema.column_index(column)?;
+        let seg = &self.segments[col];
+        let SegmentData::Int(data) = seg.data() else {
+            return Err(StoreError::Columnar(format!(
+                "sort column {column:?} must be Int, is {:?}",
+                seg.value_type()
+            )));
+        };
+        if seg.validity().count_ones() != self.len {
+            return Err(StoreError::Columnar(format!(
+                "sort column {column:?} contains NULLs"
+            )));
+        }
+        if data.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::Columnar(format!(
+                "column {column:?} is not sorted ascending"
+            )));
+        }
+        self.sorted_by = Some(col);
+        Ok(())
+    }
+
+    /// The contiguous row range whose sort-column values fall in the
+    /// half-open interval `[lo, hi)`. Errors unless a sort column has
+    /// been declared.
+    pub fn range_of_i64(&self, lo: i64, hi: i64) -> Result<Range<usize>> {
+        let col = self.sorted_by.ok_or_else(|| {
+            StoreError::Columnar("range_of_i64 requires a declared sort column".to_string())
+        })?;
+        let SegmentData::Int(data) = self.segments[col].data() else {
+            unreachable!("declare_sorted only accepts Int columns");
+        };
+        let start = data.partition_point(|&v| v < lo);
+        let end = data.partition_point(|&v| v < hi);
+        Ok(start..end.max(start))
+    }
+
+    /// Zero-copy view of one column.
+    pub fn column(&self, index: usize) -> ColumnSlice<'_> {
+        self.segments[index].slice()
+    }
+
+    /// Zero-copy views of every column, in schema order.
+    pub fn columns(&self) -> Vec<ColumnSlice<'_>> {
+        self.segments.iter().map(Segment::slice).collect()
+    }
+
+    /// Materialize one row (generic fallback; hot paths read columns).
+    pub fn get_row(&self, index: usize) -> Vec<Value> {
+        self.segments
+            .iter()
+            .map(|s| s.slice().value_at(index))
+            .collect()
+    }
+
+    /// Evaluate a bound predicate over a row range with the vectorized
+    /// kernels, returning a selection bitmap over the whole table.
+    pub fn eval(&self, pred: &BoundPredicate, rows: Range<usize>) -> Bitmap {
+        let columns = self.columns();
+        kernel::eval_predicate(pred, &columns, rows, self.len)
+    }
+}
+
+/// Serializable segment payload. String segments store the dictionary
+/// inline as a code-ordered value list.
+#[derive(Debug, Serialize, Deserialize)]
+enum SegmentDataSnapshot {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Dictionary codes plus the code-ordered value list.
+    Str {
+        codes: Vec<u32>,
+        values: Vec<String>,
+    },
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SegmentSnapshot {
+    data: SegmentDataSnapshot,
+    validity: Bitmap,
+}
+
+/// Serializable columnar-table state.
+#[derive(Debug, Serialize, Deserialize)]
+struct ColumnarSnapshot {
+    version: u32,
+    name: String,
+    schema: Schema,
+    sorted_by: Option<usize>,
+    columns: Vec<SegmentSnapshot>,
+}
+
+const COLUMNAR_SNAPSHOT_VERSION: u32 = 1;
+
+/// Serialize a columnar table to a canonical JSON string: dictionary
+/// codes are remapped to first-occurrence row order, so the output is
+/// independent of intern history and save→load→save is byte-identical.
+pub fn save_columnar(table: &ColumnarTable) -> Result<String> {
+    let columns = table
+        .segments
+        .iter()
+        .map(|seg| {
+            let validity = seg.validity().clone();
+            let data = match seg.data() {
+                SegmentData::Int(d) => SegmentDataSnapshot::Int(d.clone()),
+                SegmentData::Float(d) => SegmentDataSnapshot::Float(d.clone()),
+                SegmentData::Bool(d) => SegmentDataSnapshot::Bool(d.clone()),
+                SegmentData::Str { codes, dict } => {
+                    let (codes, values) = canonicalize_dict(codes, dict, &validity);
+                    SegmentDataSnapshot::Str { codes, values }
+                }
+            };
+            SegmentSnapshot { data, validity }
+        })
+        .collect();
+    serde_json::to_string(&ColumnarSnapshot {
+        version: COLUMNAR_SNAPSHOT_VERSION,
+        name: table.name.clone(),
+        schema: table.schema.clone(),
+        sorted_by: table.sorted_by,
+        columns,
+    })
+    .map_err(|e| StoreError::Snapshot(e.to_string()))
+}
+
+/// Remap codes to first-occurrence row order, dropping dictionary
+/// entries no live row references. NULL rows emit placeholder code 0.
+fn canonicalize_dict(
+    codes: &[u32],
+    dict: &Dictionary,
+    validity: &Bitmap,
+) -> (Vec<u32>, Vec<String>) {
+    let mut remap: Vec<Option<u32>> = vec![None; dict.len()];
+    let mut values: Vec<String> = Vec::new();
+    let mut out = Vec::with_capacity(codes.len());
+    for (i, &c) in codes.iter().enumerate() {
+        if !validity.get(i) {
+            out.push(0);
+            continue;
+        }
+        let slot = &mut remap[c as usize];
+        let code = *slot.get_or_insert_with(|| {
+            values.push(dict.value_of(c).unwrap_or_default().to_string());
+            (values.len() - 1) as u32
+        });
+        out.push(code);
+    }
+    (out, values)
+}
+
+/// Restore a columnar table from a JSON string produced by
+/// [`save_columnar`]. Re-verifies the declared sort order.
+pub fn load_columnar(json: &str) -> Result<ColumnarTable> {
+    let snap: ColumnarSnapshot =
+        serde_json::from_str(json).map_err(|e| StoreError::Snapshot(e.to_string()))?;
+    if snap.version != COLUMNAR_SNAPSHOT_VERSION {
+        return Err(StoreError::Snapshot(format!(
+            "unsupported columnar snapshot version {} (expected {COLUMNAR_SNAPSHOT_VERSION})",
+            snap.version
+        )));
+    }
+    if snap.columns.len() != snap.schema.arity() {
+        return Err(StoreError::Columnar(format!(
+            "snapshot has {} columns but schema arity is {}",
+            snap.columns.len(),
+            snap.schema.arity()
+        )));
+    }
+    let mut len = None;
+    let segments = snap
+        .columns
+        .into_iter()
+        .map(|col| {
+            let data = match col.data {
+                SegmentDataSnapshot::Int(d) => SegmentData::Int(d),
+                SegmentDataSnapshot::Float(d) => SegmentData::Float(d),
+                SegmentDataSnapshot::Bool(d) => SegmentData::Bool(d),
+                SegmentDataSnapshot::Str { codes, values } => SegmentData::Str {
+                    codes,
+                    dict: Dictionary::from_values(values)?,
+                },
+            };
+            let seg = Segment::from_parts(data, col.validity)?;
+            match len {
+                None => len = Some(seg.len()),
+                Some(l) if l != seg.len() => {
+                    return Err(StoreError::Columnar(format!(
+                        "segment lengths disagree: {l} vs {}",
+                        seg.len()
+                    )))
+                }
+                Some(_) => {}
+            }
+            Ok(seg)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut table = ColumnarTable {
+        name: snap.name,
+        schema: snap.schema,
+        len: len.unwrap_or(0),
+        segments,
+        sorted_by: None,
+    };
+    if let Some(col) = snap.sorted_by {
+        let name = table
+            .schema
+            .columns()
+            .get(col)
+            .ok_or_else(|| StoreError::Columnar(format!("sort column {col} out of range")))?
+            .name
+            .clone();
+        table.declare_sorted(&name)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CompareOp, Predicate};
+    use crate::schema::Column;
+
+    fn activity_schema() -> Schema {
+        Schema::new(vec![
+            Column::required("leaf_rank", ValueType::Int),
+            Column::required("source", ValueType::Text),
+            Column::nullable("value_nm", ValueType::Float),
+        ])
+    }
+
+    fn sample() -> ColumnarTable {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(0), Value::from("assay-a"), Value::Float(10.0)],
+            vec![Value::Int(2), Value::from("assay-b"), Value::Float(100.0)],
+            vec![Value::Int(2), Value::from("assay-a"), Value::Null],
+            vec![Value::Int(5), Value::from("assay-b"), Value::Float(2.5)],
+            vec![Value::Int(9), Value::from("assay-a"), Value::Float(7.0)],
+        ];
+        let mut t = ColumnarTable::from_rows("activity", activity_schema(), rows).unwrap();
+        t.declare_sorted("leaf_rank").unwrap();
+        t
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(
+            t.get_row(2),
+            vec![Value::Int(2), Value::from("assay-a"), Value::Null]
+        );
+        assert_eq!(t.sorted_by(), Some(0));
+    }
+
+    #[test]
+    fn interval_range_binary_search() {
+        let t = sample();
+        assert_eq!(t.range_of_i64(2, 6).unwrap(), 1..4);
+        assert_eq!(t.range_of_i64(0, 10).unwrap(), 0..5);
+        assert_eq!(t.range_of_i64(3, 5).unwrap(), 3..3);
+        assert_eq!(t.range_of_i64(10, 20).unwrap(), 5..5);
+        let unsorted = ColumnarTable::new("x", activity_schema()).unwrap();
+        assert!(unsorted.range_of_i64(0, 1).is_err());
+    }
+
+    #[test]
+    fn sorted_declaration_verifies() {
+        let rows = vec![
+            vec![Value::Int(5), Value::from("a"), Value::Null],
+            vec![Value::Int(3), Value::from("a"), Value::Null],
+        ];
+        let mut t = ColumnarTable::from_rows("x", activity_schema(), rows).unwrap();
+        assert!(t.declare_sorted("leaf_rank").is_err());
+        assert!(t.declare_sorted("source").is_err());
+        // Appends that would break a declared order are rejected.
+        let mut t = sample();
+        let bad = vec![Value::Int(1), Value::from("a"), Value::Null];
+        assert!(t.append_row(&bad).is_err());
+        let ok = vec![Value::Int(9), Value::from("a"), Value::Null];
+        t.append_row(&ok).unwrap();
+    }
+
+    #[test]
+    fn eval_matches_row_semantics() {
+        let t = sample();
+        let pred = Predicate::And(vec![
+            Predicate::eq("source", "assay-a"),
+            Predicate::cmp("value_nm", CompareOp::Le, 10.0),
+        ])
+        .bind(t.schema())
+        .unwrap();
+        let sel = t.eval(&pred, 0..t.len());
+        let expect: Vec<usize> = (0..t.len())
+            .filter(|&i| pred.matches(&t.get_row(i)))
+            .collect();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), expect);
+        assert_eq!(expect, vec![0, 4]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_rows() {
+        let t = sample();
+        let json = save_columnar(&t).unwrap();
+        let back = load_columnar(&json).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.sorted_by(), Some(0));
+        for i in 0..t.len() {
+            assert_eq!(back.get_row(i), t.get_row(i));
+        }
+        // Canonical: a second round-trip is byte-identical.
+        assert_eq!(save_columnar(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn snapshot_dictionary_remap_is_stable() {
+        // Rows referencing "zeta" first, "alpha" second — but the
+        // crafted snapshot stores the dictionary in the opposite order
+        // and includes an entry no row references. Loading and
+        // re-saving must canonicalize to first-occurrence order with
+        // the dead entry dropped, matching the natural build exactly.
+        let schema = Schema::new(vec![
+            Column::required("leaf_rank", ValueType::Int),
+            Column::required("source", ValueType::Text),
+        ]);
+        let crafted = serde_json::to_string(&ColumnarSnapshot {
+            version: COLUMNAR_SNAPSHOT_VERSION,
+            name: "t".to_string(),
+            schema: schema.clone(),
+            sorted_by: None,
+            columns: vec![
+                SegmentSnapshot {
+                    data: SegmentDataSnapshot::Int(vec![0, 1, 2]),
+                    validity: Bitmap::full(3),
+                },
+                SegmentSnapshot {
+                    data: SegmentDataSnapshot::Str {
+                        codes: vec![2, 0, 2],
+                        values: vec!["alpha".into(), "unused".into(), "zeta".into()],
+                    },
+                    validity: Bitmap::full(3),
+                },
+            ],
+        })
+        .unwrap();
+        let loaded = load_columnar(&crafted).unwrap();
+        assert_eq!(loaded.get_row(0)[1], Value::from("zeta"));
+        assert_eq!(loaded.get_row(1)[1], Value::from("alpha"));
+        let natural = ColumnarTable::from_rows(
+            "t",
+            schema,
+            vec![
+                vec![Value::Int(0), Value::from("zeta")],
+                vec![Value::Int(1), Value::from("alpha")],
+                vec![Value::Int(2), Value::from("zeta")],
+            ],
+        )
+        .unwrap();
+        let canonical = save_columnar(&natural).unwrap();
+        assert_eq!(save_columnar(&loaded).unwrap(), canonical);
+        assert!(!canonical.contains("unused"));
+        // And the canonical form is a fixed point.
+        let again = load_columnar(&canonical).unwrap();
+        assert_eq!(save_columnar(&again).unwrap(), canonical);
+    }
+
+    #[test]
+    fn snapshot_empty_table_edge_case() {
+        let t = ColumnarTable::new("empty", activity_schema()).unwrap();
+        let json = save_columnar(&t).unwrap();
+        let back = load_columnar(&json).unwrap();
+        assert_eq!(back.len(), 0);
+        assert!(back.is_empty());
+        assert_eq!(back.schema(), t.schema());
+        assert_eq!(save_columnar(&back).unwrap(), json);
+        // An all-NULL string column also survives (placeholder codes
+        // with an empty dictionary).
+        let mut t = ColumnarTable::new(
+            "nulls",
+            Schema::new(vec![
+                Column::required("leaf_rank", ValueType::Int),
+                Column::nullable("tag", ValueType::Text),
+            ]),
+        )
+        .unwrap();
+        t.append_row(&[Value::Int(1), Value::Null]).unwrap();
+        let json = save_columnar(&t).unwrap();
+        let back = load_columnar(&json).unwrap();
+        assert_eq!(back.get_row(0), vec![Value::Int(1), Value::Null]);
+    }
+
+    #[test]
+    fn snapshot_version_and_malformed_rejected() {
+        let t = sample();
+        let json = save_columnar(&t)
+            .unwrap()
+            .replace("\"version\":1", "\"version\":9");
+        assert!(load_columnar(&json).is_err());
+        assert!(load_columnar("{nope").is_err());
+    }
+}

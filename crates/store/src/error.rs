@@ -36,6 +36,9 @@ pub enum StoreError {
     Snapshot(String),
     /// An index already exists or is missing.
     Index(String),
+    /// Columnar-segment invariant violation (sort order, dictionary
+    /// codes, exact-widening limits).
+    Columnar(String),
 }
 
 impl fmt::Display for StoreError {
@@ -60,6 +63,7 @@ impl fmt::Display for StoreError {
             StoreError::UnknownRow(id) => write!(f, "unknown row id {id}"),
             StoreError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
             StoreError::Index(msg) => write!(f, "index error: {msg}"),
+            StoreError::Columnar(msg) => write!(f, "columnar error: {msg}"),
         }
     }
 }

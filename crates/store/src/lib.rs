@@ -12,19 +12,38 @@
 //! * [`table`] — row tables with secondary indexes (hash + B-tree).
 //! * [`catalog`] — a named collection of tables.
 //! * [`snapshot`] — JSON snapshot persistence for catalogs.
+//!
+//! The columnar engine lives alongside the row path (same schema and
+//! predicate language, byte-identical selection semantics):
+//!
+//! * [`bitmap`] — packed selection/validity bitmaps.
+//! * [`dict`] — dictionary encoding for low-cardinality strings.
+//! * [`segment`] — typed column buffers with zero-copy slices.
+//! * [`kernel`] — vectorized filter/aggregate kernels.
+//! * [`columnar`] — columnar tables with sort-aware range slicing and
+//!   canonical snapshots.
 
+pub mod bitmap;
 pub mod catalog;
+pub mod columnar;
+pub mod dict;
 pub mod error;
 pub mod expr;
+pub mod kernel;
 pub mod schema;
+pub mod segment;
 pub mod snapshot;
 pub mod table;
 pub mod value;
 
+pub use bitmap::Bitmap;
 pub use catalog::Catalog;
+pub use columnar::{load_columnar, save_columnar, ColumnarTable};
+pub use dict::Dictionary;
 pub use error::StoreError;
 pub use expr::{CompareOp, Predicate};
 pub use schema::{Column, Schema};
+pub use segment::{ColumnData, ColumnSlice, Segment, SegmentData};
 pub use table::{RowId, Table};
 pub use value::{Value, ValueType};
 

@@ -1,0 +1,313 @@
+//! Typed columnar segments and zero-copy column views.
+//!
+//! A [`Segment`] stores one column as a contiguous typed buffer — one
+//! `Vec<i64>`/`Vec<f64>`/`Vec<bool>` per numeric/boolean column, or a
+//! `Vec<u32>` of codes plus a [`Dictionary`] for strings — paired with
+//! a validity [`Bitmap`] (bit set ⇔ cell non-NULL). NULL cells occupy
+//! a default slot in the typed buffer so offsets stay dense.
+//!
+//! Executors never copy the data out: a [`ColumnSlice`] borrows the
+//! buffers and is `Copy`, so kernels receive plain slices the compiler
+//! can auto-vectorize over.
+
+use crate::bitmap::Bitmap;
+use crate::dict::Dictionary;
+use crate::value::{Value, ValueType};
+use crate::{Result, StoreError};
+
+/// Largest `i64` magnitude exactly representable as `f64`. Ints wider
+/// than this cannot be widened into a Float segment without changing
+/// comparison results versus the row path's exact `i64` ordering.
+const MAX_EXACT_INT_IN_F64: i64 = 1 << 53;
+
+/// The typed buffer behind one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats (`Int` cells widened where exact).
+    Float(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Dictionary-encoded strings: one code per row.
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The intern table the codes point into.
+        dict: Dictionary,
+    },
+}
+
+/// One column of a columnar table: typed data plus validity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    data: SegmentData,
+    validity: Bitmap,
+}
+
+impl Segment {
+    /// An empty segment for a declared column type. `ValueType::Null`
+    /// is not a storable column type.
+    pub fn new(ty: ValueType) -> Result<Segment> {
+        let data = match ty {
+            ValueType::Int => SegmentData::Int(Vec::new()),
+            ValueType::Float => SegmentData::Float(Vec::new()),
+            ValueType::Bool => SegmentData::Bool(Vec::new()),
+            ValueType::Text => SegmentData::Str {
+                codes: Vec::new(),
+                dict: Dictionary::new(),
+            },
+            ValueType::Null => {
+                return Err(StoreError::Columnar(
+                    "Null is not a storable column type".to_string(),
+                ))
+            }
+        };
+        Ok(Segment {
+            data,
+            validity: Bitmap::new(0),
+        })
+    }
+
+    /// Number of rows (valid or not).
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// True when the segment holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Append one cell. NULL stores a default slot with validity 0;
+    /// type mismatches (beyond the schema's Int→Float widening) error.
+    pub fn push_value(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            match &mut self.data {
+                SegmentData::Int(d) => d.push(0),
+                SegmentData::Float(d) => d.push(0.0),
+                SegmentData::Bool(d) => d.push(false),
+                SegmentData::Str { codes, .. } => codes.push(0),
+            }
+            self.validity.push(false);
+            return Ok(());
+        }
+        match (&mut self.data, v) {
+            (SegmentData::Int(d), Value::Int(i)) => d.push(*i),
+            (SegmentData::Float(d), Value::Float(f)) => d.push(*f),
+            // The schema admits Int cells in Float columns; widen only
+            // where exact so kernel comparisons replicate `Value::cmp`.
+            (SegmentData::Float(d), Value::Int(i)) => {
+                if i.abs() > MAX_EXACT_INT_IN_F64 {
+                    return Err(StoreError::Columnar(format!(
+                        "integer {i} in a Float column is not exactly representable as f64"
+                    )));
+                }
+                d.push(*i as f64);
+            }
+            (SegmentData::Bool(d), Value::Bool(b)) => d.push(*b),
+            (SegmentData::Str { codes, dict }, Value::Text(s)) => {
+                codes.push(dict.intern(s));
+            }
+            (_, v) => {
+                return Err(StoreError::TypeMismatch {
+                    column: String::new(),
+                    expected: self.value_type(),
+                    got: v.value_type(),
+                })
+            }
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    /// The declared column type.
+    pub fn value_type(&self) -> ValueType {
+        match &self.data {
+            SegmentData::Int(_) => ValueType::Int,
+            SegmentData::Float(_) => ValueType::Float,
+            SegmentData::Bool(_) => ValueType::Bool,
+            SegmentData::Str { .. } => ValueType::Text,
+        }
+    }
+
+    /// Zero-copy view of the whole segment.
+    pub fn slice(&self) -> ColumnSlice<'_> {
+        let data = match &self.data {
+            SegmentData::Int(d) => ColumnData::Int(d),
+            SegmentData::Float(d) => ColumnData::Float(d),
+            SegmentData::Bool(d) => ColumnData::Bool(d),
+            SegmentData::Str { codes, dict } => ColumnData::Str { codes, dict },
+        };
+        ColumnSlice {
+            data,
+            validity: &self.validity,
+        }
+    }
+
+    /// The raw typed buffer (row-aligned with `validity`).
+    pub fn data(&self) -> &SegmentData {
+        &self.data
+    }
+
+    /// The validity bitmap (bit set ⇔ non-NULL).
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// Rebuild a segment from raw parts (snapshot loading).
+    pub(crate) fn from_parts(data: SegmentData, validity: Bitmap) -> Result<Segment> {
+        let rows = match &data {
+            SegmentData::Int(d) => d.len(),
+            SegmentData::Float(d) => d.len(),
+            SegmentData::Bool(d) => d.len(),
+            SegmentData::Str { codes, dict } => {
+                // NULL rows carry a placeholder code; only codes at
+                // valid rows must resolve in the dictionary.
+                for (i, &c) in codes.iter().enumerate() {
+                    if i < validity.len() && validity.get(i) && (c as usize) >= dict.len() {
+                        return Err(StoreError::Columnar(format!(
+                            "dictionary code {c} out of range ({} entries)",
+                            dict.len()
+                        )));
+                    }
+                }
+                codes.len()
+            }
+        };
+        if rows != validity.len() {
+            return Err(StoreError::Columnar(format!(
+                "segment data has {rows} rows but validity covers {}",
+                validity.len()
+            )));
+        }
+        Ok(Segment { data, validity })
+    }
+}
+
+/// Borrowed typed column data.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnData<'a> {
+    /// 64-bit integers.
+    Int(&'a [i64]),
+    /// 64-bit floats.
+    Float(&'a [f64]),
+    /// Booleans.
+    Bool(&'a [bool]),
+    /// Dictionary codes plus the intern table.
+    Str {
+        /// Per-row dictionary codes.
+        codes: &'a [u32],
+        /// The intern table the codes point into.
+        dict: &'a Dictionary,
+    },
+}
+
+/// A zero-copy view of one column: typed buffer plus validity. `Copy`,
+/// so kernels take it by value.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSlice<'a> {
+    /// The typed buffer.
+    pub data: ColumnData<'a>,
+    /// Validity bitmap (bit set ⇔ non-NULL).
+    pub validity: &'a Bitmap,
+}
+
+impl ColumnSlice<'_> {
+    /// Number of rows in the view.
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// True when the view covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Materialize one cell as a [`Value`] (generic fallback path;
+    /// kernels use the typed buffers directly).
+    pub fn value_at(&self, i: usize) -> Value {
+        if !self.validity.get(i) {
+            return Value::Null;
+        }
+        match self.data {
+            ColumnData::Int(d) => Value::Int(d[i]),
+            ColumnData::Float(d) => Value::Float(d[i]),
+            ColumnData::Bool(d) => Value::Bool(d[i]),
+            ColumnData::Str { codes, dict } => {
+                Value::Text(dict.value_of(codes[i]).unwrap_or_default().to_string())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_push_and_read_back() {
+        let mut s = Segment::new(ValueType::Int).unwrap();
+        s.push_value(&Value::Int(5)).unwrap();
+        s.push_value(&Value::Null).unwrap();
+        s.push_value(&Value::Int(-3)).unwrap();
+        assert_eq!(s.len(), 3);
+        let v = s.slice();
+        assert_eq!(v.value_at(0), Value::Int(5));
+        assert_eq!(v.value_at(1), Value::Null);
+        assert_eq!(v.value_at(2), Value::Int(-3));
+        assert!(matches!(s.data(), SegmentData::Int(d) if d == &[5, 0, -3]));
+    }
+
+    #[test]
+    fn float_widens_exact_ints_only() {
+        let mut s = Segment::new(ValueType::Float).unwrap();
+        s.push_value(&Value::Int(7)).unwrap();
+        s.push_value(&Value::Float(2.5)).unwrap();
+        assert_eq!(s.slice().value_at(0), Value::Float(7.0));
+        let giant = Value::Int((1 << 53) + 1);
+        assert!(matches!(s.push_value(&giant), Err(StoreError::Columnar(_))));
+    }
+
+    #[test]
+    fn strings_dictionary_encode() {
+        let mut s = Segment::new(ValueType::Text).unwrap();
+        for v in ["a", "b", "a", "a"] {
+            s.push_value(&Value::from(v)).unwrap();
+        }
+        match s.data() {
+            SegmentData::Str { codes, dict } => {
+                assert_eq!(codes, &[0, 1, 0, 0]);
+                assert_eq!(dict.len(), 2);
+            }
+            other => panic!("unexpected data {other:?}"),
+        }
+        assert_eq!(s.slice().value_at(3), Value::from("a"));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut s = Segment::new(ValueType::Int).unwrap();
+        assert!(matches!(
+            s.push_value(&Value::from("x")),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+        assert!(Segment::new(ValueType::Null).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_lengths_and_codes() {
+        let bad = Segment::from_parts(SegmentData::Int(vec![1, 2]), Bitmap::full(3));
+        assert!(bad.is_err());
+        let mut dict = Dictionary::new();
+        dict.intern("only");
+        let bad = Segment::from_parts(
+            SegmentData::Str {
+                codes: vec![0, 7],
+                dict,
+            },
+            Bitmap::full(2),
+        );
+        assert!(bad.is_err());
+    }
+}

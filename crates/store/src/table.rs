@@ -174,12 +174,13 @@ impl Table {
             .filter_map(|(i, r)| r.as_deref().map(|row| (RowId(i as u64), row)))
     }
 
-    /// Full-scan selection with a bound predicate.
-    pub fn select(&self, pred: &BoundPredicate) -> Vec<RowId> {
+    /// Full-scan selection with a bound predicate. Lazy: no
+    /// intermediate `Vec<RowId>` is materialized; callers that need
+    /// one can `collect()`.
+    pub fn select<'a>(&'a self, pred: &'a BoundPredicate) -> impl Iterator<Item = RowId> + 'a {
         self.scan()
-            .filter(|(_, row)| pred.matches(row))
+            .filter(move |(_, row)| pred.matches(row))
             .map(|(id, _)| id)
-            .collect()
     }
 
     /// Create a secondary index over a column; backfills existing rows.
@@ -233,13 +234,15 @@ impl Table {
     }
 
     /// Inclusive range scan via a B-tree index; falls back to a full
-    /// scan when no ordered index exists.
-    pub fn lookup_range(
-        &self,
+    /// scan when no ordered index exists. Lazy: ids stream straight
+    /// out of the index buckets (or the scan) with no intermediate
+    /// `Vec<RowId>`.
+    pub fn lookup_range<'a>(
+        &'a self,
         column: &str,
-        lo: Bound<&Value>,
-        hi: Bound<&Value>,
-    ) -> Result<Vec<RowId>> {
+        lo: Bound<&'a Value>,
+        hi: Bound<&'a Value>,
+    ) -> Result<impl Iterator<Item = RowId> + 'a> {
         let col = self.schema.column_index(column)?;
         let btree = self
             .indexes
@@ -248,31 +251,32 @@ impl Table {
                 (IndexData::BTree(m), true) => Some(m),
                 _ => None,
             });
-        if let Some(m) = btree {
-            let mut out = Vec::new();
-            for (_, ids) in m.range::<Value, _>((lo, hi)) {
-                out.extend_from_slice(ids);
+        Ok(match btree {
+            Some(m) => EitherIter::Index(
+                m.range::<Value, _>((lo, hi))
+                    .flat_map(|(_, ids)| ids.iter().copied()),
+            ),
+            None => {
+                let in_range = move |v: &Value| {
+                    let lo_ok = match lo {
+                        Bound::Included(b) => v >= b,
+                        Bound::Excluded(b) => v > b,
+                        Bound::Unbounded => true,
+                    };
+                    let hi_ok = match hi {
+                        Bound::Included(b) => v <= b,
+                        Bound::Excluded(b) => v < b,
+                        Bound::Unbounded => true,
+                    };
+                    lo_ok && hi_ok && !v.is_null()
+                };
+                EitherIter::Scan(
+                    self.scan()
+                        .filter(move |(_, row)| in_range(&row[col]))
+                        .map(|(id, _)| id),
+                )
             }
-            return Ok(out);
-        }
-        let in_range = |v: &Value| {
-            let lo_ok = match lo {
-                Bound::Included(b) => v >= b,
-                Bound::Excluded(b) => v > b,
-                Bound::Unbounded => true,
-            };
-            let hi_ok = match hi {
-                Bound::Included(b) => v <= b,
-                Bound::Excluded(b) => v < b,
-                Bound::Unbounded => true,
-            };
-            lo_ok && hi_ok && !v.is_null()
-        };
-        Ok(self
-            .scan()
-            .filter(|(_, row)| in_range(&row[col]))
-            .map(|(id, _)| id)
-            .collect())
+        })
     }
 
     /// Snapshot view of (schema, live rows, index definitions) used by
@@ -297,6 +301,28 @@ impl Table {
             table.insert(row)?;
         }
         Ok(table)
+    }
+}
+
+/// Two-armed iterator so [`Table::lookup_range`] can stream from
+/// either the B-tree buckets or the fallback scan without boxing.
+enum EitherIter<L, R> {
+    Index(L),
+    Scan(R),
+}
+
+impl<L, R, T> Iterator for EitherIter<L, R>
+where
+    L: Iterator<Item = T>,
+    R: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self {
+            EitherIter::Index(it) => it.next(),
+            EitherIter::Scan(it) => it.next(),
+        }
     }
 }
 
@@ -401,7 +427,7 @@ mod tests {
         let pred = Predicate::cmp("mw", CompareOp::Gt, 190.0)
             .bind(t.schema())
             .unwrap();
-        let ids = t.select(&pred);
+        let ids: Vec<RowId> = t.select(&pred).collect();
         assert_eq!(ids, vec![RowId(1), RowId(2)]);
     }
 
@@ -428,14 +454,16 @@ mod tests {
         assert!(t.has_range_index("mw"));
         let lo = Value::Float(190.0);
         let hi = Value::Float(200.0);
-        let ids = t
+        let ids: Vec<RowId> = t
             .lookup_range("mw", Bound::Included(&lo), Bound::Included(&hi))
-            .unwrap();
+            .unwrap()
+            .collect();
         assert_eq!(ids, vec![RowId(1)]);
         // Unbounded below.
-        let ids = t
+        let ids: Vec<RowId> = t
             .lookup_range("mw", Bound::Unbounded, Bound::Excluded(&lo))
-            .unwrap();
+            .unwrap()
+            .collect();
         assert_eq!(ids, vec![RowId(0)]);
     }
 
@@ -443,10 +471,12 @@ mod tests {
     fn range_without_index_falls_back_to_scan() {
         let t = ligand_table();
         let lo = Value::Float(190.0);
-        let ids = t
-            .lookup_range("mw", Bound::Included(&lo), Bound::Unbounded)
-            .unwrap();
-        assert_eq!(ids.len(), 2);
+        assert_eq!(
+            t.lookup_range("mw", Bound::Included(&lo), Bound::Unbounded)
+                .unwrap()
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 // Test code: panicking on a malformed fixture is the right failure.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use drugtree_store::columnar::{load_columnar, save_columnar, ColumnarTable};
 use drugtree_store::expr::{CompareOp, Predicate};
 use drugtree_store::schema::{Column, Schema};
 use drugtree_store::snapshot::{load_catalog, save_catalog};
@@ -27,6 +28,89 @@ fn test_schema() -> Schema {
         Column::required("k", ValueType::Int),
         Column::nullable("v", ValueType::Float),
     ])
+}
+
+/// Four-typed schema exercising every segment kind.
+fn wide_schema() -> Schema {
+    Schema::new(vec![
+        Column::required("k", ValueType::Int),
+        Column::nullable("v", ValueType::Float),
+        Column::nullable("s", ValueType::Text),
+        Column::nullable("b", ValueType::Bool),
+    ])
+}
+
+/// One row for [`wide_schema`]. The float column mixes `Int` cells in
+/// (the schema's numeric widening) so kernels must replicate the row
+/// path's exact `Int`/`Float` comparison semantics.
+fn arb_wide_row() -> impl Strategy<Value = Vec<Value>> {
+    (
+        -20i64..20,
+        prop_oneof![
+            Just(Value::Null),
+            (-6i64..6).prop_map(Value::Int),
+            (-5.0f64..5.0).prop_map(Value::Float),
+        ],
+        proptest::option::of("[a-c]{0,2}"),
+        proptest::option::of(any::<bool>()),
+    )
+        .prop_map(|(k, v, s, b)| {
+            vec![
+                Value::Int(k),
+                v,
+                s.map_or(Value::Null, Value::Text),
+                b.map_or(Value::Null, Value::Bool),
+            ]
+        })
+}
+
+fn arb_column_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("k".to_string()),
+        Just("v".to_string()),
+        Just("s".to_string()),
+        Just("b".to_string()),
+    ]
+}
+
+fn arb_compare_op() -> impl Strategy<Value = CompareOp> {
+    prop_oneof![
+        Just(CompareOp::Eq),
+        Just(CompareOp::Ne),
+        Just(CompareOp::Lt),
+        Just(CompareOp::Le),
+        Just(CompareOp::Gt),
+        Just(CompareOp::Ge),
+    ]
+}
+
+/// One predicate leaf — literals deliberately cross types (an Int
+/// probe against the Text column, NULL literals, …) so the kernels'
+/// type-rank and NULL handling get exercised, not just the happy path.
+fn arb_predicate_leaf() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (arb_column_name(), arb_compare_op(), arb_value())
+            .prop_map(|(column, op, value)| { Predicate::Compare { column, op, value } }),
+        (arb_column_name(), arb_value(), arb_value())
+            .prop_map(|(column, lo, hi)| { Predicate::Between { column, lo, hi } }),
+        (
+            arb_column_name(),
+            proptest::collection::vec(arb_value(), 0..4)
+        )
+            .prop_map(|(column, values)| Predicate::InSet { column, values }),
+        arb_column_name().prop_map(|column| Predicate::IsNull { column }),
+        Just(Predicate::True),
+    ]
+}
+
+/// Bounded-depth predicate tree over the leaves.
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        arb_predicate_leaf(),
+        proptest::collection::vec(arb_predicate_leaf(), 0..4).prop_map(Predicate::And),
+        proptest::collection::vec(arb_predicate_leaf(), 0..4).prop_map(Predicate::Or),
+        arb_predicate_leaf().prop_map(|p| Predicate::Not(Box::new(p))),
+    ]
 }
 
 proptest! {
@@ -88,12 +172,14 @@ proptest! {
         // because Null sorts below every float we probe with.
         let lo_v = Value::Float(lo);
         let hi_v = Value::Float(lo + span);
-        let mut a = indexed
+        let mut a: Vec<RowId> = indexed
             .lookup_range("v", Bound::Included(&lo_v), Bound::Included(&hi_v))
-            .unwrap();
-        let mut b = plain
+            .unwrap()
+            .collect();
+        let mut b: Vec<RowId> = plain
             .lookup_range("v", Bound::Included(&lo_v), Bound::Included(&hi_v))
-            .unwrap();
+            .unwrap()
+            .collect();
         a.sort();
         b.sort();
         prop_assert_eq!(a, b);
@@ -110,7 +196,7 @@ proptest! {
             t.insert(vec![Value::Int(*k), v.map_or(Value::Null, Value::Float)]).unwrap();
         }
         let pred = Predicate::cmp("v", CompareOp::Ge, threshold).bind(t.schema()).unwrap();
-        let selected = t.select(&pred);
+        let selected: Vec<RowId> = t.select(&pred).collect();
         let manual: Vec<RowId> = t
             .scan()
             .filter(|(_, r)| r[1].as_f64().is_some_and(|v| v >= threshold))
@@ -141,6 +227,42 @@ proptest! {
         prop_assert_eq!(rows1, rows2);
         // Double round-trip is byte-identical.
         prop_assert_eq!(save_catalog(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn columnar_kernels_match_row_scan(
+        rows in proptest::collection::vec(arb_wide_row(), 0..60),
+        pred in arb_predicate(),
+        cut in 0usize..60,
+    ) {
+        // The same rows in a row table and a columnar table; kernel
+        // evaluation must select exactly the ids the row path selects.
+        let schema = wide_schema();
+        let mut t = Table::new("t", schema.clone());
+        let mut ct = ColumnarTable::new("t", schema.clone()).unwrap();
+        for row in &rows {
+            t.insert(row.clone()).unwrap();
+            ct.append_row(row).unwrap();
+        }
+        let bound = pred.bind(&schema).unwrap();
+
+        let via_rows: Vec<usize> = t.select(&bound).map(|id| id.0 as usize).collect();
+        let via_kernels: Vec<usize> = ct.eval(&bound, 0..ct.len()).iter_ones().collect();
+        prop_assert_eq!(&via_kernels, &via_rows, "pred {:?}", pred);
+
+        // A restricted row range must agree with filtering the same
+        // window of the row scan.
+        let cut = cut.min(rows.len());
+        let windowed: Vec<usize> = via_rows.iter().copied().filter(|&i| i < cut).collect();
+        let via_range: Vec<usize> = ct.eval(&bound, 0..cut).iter_ones().collect();
+        prop_assert_eq!(via_range, windowed, "pred {:?} cut {}", pred, cut);
+
+        // And the columnar snapshot round-trip preserves evaluation.
+        let json = save_columnar(&ct).unwrap();
+        let back = load_columnar(&json).unwrap();
+        let after: Vec<usize> = back.eval(&bound, 0..back.len()).iter_ones().collect();
+        prop_assert_eq!(after, via_kernels);
+        prop_assert_eq!(save_columnar(&back).unwrap(), json);
     }
 
     #[test]
