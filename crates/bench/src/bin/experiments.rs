@@ -57,6 +57,7 @@ fn main() {
         ("e13", drugtree_bench::e13_observability::run),
         ("e14", drugtree_bench::e14_fleet_obs::run),
         ("e15", drugtree_bench::e15_kernels::run),
+        ("e16", drugtree_bench::e16_phases::run),
     ];
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

@@ -238,5 +238,24 @@ mod tests {
             })
             .count();
         assert!(wins >= 1, "cost-based planner should win a class\n{t:?}");
+
+        // Regression pin for the affinity-filter class. Before the
+        // optimizer priced pushed conjuncts with their local column
+        // forms, the `p_activity` bound (translated to `value_nm` for
+        // the wire) missed the overlay histogram, the row estimate
+        // defaulted to the 0.5 guess, and the cost-based planner routed
+        // affinity scans to the thin replica — a 0.80x loss to the
+        // fixed order. With histogram selectivity it must at least
+        // match the fixed pipeline.
+        let affinity = t
+            .rows
+            .iter()
+            .find(|r| r[0].starts_with("affinity_filter"))
+            .expect("affinity row present");
+        let factor: f64 = affinity[3].trim_end_matches('x').parse().expect("parses");
+        assert!(
+            factor >= 1.0,
+            "cost-based must not lose the affinity class: {factor}x\n{t:?}"
+        );
     }
 }

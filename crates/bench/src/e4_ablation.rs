@@ -66,7 +66,8 @@ pub fn run(config: RunConfig) -> ExperimentTable {
         format!("{full_reqs:.2}"),
         "1.0x".into(),
     ]);
-    for rule in OC::RULES {
+    for rule in drugtree_query::phases::ablatable_rules() {
+        let rule = rule.name;
         let (latency, reqs) = measure(OC::ablate(rule).expect("known rule"));
         table.row(vec![
             format!("full - {rule}"),

@@ -17,6 +17,7 @@ pub mod e12_calibration;
 pub mod e13_observability;
 pub mod e14_fleet_obs;
 pub mod e15_kernels;
+pub mod e16_phases;
 pub mod e1_query_classes;
 pub mod e2_scalability;
 pub mod e3_cache;

@@ -45,6 +45,9 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!("usage: drugtree [--leaves N] [--ligands N] [--seed N] [--sources N]");
                 println!("       drugtree top <export.jsonl>   fold a trace export into a workload summary");
+                println!(
+                    "       drugtree rules                list the rewrite-rule registry by phase"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -102,6 +105,26 @@ fn render_value(v: &Value) -> String {
     }
 }
 
+/// `drugtree rules`: dump the rewrite-rule registry, phase by phase.
+fn run_rules() -> i32 {
+    println!(
+        "{:<12} {:<22} {:<9} description",
+        "phase", "rule", "ablatable"
+    );
+    for phase in drugtree_query::phases::PHASE_ORDER {
+        for rule in drugtree_query::phases::rules_in(phase) {
+            println!(
+                "{:<12} {:<22} {:<9} {}",
+                phase.label(),
+                rule.name,
+                if rule.ablatable() { "yes" } else { "-" },
+                rule.description,
+            );
+        }
+    }
+    0
+}
+
 /// `drugtree top <export.jsonl>`: fold a fleet-observability JSONL
 /// export into a workload summary table.
 fn run_top(args: &[String]) -> i32 {
@@ -129,6 +152,9 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("top") {
         std::process::exit(run_top(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("rules") {
+        std::process::exit(run_rules());
     }
     let opts = match parse_args() {
         Ok(o) => o,

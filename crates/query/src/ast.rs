@@ -233,6 +233,297 @@ pub mod columns {
     }
 }
 
+/// Canonical (normalized) predicate forms — the Canonicalize phase's
+/// rewrite steps (design decision D13).
+///
+/// Each step takes a predicate and returns the rewritten form plus a
+/// `changed` flag; the phase driver runs the enabled steps to a
+/// bounded fixpoint, and the phase-boundary check re-runs them to
+/// prove the result is stable. Every step is **exact** under the
+/// engine's two-valued `BoundPredicate::matches` semantics (a
+/// comparison against — or of — a NULL is `false`, and `not` is plain
+/// boolean negation):
+///
+/// * [`nnf`](canon::nnf) only eliminates double negation and applies De Morgan; it
+///   never rewrites `not (c op v)` into the flipped comparison,
+///   because on a NULL cell `not (c = v)` is *true* while `c != v` is
+///   *false*.
+/// * `false` is spelled `Not(True)` (exactly as the parser produces
+///   it), so folding needs no extra variant.
+/// * [`between_merge`](canon::between_merge) only fires when both bound literals are
+///   non-null: `c >= lo and c <= hi` then matches exactly the rows of
+///   `c between lo and hi`, including the empty `lo > hi` case.
+pub mod canon {
+    use drugtree_store::expr::{CompareOp, Predicate};
+
+    /// Negation-normal form: push `not` to the leaves via double-
+    /// negation elimination and De Morgan. Leaf negations (including
+    /// the `Not(True)` spelling of `false`) are left alone.
+    pub fn nnf(p: Predicate) -> (Predicate, bool) {
+        match p {
+            Predicate::Not(inner) => match *inner {
+                Predicate::Not(x) => {
+                    let (x, _) = nnf(*x);
+                    (x, true)
+                }
+                Predicate::And(ps) => {
+                    let members = ps
+                        .into_iter()
+                        .map(|m| nnf(Predicate::Not(Box::new(m))).0)
+                        .collect();
+                    (Predicate::Or(members), true)
+                }
+                Predicate::Or(ps) => {
+                    let members = ps
+                        .into_iter()
+                        .map(|m| nnf(Predicate::Not(Box::new(m))).0)
+                        .collect();
+                    (Predicate::And(members), true)
+                }
+                leaf => (Predicate::Not(Box::new(leaf)), false),
+            },
+            Predicate::And(ps) => rebuild(ps, Predicate::And, nnf),
+            Predicate::Or(ps) => rebuild(ps, Predicate::Or, nnf),
+            leaf => (leaf, false),
+        }
+    }
+
+    /// Flatten `and`-in-`and` / `or`-in-`or`, unwrap single-member
+    /// connectives, and normalize the empty cases (`and()` is `true`,
+    /// `or()` is `false`).
+    pub fn flatten(p: Predicate) -> (Predicate, bool) {
+        match p {
+            Predicate::And(ps) => flatten_connective(ps, true),
+            Predicate::Or(ps) => flatten_connective(ps, false),
+            Predicate::Not(inner) => {
+                let (inner, changed) = flatten(*inner);
+                (Predicate::Not(Box::new(inner)), changed)
+            }
+            leaf => (leaf, false),
+        }
+    }
+
+    fn flatten_connective(ps: Vec<Predicate>, is_and: bool) -> (Predicate, bool) {
+        let mut changed = false;
+        let mut members = Vec::with_capacity(ps.len());
+        for member in ps {
+            let (member, c) = flatten(member);
+            changed |= c;
+            match member {
+                Predicate::And(inner) if is_and => {
+                    changed = true;
+                    members.extend(inner);
+                }
+                Predicate::Or(inner) if !is_and => {
+                    changed = true;
+                    members.extend(inner);
+                }
+                other => members.push(other),
+            }
+        }
+        match members.len() {
+            0 => (
+                if is_and {
+                    Predicate::True
+                } else {
+                    fold_false()
+                },
+                true,
+            ),
+            1 => (members.remove(0), true),
+            _ => (
+                if is_and {
+                    Predicate::And(members)
+                } else {
+                    Predicate::Or(members)
+                },
+                changed,
+            ),
+        }
+    }
+
+    /// The canonical spelling of `false` (what the parser produces).
+    fn fold_false() -> Predicate {
+        Predicate::Not(Box::new(Predicate::True))
+    }
+
+    fn is_false(p: &Predicate) -> bool {
+        matches!(p, Predicate::Not(inner) if **inner == Predicate::True)
+    }
+
+    /// Constant folding: drop `true` from conjunctions and `false`
+    /// from disjunctions; collapse a conjunction containing `false`
+    /// (or a disjunction containing `true`) to the constant.
+    pub fn fold(p: Predicate) -> (Predicate, bool) {
+        match p {
+            Predicate::And(ps) => fold_connective(ps, true),
+            Predicate::Or(ps) => fold_connective(ps, false),
+            Predicate::Not(inner) => {
+                let (inner, changed) = fold(*inner);
+                (Predicate::Not(Box::new(inner)), changed)
+            }
+            leaf => (leaf, false),
+        }
+    }
+
+    fn fold_connective(ps: Vec<Predicate>, is_and: bool) -> (Predicate, bool) {
+        let mut changed = false;
+        let mut members = Vec::with_capacity(ps.len());
+        for member in ps {
+            let (member, c) = fold(member);
+            changed |= c;
+            // The absorbing element collapses the whole connective...
+            if (is_and && is_false(&member)) || (!is_and && member == Predicate::True) {
+                return (member, true);
+            }
+            // ...and the neutral element drops out.
+            if (is_and && member == Predicate::True) || (!is_and && is_false(&member)) {
+                changed = true;
+                continue;
+            }
+            members.push(member);
+        }
+        match members.len() {
+            0 => (
+                if is_and {
+                    Predicate::True
+                } else {
+                    fold_false()
+                },
+                true,
+            ),
+            1 => (members.remove(0), true),
+            _ => (
+                if is_and {
+                    Predicate::And(members)
+                } else {
+                    Predicate::Or(members)
+                },
+                changed,
+            ),
+        }
+    }
+
+    /// Merge a conjunction's `c >= lo` / `c <= hi` pair (same column,
+    /// both literals non-null) into `c between lo and hi`. Exact even
+    /// when `lo > hi`: both forms match no row.
+    pub fn between_merge(p: Predicate) -> (Predicate, bool) {
+        match p {
+            Predicate::And(ps) => {
+                let mut changed = false;
+                let mut members: Vec<Predicate> = Vec::with_capacity(ps.len());
+                for member in ps {
+                    let (member, c) = between_merge(member);
+                    changed |= c;
+                    members.push(member);
+                }
+                'merge: loop {
+                    for i in 0..members.len() {
+                        for j in 0..members.len() {
+                            if i == j {
+                                continue;
+                            }
+                            let Some(merged) = merge_pair(&members[i], &members[j]) else {
+                                continue;
+                            };
+                            members[i] = merged;
+                            members.remove(j);
+                            changed = true;
+                            continue 'merge;
+                        }
+                    }
+                    break;
+                }
+                (Predicate::And(members), changed)
+            }
+            Predicate::Or(ps) => rebuild(ps, Predicate::Or, between_merge),
+            Predicate::Not(inner) => {
+                let (inner, changed) = between_merge(*inner);
+                (Predicate::Not(Box::new(inner)), changed)
+            }
+            leaf => (leaf, false),
+        }
+    }
+
+    /// `lower >= lo` + `upper <= hi` over the same column, both
+    /// literals non-null, merged as `between lo and hi`.
+    fn merge_pair(lower: &Predicate, upper: &Predicate) -> Option<Predicate> {
+        let Predicate::Compare {
+            column: lc,
+            op: CompareOp::Ge,
+            value: lo,
+        } = lower
+        else {
+            return None;
+        };
+        let Predicate::Compare {
+            column: uc,
+            op: CompareOp::Le,
+            value: hi,
+        } = upper
+        else {
+            return None;
+        };
+        if lc != uc || lo.is_null() || hi.is_null() {
+            return None;
+        }
+        Some(Predicate::Between {
+            column: lc.clone(),
+            lo: lo.clone(),
+            hi: hi.clone(),
+        })
+    }
+
+    /// Drop exact duplicate members from conjunctions and
+    /// disjunctions, preserving first-occurrence order.
+    pub fn dedup(p: Predicate) -> (Predicate, bool) {
+        match p {
+            Predicate::And(ps) => dedup_connective(ps, Predicate::And),
+            Predicate::Or(ps) => dedup_connective(ps, Predicate::Or),
+            Predicate::Not(inner) => {
+                let (inner, changed) = dedup(*inner);
+                (Predicate::Not(Box::new(inner)), changed)
+            }
+            leaf => (leaf, false),
+        }
+    }
+
+    fn dedup_connective(
+        ps: Vec<Predicate>,
+        make: fn(Vec<Predicate>) -> Predicate,
+    ) -> (Predicate, bool) {
+        let mut changed = false;
+        let mut members: Vec<Predicate> = Vec::with_capacity(ps.len());
+        for member in ps {
+            let (member, c) = dedup(member);
+            changed |= c;
+            if members.contains(&member) {
+                changed = true;
+            } else {
+                members.push(member);
+            }
+        }
+        (make(members), changed)
+    }
+
+    fn rebuild(
+        ps: Vec<Predicate>,
+        make: fn(Vec<Predicate>) -> Predicate,
+        step: fn(Predicate) -> (Predicate, bool),
+    ) -> (Predicate, bool) {
+        let mut changed = false;
+        let members = ps
+            .into_iter()
+            .map(|m| {
+                let (m, c) = step(m);
+                changed |= c;
+                m
+            })
+            .collect();
+        (make(members), changed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,8 +20,12 @@
 //! * [`dataset`] — the queryable bundle (tree + overlay + sources).
 //! * [`stats`] — overlay statistics driving pruning and selectivity.
 //! * [`plan`] — physical plans and EXPLAIN rendering.
-//! * [`optimizer`] — the rewrite pipeline, rule-by-rule switchable so
+//! * [`optimizer`] — the phased rewrite engine (Analyze →
+//!   Canonicalize → Optimize → Lower), rule-by-rule switchable so
 //!   experiment E4 can ablate each one.
+//! * [`phases`] — the rewrite phases and the per-phase rule registry
+//!   (name, description, toggle) driving ablation, the `drugtree
+//!   rules` listing, and the EXPLAIN rule trace (design decision D13).
 //! * [`cost`] — the calibrated cost model pricing plan alternatives
 //!   (design decision D8).
 //! * [`cache`] — the semantic result cache (design decision D2).
@@ -52,6 +56,7 @@ pub mod matview;
 pub mod obs;
 pub mod optimizer;
 pub mod parser;
+pub mod phases;
 pub mod plan;
 pub mod serve;
 pub mod stats;
@@ -69,6 +74,7 @@ pub use obs::{
     WindowSummary,
 };
 pub use optimizer::{Optimizer, OptimizerConfig};
+pub use phases::{PassTrace, RewritePhase, RuleDef, RuleFiring, RuleOutcome};
 pub use serve::{FetchCoordinator, ServeConfig, ServeStats, ShardedSemanticCache};
 pub use trace::{
     AnalyzedResult, GestureObservation, MetricsRegistry, Observer, QuerySpan, QueryTrace, Stage,

@@ -1,45 +1,56 @@
-//! The rewrite pipeline that turns a [`Query`] into a [`PhysicalPlan`].
+//! The phased rewrite engine that turns a [`Query`] into a
+//! [`PhysicalPlan`] (design decision D13).
 //!
-//! Every rule is individually switchable so experiment E4 can measure
-//! its contribution. `OptimizerConfig::naive()` reproduces the
+//! Planning runs four explicit phases in order (see
+//! [`crate::phases::PHASE_ORDER`]):
+//!
+//! 1. **Analyze** resolves the query against the dataset: the scope
+//!    becomes a leaf interval via the tree index (the "standard" from
+//!    tree/XML databases, design decision D1), similarity and
+//!    substructure references resolve to fingerprints/patterns, and
+//!    the assay sources, candidate keys, and ligand-join need are
+//!    discovered.
+//! 2. **Canonicalize** normalizes the predicate ([`crate::ast::canon`]):
+//!    negation-normal form, flattening, constant folding, `between`
+//!    merging, and conjunct deduplication, each individually gated.
+//! 3. **Optimize** applies the cost-reducing rewrites: statistics
+//!    pruning (D4), predicate pushdown, selectivity ordering,
+//!    cardinality estimation from the overlay histograms, replica
+//!    selection, and matview/columnar/cache eligibility.
+//! 4. **Lower** produces the physical shape: batching + concurrent
+//!    dispatch (D3), per-source fetch plans, access-path selection
+//!    (including the semantic cache wrap, D2), and the finish operator.
+//!
+//! Every rule lives in the per-phase registry
+//! ([`crate::phases::REGISTRY`]) with a name, description, and — for
+//! flag-gated rules — a toggle into [`OptimizerConfig`], so experiment
+//! E4's ablations and the `drugtree rules` listing derive from one
+//! table. Within a phase the driver repeats its rules until a pass
+//! changes nothing (bounded by [`crate::phases::MAX_PASSES_PER_PHASE`]),
+//! records every firing in the plan's rule trace for EXPLAIN, and
+//! checks that phase's structural invariants at the boundary
+//! (`crate::validate`). `OptimizerConfig::naive()` reproduces the
 //! unoptimized DrugTree described in the paper's opening: one
 //! sequential round-trip per leaf per source, all filtering
 //! client-side, no caching, no pruning.
 //!
-//! Rules, in application order:
-//!
-//! 1. **Interval rewrite** (structural, always on): the scope resolves
-//!    to a leaf interval via the tree index — the "standard" from tree/
-//!    XML databases (design decision D1).
-//! 2. **Statistics pruning** (D4): leaves proven empty (zero records,
-//!    or max pActivity below a `p_activity >=` bound) are dropped from
-//!    the key set; an interval proven empty skips access entirely.
-//! 3. **Predicate pushdown**: the conjuncts over activity columns that
-//!    *every* assay source can evaluate remotely are pushed into the
-//!    fetches (uniform across sources, so cached results remain
-//!    reusable under one predicate key).
-//! 4. **Batching + concurrent dispatch** (D3): key lookups coalesce to
-//!    the source's max batch size and batches/sources go out together.
-//! 5. **Semantic cache** (D2): the fetch is wrapped in a cache probe.
-//! 6. **Materialized view**: unfiltered per-clade aggregates are
-//!    answered from the view when it is fresh.
-//! 7. **Selectivity ordering**: residual conjuncts are reordered
-//!    most-selective-first using the histogram statistics.
-//!
-//! With [`OptimizerConfig::cost_based`] set, access-path selection
-//! switches from the flag-driven fixed order above to enumeration:
-//! rules *propose* alternatives ([`crate::plan::PlanCandidate`] —
-//! matview answer vs. batched vs. per-key fetch; per-replica access
-//! paths; cached vs. direct) and the calibrated cost model
-//! ([`crate::cost::CostModel`], design decision D8) prices each one;
-//! the cheapest correct alternative wins and every candidate is
-//! recorded on the plan for EXPLAIN and validation.
+//! With [`OptimizerConfig::cost_based`] set, the Lower phase's
+//! access-path selection switches from the flag-driven fixed order to
+//! enumeration: rules *propose* alternatives
+//! ([`crate::plan::PlanCandidate`] — matview answer vs. batched vs.
+//! per-key fetch; per-replica access paths; cached vs. direct) and the
+//! calibrated cost model ([`crate::cost::CostModel`], design decision
+//! D8) prices each one; the cheapest correct alternative wins and
+//! every candidate is recorded on the plan for EXPLAIN and validation.
 
 use crate::ast::{columns, Query, QueryKind, SimilaritySpec};
 use crate::columnar::ActivityColumns;
 use crate::cost::CostModel;
 use crate::dataset::{unified_schema, Dataset};
 use crate::matview::MaterializedAggregates;
+use crate::phases::{
+    PassTrace, RewritePhase, RuleDef, RuleFiring, RuleOutcome, MAX_PASSES_PER_PHASE, PHASE_ORDER,
+};
 use crate::plan::{
     Access, FetchPlan, Finish, PhysicalPlan, PlanCandidate, ResolvedSimilarity,
     ResolvedSubstructure,
@@ -49,15 +60,34 @@ use crate::{QueryError, Result};
 use drugtree_chem::fingerprint::Fingerprint;
 use drugtree_chem::smiles::parse_smiles;
 use drugtree_phylo::index::LeafInterval;
+use drugtree_phylo::tree::NodeId;
 use drugtree_sources::source::SourceKind;
+use drugtree_sources::DataSource;
 use drugtree_store::expr::{CompareOp, Predicate};
 use drugtree_store::value::Value;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which rewrites are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OptimizerConfig {
+    /// Canonicalize: push negations to the predicate leaves
+    /// (double-negation elimination, De Morgan).
+    #[serde(default)]
+    pub canon_nnf: bool,
+    /// Canonicalize: flatten nested and/or, unwrap singletons.
+    #[serde(default)]
+    pub canon_flatten: bool,
+    /// Canonicalize: fold constant true/false subterms.
+    #[serde(default)]
+    pub canon_fold: bool,
+    /// Canonicalize: merge a column's >= and <= bounds into `between`.
+    #[serde(default)]
+    pub canon_between: bool,
+    /// Canonicalize: drop duplicate conjuncts and disjuncts.
+    #[serde(default)]
+    pub canon_dedup: bool,
     /// Push supported predicate conjuncts into source fetches.
     pub pushdown: bool,
     /// Coalesce key lookups into batches.
@@ -82,13 +112,13 @@ pub struct OptimizerConfig {
     /// Run the plan-invariant validator on every plan the executor
     /// receives (debug builds always validate inside the optimizer;
     /// this flag extends the check to release builds so benches can
-    /// measure its cost). Not a rewrite rule: excluded from
-    /// [`OptimizerConfig::RULES`] and untouched by `ablate`.
+    /// measure its cost). Not a rewrite rule: absent from
+    /// [`crate::phases::REGISTRY`] and untouched by `ablate`.
     pub validate: bool,
     /// Choose access paths by enumerating alternatives and pricing
     /// them with the calibrated cost model instead of applying the
-    /// fixed rule order. Not a rewrite rule: excluded from
-    /// [`OptimizerConfig::RULES`] and untouched by `ablate`.
+    /// fixed rule order. Not a rewrite rule: absent from
+    /// [`crate::phases::REGISTRY`] and untouched by `ablate`.
     pub cost_based: bool,
 }
 
@@ -96,6 +126,11 @@ impl OptimizerConfig {
     /// Everything on.
     pub fn full() -> OptimizerConfig {
         OptimizerConfig {
+            canon_nnf: true,
+            canon_flatten: true,
+            canon_fold: true,
+            canon_between: true,
+            canon_dedup: true,
             pushdown: true,
             batching: true,
             concurrent_dispatch: true,
@@ -122,6 +157,11 @@ impl OptimizerConfig {
     /// The unoptimized baseline.
     pub fn naive() -> OptimizerConfig {
         OptimizerConfig {
+            canon_nnf: false,
+            canon_flatten: false,
+            canon_fold: false,
+            canon_between: false,
+            canon_dedup: false,
             pushdown: false,
             batching: false,
             concurrent_dispatch: false,
@@ -137,37 +177,21 @@ impl OptimizerConfig {
     }
 
     /// `full()` with one named rule disabled — the E4 ablation helper.
-    /// Unknown rule names are a caller error reported as
+    /// Names resolve against the phase registry
+    /// ([`crate::phases::REGISTRY`]), so every flag-gated rule is
+    /// ablatable automatically. Unknown (or structural, always-on)
+    /// rule names are a caller error reported as
     /// [`QueryError::UnknownRule`], never a panic.
     pub fn ablate(rule: &str) -> Result<OptimizerConfig> {
         let mut c = OptimizerConfig::full();
-        match rule {
-            "pushdown" => c.pushdown = false,
-            "batching" => c.batching = false,
-            "concurrent_dispatch" => c.concurrent_dispatch = false,
-            "stats_pruning" => c.stats_pruning = false,
-            "semantic_cache" => c.semantic_cache = false,
-            "selectivity_ordering" => c.selectivity_ordering = false,
-            "use_matview" => c.use_matview = false,
-            "replica_selection" => c.replica_selection = false,
-            "columnar_scan" => c.columnar_scan = false,
-            other => return Err(QueryError::UnknownRule(other.to_string())),
+        match crate::phases::rule_named(rule).and_then(|r| r.toggle) {
+            Some(toggle) => {
+                toggle(&mut c, false);
+                Ok(c)
+            }
+            None => Err(QueryError::UnknownRule(rule.to_string())),
         }
-        Ok(c)
     }
-
-    /// The names accepted by [`OptimizerConfig::ablate`].
-    pub const RULES: &'static [&'static str] = &[
-        "pushdown",
-        "batching",
-        "concurrent_dispatch",
-        "stats_pruning",
-        "semantic_cache",
-        "selectivity_ordering",
-        "use_matview",
-        "replica_selection",
-        "columnar_scan",
-    ];
 }
 
 /// The planner.
@@ -228,7 +252,6 @@ impl Optimizer {
         query: &Query,
     ) -> Result<PhysicalPlan> {
         validate(query)?;
-        let mut notes = Vec::new();
         let default_cost_model;
         let cost_model: Option<&CostModel> = if self.config.cost_based {
             Some(match cost {
@@ -241,302 +264,760 @@ impl Optimizer {
         } else {
             None
         };
-        let mut candidates: Vec<PlanCandidate> = Vec::new();
 
-        // 1. Interval rewrite.
-        let (scope_node, interval) = dataset.resolve_scope(&query.scope)?;
-        notes.push(format!(
-            "interval-rewrite: scope -> [{}, {})",
-            interval.lo, interval.hi
-        ));
+        let mut rw = Rewrite::new(
+            &self.config,
+            dataset,
+            stats,
+            matview,
+            columnar,
+            cost_model,
+            query,
+        );
+        for phase in PHASE_ORDER {
+            rw.run_phase(phase)?;
+            rw.check_phase_boundary(phase)?;
+        }
+        let plan = rw.into_plan();
 
-        // Similarity resolution (needed before pushdown decisions to
-        // know the ligand join is required).
-        let similarity = match &query.similarity {
-            Some(spec) => Some(resolve_similarity(dataset, spec)?),
-            None => None,
-        };
-        let substructure = match &query.substructure {
-            Some(pattern) => Some(resolve_substructure(dataset, pattern)?),
-            None => None,
-        };
+        // In debug builds every plan the rewrite pipeline emits is
+        // validated, so a rule regression fails fast in any test that
+        // plans a query. Release builds opt in via `config.validate`
+        // (checked by the executor) to keep the planner's hot path
+        // measurable with and without the cost. This full-plan check
+        // doubles as the Lower phase's boundary validation.
+        #[cfg(debug_assertions)]
+        crate::validate::PlanValidator::new(dataset)
+            .validate(&plan)
+            .map_err(QueryError::Invariant)?;
 
-        // Residual predicate (full query predicate, re-applied client-
-        // side; pushdown only reduces shipped rows, never correctness).
-        let mut residual = query.predicate.clone();
-        if self.config.selectivity_ordering {
-            if let Some(stats) = stats {
-                residual = order_by_selectivity(residual, stats);
-                notes.push("selectivity-ordering: residual conjuncts reordered".into());
+        Ok(plan)
+    }
+}
+
+/// The in-flight draft the phased engine rewrites (design decision
+/// D13): the planning inputs plus every product a phase computes.
+/// Rules mutate the draft through [`Rewrite::apply`] and report a
+/// [`RuleOutcome`]; [`Rewrite::into_plan`] assembles the final
+/// [`PhysicalPlan`] once every phase has run.
+struct Rewrite<'a> {
+    config: &'a OptimizerConfig,
+    dataset: &'a Dataset,
+    stats: Option<&'a OverlayStats>,
+    matview: Option<&'a MaterializedAggregates>,
+    columnar: Option<&'a ActivityColumns>,
+    cost_model: Option<&'a CostModel>,
+    query: &'a Query,
+
+    notes: Vec<String>,
+    candidates: Vec<PlanCandidate>,
+    rule_trace: Vec<PassTrace>,
+    /// Structural and run-once rules that already fired (so every
+    /// later pass honestly reports `NoChange`).
+    done: Vec<&'static str>,
+
+    // Analyze products.
+    scope_node: Option<NodeId>,
+    interval: Option<LeafInterval>,
+    similarity: Option<ResolvedSimilarity>,
+    substructure: Option<ResolvedSubstructure>,
+    assay_sources: Vec<Arc<dyn DataSource>>,
+    ligand_join: bool,
+    keys: Vec<(u32, Value)>,
+    total_leaves: usize,
+
+    // Canonicalize product: the normalized predicate. Starts as the
+    // query predicate verbatim; with every canon flag off it stays
+    // byte-identical to it.
+    canonical: Predicate,
+
+    // Optimize products.
+    residual: Option<Predicate>,
+    pruned: usize,
+    proved_empty: bool,
+    pruning_bound: Option<f64>,
+    pushdown: Option<Predicate>,
+    /// Local (pre-translation) forms of the pushed conjuncts, used to
+    /// price their selectivity against the overlay histograms (which
+    /// index local columns like `p_activity`, not remote `value_nm`).
+    pushed_local: Option<Predicate>,
+    key_values: Vec<Value>,
+    expected_rows: u64,
+    /// `Some` once replica selection ran; `None` means every assay
+    /// source participates.
+    chosen_sources: Option<Vec<Arc<dyn DataSource>>>,
+    matview_eligible: bool,
+    columnar_ready: bool,
+    cache_wrap: bool,
+    cache_pred: Option<Predicate>,
+
+    // Lower products.
+    fixed_fetches: Vec<FetchPlan>,
+    access: Option<Access>,
+    finish: Option<Finish>,
+}
+
+impl<'a> Rewrite<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        config: &'a OptimizerConfig,
+        dataset: &'a Dataset,
+        stats: Option<&'a OverlayStats>,
+        matview: Option<&'a MaterializedAggregates>,
+        columnar: Option<&'a ActivityColumns>,
+        cost_model: Option<&'a CostModel>,
+        query: &'a Query,
+    ) -> Rewrite<'a> {
+        Rewrite {
+            config,
+            dataset,
+            stats,
+            matview,
+            columnar,
+            cost_model,
+            query,
+            notes: Vec::new(),
+            candidates: Vec::new(),
+            rule_trace: Vec::new(),
+            done: Vec::new(),
+            scope_node: None,
+            interval: None,
+            similarity: None,
+            substructure: None,
+            assay_sources: Vec::new(),
+            ligand_join: false,
+            keys: Vec::new(),
+            total_leaves: 0,
+            canonical: query.predicate.clone(),
+            residual: None,
+            pruned: 0,
+            proved_empty: false,
+            pruning_bound: None,
+            pushdown: None,
+            pushed_local: None,
+            key_values: Vec::new(),
+            expected_rows: 0,
+            chosen_sources: None,
+            matview_eligible: false,
+            columnar_ready: false,
+            cache_wrap: false,
+            cache_pred: None,
+            fixed_fetches: Vec::new(),
+            access: None,
+            finish: None,
+        }
+    }
+
+    /// Run one phase's rules to a fixpoint (every rule once per pass,
+    /// repeated until a pass changes nothing), recording each firing.
+    fn run_phase(&mut self, phase: RewritePhase) -> Result<()> {
+        for pass in 1..=MAX_PASSES_PER_PHASE {
+            let mut firings = Vec::new();
+            let mut any_changed = false;
+            for rule in crate::phases::rules_in(phase) {
+                let outcome = self.apply(rule)?;
+                any_changed |= outcome == RuleOutcome::Changed;
+                firings.push(RuleFiring {
+                    rule: rule.name,
+                    outcome,
+                });
+            }
+            self.rule_trace.push(PassTrace {
+                phase,
+                pass,
+                firings,
+            });
+            if !any_changed {
+                return Ok(());
             }
         }
+        Err(QueryError::Plan(format!(
+            "phase {} did not reach a fixpoint within {MAX_PASSES_PER_PHASE} passes",
+            phase.label()
+        )))
+    }
 
-        // 2. Statistics pruning.
-        let mut keys: Vec<(u32, Value)> = dataset
-            .accessions_in(interval)
-            .into_iter()
-            .map(|(rank, acc)| (rank, Value::from(acc)))
-            .collect();
-        let total_leaves = keys.len();
-        let mut pruned = 0;
-        let mut proved_empty = false;
-        let mut pruning_bound: Option<f64> = None;
-        if self.config.stats_pruning {
-            if let Some(stats) = stats {
-                if stats.interval_count(interval) == 0 {
-                    proved_empty = true;
-                    notes.push("stats-pruning: interval proven empty".into());
+    /// The phase's structural postconditions, checked the moment it
+    /// completes so a bad rule fails at its own boundary. Lower's
+    /// boundary is the full [`crate::validate::PlanValidator`], run on
+    /// the assembled plan by `plan_full`.
+    fn check_phase_boundary(&self, phase: RewritePhase) -> Result<()> {
+        let mut violations = Vec::new();
+        match phase {
+            RewritePhase::Analyze => {
+                crate::validate::phase_interval_bounds(
+                    self.dataset,
+                    self.interval(),
+                    &mut violations,
+                );
+            }
+            RewritePhase::Canonicalize => {
+                crate::validate::phase_canonical_form(
+                    self.config,
+                    &self.canonical,
+                    &mut violations,
+                );
+            }
+            RewritePhase::Optimize => {
+                crate::validate::phase_key_order(&self.key_values, &mut violations);
+                crate::validate::phase_pushdown_remote(
+                    self.pushdown.as_ref(),
+                    &self.sources_for_fetch(),
+                    &mut violations,
+                );
+                crate::validate::phase_pruning_counts(
+                    self.proved_empty,
+                    self.keys.len(),
+                    self.pruned,
+                    self.total_leaves,
+                    &mut violations,
+                );
+            }
+            RewritePhase::Lower => {}
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(QueryError::Invariant(violations))
+        }
+    }
+
+    fn interval(&self) -> LeafInterval {
+        match self.interval {
+            Some(iv) => iv,
+            None => unreachable!("Analyze resolved the interval"),
+        }
+    }
+
+    fn scope(&self) -> NodeId {
+        match self.scope_node {
+            Some(node) => node,
+            None => unreachable!("Analyze resolved the scope"),
+        }
+    }
+
+    fn is_done(&self, rule: &'static str) -> bool {
+        self.done.contains(&rule)
+    }
+
+    fn mark_done(&mut self, rule: &'static str) {
+        self.done.push(rule);
+    }
+
+    /// The sources the fetch path targets: the replica-selection
+    /// winners when that rule ran, every assay source otherwise.
+    fn sources_for_fetch(&self) -> Vec<Arc<dyn DataSource>> {
+        self.chosen_sources
+            .clone()
+            .unwrap_or_else(|| self.assay_sources.clone())
+    }
+
+    /// Apply one canonicalization step to the draft predicate.
+    fn canon_step(
+        &mut self,
+        enabled: bool,
+        step: fn(Predicate) -> (Predicate, bool),
+    ) -> RuleOutcome {
+        if !enabled {
+            return RuleOutcome::Off;
+        }
+        let (p, changed) = step(std::mem::replace(&mut self.canonical, Predicate::True));
+        self.canonical = p;
+        if changed {
+            RuleOutcome::Changed
+        } else {
+            RuleOutcome::NoChange
+        }
+    }
+
+    /// Apply one registered rule to the draft.
+    fn apply(&mut self, rule: &'static RuleDef) -> Result<RuleOutcome> {
+        use RuleOutcome::{Changed, NoChange, NotApplicable, Off};
+        Ok(match rule.name {
+            // ---------------- Analyze ----------------
+            "interval_rewrite" => {
+                if self.is_done(rule.name) {
+                    NoChange
                 } else {
-                    let p_bound = min_p_activity_bound(&query.predicate);
-                    pruning_bound = p_bound;
-                    keys.retain(|(rank, _)| {
-                        let leaf_iv = LeafInterval {
-                            lo: *rank,
-                            hi: rank + 1,
-                        };
-                        if stats.interval_count(leaf_iv) == 0 {
-                            return false;
-                        }
-                        if let Some(bound) = p_bound {
-                            if stats.interval_max_p(leaf_iv).is_none_or(|m| m < bound) {
-                                return false;
-                            }
-                        }
-                        true
-                    });
-                    pruned = total_leaves - keys.len();
-                    if pruned > 0 {
-                        notes.push(format!("stats-pruning: {pruned} leaves dropped"));
-                    }
+                    self.mark_done(rule.name);
+                    let (node, interval) = self.dataset.resolve_scope(&self.query.scope)?;
+                    self.notes.push(format!(
+                        "interval-rewrite: scope -> [{}, {})",
+                        interval.lo, interval.hi
+                    ));
+                    self.scope_node = Some(node);
+                    self.interval = Some(interval);
+                    Changed
                 }
             }
-        }
-
-        // 3. Pushdown: conjuncts translated into the remote assay
-        // schema (derived columns like p_activity become value_nm
-        // bounds) and supported by every assay source.
-        let assay_sources = dataset.registry.by_kind(SourceKind::Assay);
-        if assay_sources.is_empty() {
-            return Err(QueryError::Plan("no assay sources registered".into()));
-        }
-        let pushdown: Option<Predicate> = if self.config.pushdown {
-            let eligible: Vec<Predicate> = conjuncts_of(&query.predicate)
-                .into_iter()
-                .filter_map(remote_form)
-                .filter(|c| {
-                    assay_sources
+            "similarity_resolve" => match &self.query.similarity {
+                None => NotApplicable,
+                Some(spec) => {
+                    if self.is_done(rule.name) {
+                        NoChange
+                    } else {
+                        self.mark_done(rule.name);
+                        self.similarity = Some(resolve_similarity(self.dataset, spec)?);
+                        Changed
+                    }
+                }
+            },
+            "substructure_resolve" => match &self.query.substructure {
+                None => NotApplicable,
+                Some(pattern) => {
+                    if self.is_done(rule.name) {
+                        NoChange
+                    } else {
+                        self.mark_done(rule.name);
+                        self.substructure = Some(resolve_substructure(self.dataset, pattern)?);
+                        Changed
+                    }
+                }
+            },
+            "column_discovery" => {
+                if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    let sources = self.dataset.registry.by_kind(SourceKind::Assay);
+                    if sources.is_empty() {
+                        return Err(QueryError::Plan("no assay sources registered".into()));
+                    }
+                    self.assay_sources = sources;
+                    self.keys = self
+                        .dataset
+                        .accessions_in(self.interval())
+                        .into_iter()
+                        .map(|(rank, acc)| (rank, Value::from(acc)))
+                        .collect();
+                    self.total_leaves = self.keys.len();
+                    let residual_needs_ligand = self
+                        .query
+                        .predicate
+                        .columns()
                         .iter()
-                        .all(|s| s.capabilities().supports_predicate(c))
-                })
-                .collect();
-            if eligible.is_empty() {
-                None
-            } else {
-                let combined = eligible.into_iter().fold(Predicate::True, Predicate::and);
-                notes.push(format!("pushdown: {}", crate::plan::fmt_pred(&combined)));
-                Some(combined)
+                        .any(|c| columns::LIGAND.contains(c));
+                    let output_needs_ligand = matches!(
+                        self.query.kind,
+                        QueryKind::Activities | QueryKind::TopK { .. }
+                    );
+                    self.ligand_join = residual_needs_ligand
+                        || output_needs_ligand
+                        || self.similarity.is_some()
+                        || self.substructure.is_some();
+                    Changed
+                }
             }
-        } else {
-            None
-        };
-
-        // Keys ship sorted and deduplicated (a plan invariant):
-        // batching is deterministic and the executor's rank re-sort
-        // makes row order config-independent. Computed before replica
-        // selection because cost-based pricing needs the key count.
-        let mut key_values: Vec<Value> = keys.iter().map(|(_, k)| k.clone()).collect();
-        key_values.sort();
-        key_values.dedup();
-
-        // Cardinality estimate: interval count scaled by the pushdown
-        // selectivity (histogram-based). Shared by both planning modes.
-        let expected_rows = estimate_rows(stats, interval, &pushdown);
-
-        // 4. Replica selection: from each declared replica group,
-        // fetch only the member with the cheapest estimated access;
-        // ungrouped sources all participate. The fixed pipeline prices
-        // members from their self-declared latency model at a nominal
-        // 100 rows; cost-based planning prices each member with its
-        // calibrated parameters at this query's estimated shape and
-        // records every member as a candidate.
-        let chosen_sources: Vec<&std::sync::Arc<dyn drugtree_sources::DataSource>> =
-            if self.config.replica_selection {
-                let mut chosen = Vec::new();
-                let mut handled_groups: Vec<&[String]> = Vec::new();
-                for s in &assay_sources {
-                    match dataset.registry.replica_group_of(s.name()) {
-                        None => chosen.push(s),
-                        Some(group) => {
-                            if handled_groups.contains(&group) {
-                                continue;
-                            }
-                            handled_groups.push(group);
-                            let members = assay_sources
-                                .iter()
-                                .filter(|c| group.iter().any(|n| n == c.name()));
-                            let cheapest = if let Some(model) = cost_model {
-                                let mut best: Option<(
-                                    &std::sync::Arc<dyn drugtree_sources::DataSource>,
-                                    f64,
-                                )> = None;
-                                let group_name = format!("replica:{}", group[0]);
-                                let mut group_candidates = Vec::new();
-                                for c in members {
-                                    let reqs = effective_requests(
-                                        &self.config,
-                                        key_values.len(),
-                                        self.config.batching,
-                                        c.capabilities().max_batch,
-                                    );
-                                    let secs =
-                                        model.params_for(c.name()).price(reqs, expected_rows);
-                                    group_candidates.push(PlanCandidate {
-                                        group: group_name.clone(),
-                                        label: c.name().to_string(),
-                                        cost_secs: secs,
-                                        rows: expected_rows,
-                                        chosen: false,
-                                    });
-                                    if best.as_ref().is_none_or(|(_, b)| secs < *b) {
-                                        best = Some((c, secs));
+            // ---------------- Canonicalize ----------------
+            "canon_nnf" => self.canon_step(self.config.canon_nnf, crate::ast::canon::nnf),
+            "canon_flatten" => {
+                self.canon_step(self.config.canon_flatten, crate::ast::canon::flatten)
+            }
+            "canon_fold" => self.canon_step(self.config.canon_fold, crate::ast::canon::fold),
+            "canon_between" => {
+                self.canon_step(self.config.canon_between, crate::ast::canon::between_merge)
+            }
+            "canon_dedup" => self.canon_step(self.config.canon_dedup, crate::ast::canon::dedup),
+            // ---------------- Optimize ----------------
+            "selectivity_ordering" => {
+                if !self.config.selectivity_ordering {
+                    Off
+                } else {
+                    let Some(stats) = self.stats else {
+                        return Ok(NotApplicable);
+                    };
+                    if self.is_done(rule.name) {
+                        NoChange
+                    } else {
+                        self.mark_done(rule.name);
+                        self.residual = Some(order_by_selectivity(self.canonical.clone(), stats));
+                        self.notes
+                            .push("selectivity-ordering: residual conjuncts reordered".into());
+                        Changed
+                    }
+                }
+            }
+            "stats_pruning" => {
+                if !self.config.stats_pruning {
+                    Off
+                } else {
+                    let Some(stats) = self.stats else {
+                        return Ok(NotApplicable);
+                    };
+                    if self.is_done(rule.name) {
+                        NoChange
+                    } else {
+                        self.mark_done(rule.name);
+                        let interval = self.interval();
+                        if stats.interval_count(interval) == 0 {
+                            self.proved_empty = true;
+                            self.notes
+                                .push("stats-pruning: interval proven empty".into());
+                            Changed
+                        } else {
+                            let p_bound = min_p_activity_bound(&self.canonical);
+                            self.pruning_bound = p_bound;
+                            let before = self.keys.len();
+                            self.keys.retain(|(rank, _)| {
+                                let leaf_iv = LeafInterval {
+                                    lo: *rank,
+                                    hi: rank + 1,
+                                };
+                                if stats.interval_count(leaf_iv) == 0 {
+                                    return false;
+                                }
+                                if let Some(bound) = p_bound {
+                                    if stats.interval_max_p(leaf_iv).is_none_or(|m| m < bound) {
+                                        return false;
                                     }
                                 }
-                                if let Some((winner, _)) = best {
-                                    for cand in &mut group_candidates {
-                                        cand.chosen = cand.label == winner.name();
-                                    }
-                                }
-                                candidates.extend(group_candidates);
-                                best.map(|(c, _)| c)
+                                true
+                            });
+                            self.pruned = before - self.keys.len();
+                            if self.pruned > 0 {
+                                let pruned = self.pruned;
+                                self.notes
+                                    .push(format!("stats-pruning: {pruned} leaves dropped"));
+                                Changed
                             } else {
-                                members.min_by_key(|c| {
-                                    let m = c.latency_model();
-                                    m.base_rtt + m.per_row * 100
-                                })
-                            };
-                            // Registration guarantees groups are
-                            // non-empty; fall back to the current
-                            // source rather than trusting that here.
-                            let Some(cheapest) = cheapest else {
-                                chosen.push(s);
-                                continue;
-                            };
-                            notes.push(format!(
-                                "replica-selection: {} chosen from {group:?}",
-                                cheapest.name()
-                            ));
-                            chosen.push(cheapest);
+                                NoChange
+                            }
                         }
                     }
                 }
-                chosen
-            } else {
-                assay_sources.iter().collect()
-            };
+            }
+            "pushdown" => {
+                if !self.config.pushdown {
+                    Off
+                } else if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    // Conjuncts translated into the remote assay schema
+                    // (derived columns like p_activity become value_nm
+                    // bounds) and supported by every assay source; the
+                    // local forms are kept for histogram pricing.
+                    let mut remote = Vec::new();
+                    let mut local = Vec::new();
+                    for conjunct in conjuncts_of(&self.canonical) {
+                        let Some(r) = remote_form(conjunct) else {
+                            continue;
+                        };
+                        if self
+                            .assay_sources
+                            .iter()
+                            .all(|s| s.capabilities().supports_predicate(&r))
+                        {
+                            remote.push(r);
+                            local.push(conjunct.clone());
+                        }
+                    }
+                    if remote.is_empty() {
+                        NotApplicable
+                    } else {
+                        self.mark_done(rule.name);
+                        let combined = remote.into_iter().fold(Predicate::True, Predicate::and);
+                        self.notes
+                            .push(format!("pushdown: {}", crate::plan::fmt_pred(&combined)));
+                        self.pushdown = Some(combined);
+                        self.pushed_local =
+                            Some(local.into_iter().fold(Predicate::True, Predicate::and));
+                        Changed
+                    }
+                }
+            }
+            "cardinality_estimate" => {
+                if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    // Keys ship sorted and deduplicated (a plan
+                    // invariant): batching is deterministic and the
+                    // executor's rank re-sort makes row order
+                    // config-independent.
+                    let mut key_values: Vec<Value> =
+                        self.keys.iter().map(|(_, k)| k.clone()).collect();
+                    key_values.sort();
+                    key_values.dedup();
+                    self.key_values = key_values;
+                    self.expected_rows =
+                        estimate_rows(self.stats, self.interval(), &self.pushed_local);
+                    Changed
+                }
+            }
+            "replica_selection" => {
+                if !self.config.replica_selection {
+                    Off
+                } else if !self
+                    .assay_sources
+                    .iter()
+                    .any(|s| self.dataset.registry.replica_group_of(s.name()).is_some())
+                {
+                    // No declared replica groups: every source
+                    // participates (chosen_sources stays None).
+                    NotApplicable
+                } else if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    self.select_replicas();
+                    Changed
+                }
+            }
+            "use_matview" => {
+                if !self.config.use_matview {
+                    Off
+                } else if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    // Eligibility is a correctness gate: the view holds
+                    // whole-clade aggregates, so the scope must cover
+                    // the clade exactly — an interval or leaf-set scope
+                    // that only partially covers its tightest enclosing
+                    // clade aggregates a subset of each child's rows,
+                    // which the view cannot answer. (Found by the
+                    // differential oracle.)
+                    let eligible = self.matview.is_some_and(|v| v.is_fresh(self.dataset))
+                        && matches!(self.query.kind, QueryKind::AggregateChildren { .. })
+                        && self.interval() == self.dataset.index.interval(self.scope())
+                        && self.canonical == Predicate::True
+                        && self.similarity.is_none()
+                        && self.substructure.is_none();
+                    if eligible {
+                        self.mark_done(rule.name);
+                        self.matview_eligible = true;
+                        Changed
+                    } else {
+                        NotApplicable
+                    }
+                }
+            }
+            "columnar_scan" => {
+                if !self.config.columnar_scan {
+                    Off
+                } else if self.is_done(rule.name) {
+                    NoChange
+                } else if !self.columnar.is_some_and(|c| c.is_fresh(self.dataset)) {
+                    // The mirror replays the fetch path's row pipeline
+                    // at build time, so any interval scope can be
+                    // served locally as long as no source has drifted.
+                    NotApplicable
+                } else {
+                    self.mark_done(rule.name);
+                    self.columnar_ready = true;
+                    Changed
+                }
+            }
+            "semantic_cache" => {
+                if !self.config.semantic_cache {
+                    Off
+                } else if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    // The cache key must capture every row-reducing
+                    // effect of this plan's fetch: the source pushdown
+                    // AND any statistics-pruning potency bound (pruned
+                    // leaves' weak rows are absent from the fetched
+                    // set, so an entry without the bound in its key
+                    // would wrongly answer unfiltered probes).
+                    let mut key = self.pushdown.clone().unwrap_or(Predicate::True);
+                    if let Some(bound) = self.pruning_bound {
+                        key = key.and(Predicate::cmp("p_activity", CompareOp::Ge, bound));
+                    }
+                    self.cache_pred = match key {
+                        Predicate::True => None,
+                        other => Some(other),
+                    };
+                    self.cache_wrap = true;
+                    Changed
+                }
+            }
+            // ---------------- Lower ----------------
+            "batching" => {
+                if !self.config.batching {
+                    Off
+                } else if self.cost_model.is_some() {
+                    // Cost-based planning prices batched vs per-key as
+                    // access alternatives instead of applying the flag.
+                    NotApplicable
+                } else if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    self.notes.push("batching: keyed lookups coalesced".into());
+                    Changed
+                }
+            }
+            "concurrent_dispatch" => {
+                if !self.config.concurrent_dispatch {
+                    Off
+                } else if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    Changed
+                }
+            }
+            "lower_fetches" => {
+                if self.cost_model.is_some() {
+                    // Cost-based fetches are built during access
+                    // selection, where batched vs per-key is priced.
+                    NotApplicable
+                } else if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    let sources = self.sources_for_fetch();
+                    self.fixed_fetches = sources
+                        .iter()
+                        .map(|s| {
+                            fetch_for_source(
+                                s.as_ref(),
+                                &self.key_values,
+                                &self.pushdown,
+                                self.config.batching,
+                                self.config.concurrent_dispatch,
+                                self.expected_rows,
+                            )
+                        })
+                        .collect();
+                    Changed
+                }
+            }
+            "access_select" => {
+                if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    let access = self.select_access();
+                    self.access = Some(access);
+                    Changed
+                }
+            }
+            "finish_build" => {
+                if self.is_done(rule.name) {
+                    NoChange
+                } else {
+                    self.mark_done(rule.name);
+                    self.finish = Some(build_finish(self.dataset, self.scope(), self.query)?);
+                    Changed
+                }
+            }
+            other => {
+                return Err(QueryError::Plan(format!(
+                    "registered rule {other:?} has no implementation"
+                )))
+            }
+        })
+    }
 
-        // 5. Batching + dispatch (fixed pipeline). Cost-based planning
-        // builds its fetches during access selection below, where
-        // batched vs per-key is itself a priced choice.
-        let fixed_fetches: Vec<FetchPlan> = if cost_model.is_none() {
-            chosen_sources
-                .iter()
-                .map(|s| {
-                    fetch_for_source(
-                        s.as_ref(),
-                        &key_values,
-                        &pushdown,
-                        self.config.batching,
-                        self.config.concurrent_dispatch,
-                        expected_rows,
-                    )
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        if cost_model.is_none() && self.config.batching {
-            notes.push("batching: keyed lookups coalesced".into());
+    /// Replica selection: from each declared replica group, fetch only
+    /// the member with the cheapest estimated access; ungrouped sources
+    /// all participate. The fixed pipeline prices members from their
+    /// self-declared latency model at a nominal 100 rows; cost-based
+    /// planning prices each member with its calibrated parameters at
+    /// this query's estimated shape and records every member as a
+    /// candidate.
+    fn select_replicas(&mut self) {
+        let sources = self.assay_sources.clone();
+        let key_count = self.key_values.len();
+        let expected_rows = self.expected_rows;
+        let mut chosen: Vec<Arc<dyn DataSource>> = Vec::new();
+        let mut handled_groups: Vec<&[String]> = Vec::new();
+        for s in &sources {
+            match self.dataset.registry.replica_group_of(s.name()) {
+                None => chosen.push(s.clone()),
+                Some(group) => {
+                    if handled_groups.contains(&group) {
+                        continue;
+                    }
+                    handled_groups.push(group);
+                    let members = sources
+                        .iter()
+                        .filter(|c| group.iter().any(|n| n == c.name()));
+                    let cheapest = if let Some(model) = self.cost_model {
+                        let mut best: Option<(&Arc<dyn DataSource>, f64)> = None;
+                        let group_name = format!("replica:{}", group[0]);
+                        let mut group_candidates = Vec::new();
+                        for c in members {
+                            let reqs = effective_requests(
+                                self.config,
+                                key_count,
+                                self.config.batching,
+                                c.capabilities().max_batch,
+                            );
+                            let secs = model.params_for(c.name()).price(reqs, expected_rows);
+                            group_candidates.push(PlanCandidate {
+                                group: group_name.clone(),
+                                label: c.name().to_string(),
+                                cost_secs: secs,
+                                rows: expected_rows,
+                                chosen: false,
+                            });
+                            if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+                                best = Some((c, secs));
+                            }
+                        }
+                        if let Some((winner, _)) = best {
+                            for cand in &mut group_candidates {
+                                cand.chosen = cand.label == winner.name();
+                            }
+                        }
+                        self.candidates.extend(group_candidates);
+                        best.map(|(c, _)| c)
+                    } else {
+                        members.min_by_key(|c| {
+                            let m = c.latency_model();
+                            m.base_rtt + m.per_row * 100
+                        })
+                    };
+                    // Registration guarantees groups are non-empty;
+                    // fall back to the current source rather than
+                    // trusting that here.
+                    let Some(cheapest) = cheapest else {
+                        chosen.push(s.clone());
+                        continue;
+                    };
+                    self.notes.push(format!(
+                        "replica-selection: {} chosen from {group:?}",
+                        cheapest.name()
+                    ));
+                    chosen.push(cheapest.clone());
+                }
+            }
         }
+        self.chosen_sources = Some(chosen);
+    }
 
-        // Finish operator.
-        let finish = build_finish(dataset, scope_node, query)?;
-
-        // Ligand join requirement.
-        let residual_needs_ligand = query
-            .predicate
-            .columns()
-            .iter()
-            .any(|c| columns::LIGAND.contains(c));
-        let output_needs_ligand =
-            matches!(query.kind, QueryKind::Activities | QueryKind::TopK { .. });
-        let ligand_join = residual_needs_ligand
-            || output_needs_ligand
-            || similarity.is_some()
-            || substructure.is_some();
-
-        // Matview eligibility is a correctness gate in both planning
-        // modes. The view holds whole-clade aggregates, so the scope
-        // must cover the clade exactly: an interval or leaf-set scope
-        // that only partially covers its tightest enclosing clade
-        // aggregates a subset of each child's rows, which the view
-        // cannot answer. (Found by the differential oracle.)
-        let matview_eligible = matview.is_some_and(|v| v.is_fresh(dataset))
-            && matches!(query.kind, QueryKind::AggregateChildren { .. })
-            && interval == dataset.index.interval(scope_node)
-            && query.predicate == Predicate::True
-            && similarity.is_none()
-            && substructure.is_none();
-
-        // Columnar-scan eligibility: the mirror replays the fetch
-        // path's row pipeline at build time, so any interval scope can
-        // be served locally as long as no source has drifted since.
-        let columnar_ready =
-            self.config.columnar_scan && columnar.is_some_and(|c| c.is_fresh(dataset));
-
-        // The cache key must capture every row-reducing effect of
-        // this plan's fetch: the source pushdown AND any
-        // statistics-pruning potency bound (pruned leaves' weak
-        // rows are absent from the fetched set, so an entry without
-        // the bound in its key would wrongly answer unfiltered
-        // probes).
-        let cache_key = || {
-            let mut key = pushdown.clone().unwrap_or(Predicate::True);
-            if let Some(bound) = pruning_bound {
-                key = key.and(Predicate::cmp("p_activity", CompareOp::Ge, bound));
-            }
-            match key {
-                Predicate::True => None,
-                other => Some(other),
-            }
-        };
-
-        // 5/6. Access selection.
-        let access = if proved_empty {
-            Access::ProvedEmpty
-        } else if let Some(model) = cost_model {
-            // Cost-based: enumerate the correct alternatives, price
-            // each, keep the cheapest (first minimum on ties).
+    /// Access-path selection: the fixed pipeline decides by flag order,
+    /// cost-based planning enumerates the correct alternatives, prices
+    /// each, and keeps the cheapest (first minimum on ties).
+    fn select_access(&mut self) -> Access {
+        let expected_rows = self.expected_rows;
+        if self.proved_empty {
+            return Access::ProvedEmpty;
+        }
+        if let Some(model) = self.cost_model {
+            let config = *self.config;
+            let sources = self.sources_for_fetch();
+            let key_count = self.key_values.len();
             let price_variant = |batched: bool| -> f64 {
-                let per_source = chosen_sources.iter().map(|s| {
-                    let reqs = effective_requests(
-                        &self.config,
-                        key_values.len(),
-                        batched,
-                        s.capabilities().max_batch,
-                    );
+                let per_source = sources.iter().map(|s| {
+                    let reqs =
+                        effective_requests(&config, key_count, batched, s.capabilities().max_batch);
                     model.params_for(s.name()).price(reqs, expected_rows)
                 });
-                if self.config.concurrent_dispatch {
+                if config.concurrent_dispatch {
                     per_source.fold(0.0, f64::max)
                 } else {
                     per_source.sum()
                 }
             };
             let mut alternatives: Vec<(&str, f64)> = Vec::new();
-            if self.config.use_matview && matview_eligible {
+            if self.matview_eligible {
                 alternatives.push(("matview", 0.0));
             }
-            if columnar_ready {
+            if self.columnar_ready {
                 alternatives.push((
                     "columnar-scan",
                     crate::cost::columnar_scan_secs(expected_rows),
@@ -553,7 +1034,7 @@ impl Optimizer {
                 .find(|(_, c)| *c <= best)
                 .map_or("batched-fetch", |(l, _)| *l);
             for (label, cost_secs) in &alternatives {
-                candidates.push(PlanCandidate {
+                self.candidates.push(PlanCandidate {
                     group: "access".into(),
                     label: (*label).to_string(),
                     cost_secs: *cost_secs,
@@ -565,137 +1046,140 @@ impl Optimizer {
                     chosen: *label == chosen_label,
                 });
             }
-            notes.push(format!(
+            self.notes.push(format!(
                 "cost-based: access={chosen_label} est={:?} est_rows={expected_rows}",
                 crate::cost::secs_to_duration(best)
             ));
             if chosen_label == "matview" {
-                notes.push("matview: aggregate served from materialized view".into());
-                Access::MaterializedView
-            } else if chosen_label == "columnar-scan" {
-                notes.push(format!(
+                self.notes
+                    .push("matview: aggregate served from materialized view".into());
+                return Access::MaterializedView;
+            }
+            if chosen_label == "columnar-scan" {
+                let interval = self.interval();
+                self.notes.push(format!(
                     "columnar-scan: interval [{}, {}) served by vectorized kernels",
                     interval.lo, interval.hi
                 ));
-                Access::ColumnarScan {
-                    pushdown: pushdown.clone(),
+                return Access::ColumnarScan {
+                    pushdown: self.pushdown.clone(),
+                };
+            }
+            let batched = chosen_label == "batched-fetch";
+            let fetches: Vec<FetchPlan> = sources
+                .iter()
+                .map(|s| {
+                    let reqs =
+                        effective_requests(&config, key_count, batched, s.capabilities().max_batch);
+                    let est = model.params_for(s.name()).price(reqs, expected_rows);
+                    let mut f = fetch_for_source(
+                        s.as_ref(),
+                        &self.key_values,
+                        &self.pushdown,
+                        batched,
+                        config.concurrent_dispatch,
+                        expected_rows,
+                    );
+                    f.est_cost = crate::cost::secs_to_duration(est);
+                    f
+                })
+                .collect();
+            // Cache wrapping: a probe costs nothing on a hit and the
+            // same as the direct fetch on a miss, so it is never worse;
+            // both alternatives are recorded priced at the miss path.
+            return if self.cache_wrap {
+                for (label, chosen) in [("cache-probe", true), ("direct", false)] {
+                    self.candidates.push(PlanCandidate {
+                        group: "cache".into(),
+                        label: label.to_string(),
+                        cost_secs: best,
+                        rows: expected_rows,
+                        chosen,
+                    });
+                }
+                Access::CacheProbe {
+                    pushdown: self.cache_pred.clone(),
+                    on_miss: fetches,
+                    insert_on_miss: true,
+                    concurrent_sources: config.concurrent_dispatch,
                 }
             } else {
-                let batched = chosen_label == "batched-fetch";
-                let fetches: Vec<FetchPlan> = chosen_sources
-                    .iter()
-                    .map(|s| {
-                        let reqs = effective_requests(
-                            &self.config,
-                            key_values.len(),
-                            batched,
-                            s.capabilities().max_batch,
-                        );
-                        let est = model.params_for(s.name()).price(reqs, expected_rows);
-                        let mut f = fetch_for_source(
-                            s.as_ref(),
-                            &key_values,
-                            &pushdown,
-                            batched,
-                            self.config.concurrent_dispatch,
-                            expected_rows,
-                        );
-                        f.est_cost = crate::cost::secs_to_duration(est);
-                        f
-                    })
-                    .collect();
-                // Cache wrapping: a probe costs nothing on a hit and
-                // the same as the direct fetch on a miss, so it is
-                // never worse; both alternatives are recorded priced
-                // at the miss path.
-                if self.config.semantic_cache {
-                    for (label, chosen) in [("cache-probe", true), ("direct", false)] {
-                        candidates.push(PlanCandidate {
-                            group: "cache".into(),
-                            label: label.to_string(),
-                            cost_secs: best,
-                            rows: expected_rows,
-                            chosen,
-                        });
-                    }
-                    Access::CacheProbe {
-                        pushdown: cache_key(),
-                        on_miss: fetches,
-                        insert_on_miss: true,
-                        concurrent_sources: self.config.concurrent_dispatch,
-                    }
-                } else {
-                    Access::Fetch {
-                        fetches,
-                        concurrent_sources: self.config.concurrent_dispatch,
-                    }
+                Access::Fetch {
+                    fetches,
+                    concurrent_sources: config.concurrent_dispatch,
                 }
-            }
-        } else if self.config.use_matview && matview_eligible {
-            notes.push("matview: aggregate served from materialized view".into());
+            };
+        }
+        // Fixed pipeline: flag order decides.
+        if self.matview_eligible {
+            self.notes
+                .push("matview: aggregate served from materialized view".into());
             Access::MaterializedView
-        } else if columnar_ready {
-            notes.push(format!(
+        } else if self.columnar_ready {
+            let interval = self.interval();
+            self.notes.push(format!(
                 "columnar-scan: interval [{}, {}) served by vectorized kernels",
                 interval.lo, interval.hi
             ));
             Access::ColumnarScan {
-                pushdown: pushdown.clone(),
+                pushdown: self.pushdown.clone(),
             }
-        } else if self.config.semantic_cache {
+        } else if self.cache_wrap {
             Access::CacheProbe {
-                pushdown: cache_key(),
-                on_miss: fixed_fetches,
+                pushdown: self.cache_pred.clone(),
+                on_miss: std::mem::take(&mut self.fixed_fetches),
                 insert_on_miss: true,
                 concurrent_sources: self.config.concurrent_dispatch,
             }
         } else {
             Access::Fetch {
-                fetches: fixed_fetches,
+                fetches: std::mem::take(&mut self.fixed_fetches),
                 concurrent_sources: self.config.concurrent_dispatch,
             }
-        };
+        }
+    }
 
+    /// Assemble the physical plan from the finished draft.
+    fn into_plan(self) -> PhysicalPlan {
+        let Some(access) = self.access else {
+            unreachable!("Lower selected the access path")
+        };
         // Cost estimate (for EXPLAIN and plan-choice validation):
         // combine the per-fetch estimates the same way the executor
         // combines charged latency; a columnar scan's estimate is the
         // modeled local-compute term.
         let estimated_cost = match &access {
-            Access::ColumnarScan { .. } => crate::cost::columnar_scan_cost(expected_rows),
+            Access::ColumnarScan { .. } => crate::cost::columnar_scan_cost(self.expected_rows),
             _ => combine_access_cost(&access),
         };
         let estimated_rows = match &access {
             Access::MaterializedView | Access::ProvedEmpty => 0,
-            _ => expected_rows,
+            _ => self.expected_rows,
         };
-
-        let plan = PhysicalPlan {
+        let (Some(scope_node), Some(interval)) = (self.scope_node, self.interval) else {
+            unreachable!("Analyze resolved the scope and interval")
+        };
+        PhysicalPlan {
             scope_node,
             interval,
-            pruned_leaves: pruned,
+            pruned_leaves: self.pruned,
             access,
-            residual,
-            ligand_join,
-            similarity,
-            substructure,
-            finish,
-            notes,
+            // The full predicate re-applies client-side; pushdown only
+            // reduces shipped rows, never correctness.
+            residual: self.residual.unwrap_or(self.canonical),
+            ligand_join: self.ligand_join,
+            similarity: self.similarity,
+            substructure: self.substructure,
+            finish: match self.finish {
+                Some(finish) => finish,
+                None => unreachable!("Lower built the finish operator"),
+            },
+            notes: self.notes,
             estimated_cost,
             estimated_rows,
-            candidates,
-        };
-
-        // In debug builds every plan the rewrite pipeline emits is
-        // validated, so a rule regression fails fast in any test that
-        // plans a query. Release builds opt in via `config.validate`
-        // (checked by the executor) to keep the planner's hot path
-        // measurable with and without the cost.
-        #[cfg(debug_assertions)]
-        crate::validate::PlanValidator::new(dataset)
-            .validate(&plan)
-            .map_err(QueryError::Invariant)?;
-
-        Ok(plan)
+            candidates: self.candidates,
+            rule_trace: self.rule_trace,
+        }
     }
 }
 
@@ -754,7 +1238,9 @@ fn resolve_substructure(dataset: &Dataset, pattern: &str) -> Result<ResolvedSubs
 }
 
 /// The tightest `p_activity >= c` (or `> c`) bound in the predicate's
-/// top-level conjuncts, used for max-pActivity pruning.
+/// top-level conjuncts, used for max-pActivity pruning. A `between`
+/// conjunct (as canonicalization produces) contributes its lower edge:
+/// `between lo and hi` only matches cells `>= lo`.
 fn min_p_activity_bound(pred: &Predicate) -> Option<f64> {
     conjuncts_of(pred)
         .into_iter()
@@ -764,6 +1250,7 @@ fn min_p_activity_bound(pred: &Predicate) -> Option<f64> {
             {
                 value.as_f64()
             }
+            Predicate::Between { column, lo, .. } if column == "p_activity" => lo.as_f64(),
             _ => None,
         })
         .fold(None, |acc: Option<f64>, v| {
@@ -889,8 +1376,12 @@ fn build_finish(
 }
 
 /// Cardinality estimate for the access: interval record count scaled
-/// by the histogram selectivity of the pushdown (interval length when
-/// no statistics were collected).
+/// by the histogram selectivity of the pushed conjuncts, passed in
+/// their *local* column forms (interval length when no statistics were
+/// collected). The local forms matter: the overlay histograms index
+/// local columns like `p_activity`, so pricing the remote-translated
+/// `value_nm` bound would fall back to the nominal 0.5 guess and
+/// mis-rank access paths on affinity filters (experiment E12).
 fn estimate_rows(
     stats: Option<&OverlayStats>,
     interval: LeafInterval,
@@ -1258,10 +1749,18 @@ mod tests {
 
     #[test]
     fn ablation_helper() {
-        for rule in OptimizerConfig::RULES {
-            let c = OptimizerConfig::ablate(rule).unwrap();
-            assert_ne!(c, OptimizerConfig::full(), "{rule} should change config");
+        for rule in crate::phases::ablatable_rules() {
+            let c = OptimizerConfig::ablate(rule.name).unwrap();
+            assert_ne!(
+                c,
+                OptimizerConfig::full(),
+                "{} should change config",
+                rule.name
+            );
         }
+        assert!(OptimizerConfig::ablate("no_such_rule").is_err());
+        // Structural rules are registered but not ablatable.
+        assert!(OptimizerConfig::ablate("interval_rewrite").is_err());
     }
 
     #[test]

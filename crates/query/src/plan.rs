@@ -163,6 +163,9 @@ pub struct PhysicalPlan {
     /// Alternatives the cost-based planner enumerated (empty under the
     /// fixed rule pipeline).
     pub candidates: Vec<PlanCandidate>,
+    /// Per-phase rule firings recorded by the phased rewrite engine
+    /// (one entry per fixpoint pass), rendered by EXPLAIN.
+    pub rule_trace: Vec<crate::phases::PassTrace>,
 }
 
 impl PhysicalPlan {
@@ -272,6 +275,20 @@ impl PhysicalPlan {
         }
         for note in &self.notes {
             let _ = writeln!(out, "  # {note}");
+        }
+        for pass in &self.rule_trace {
+            let firings: Vec<String> = pass
+                .firings
+                .iter()
+                .map(|f| format!("{}={}", f.rule, f.outcome.label()))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  RuleTrace {}/{}: {}",
+                pass.phase.label(),
+                pass.pass,
+                firings.join(" ")
+            );
         }
         out
     }
@@ -393,6 +410,14 @@ mod tests {
                     chosen: false,
                 },
             ],
+            rule_trace: vec![crate::phases::PassTrace {
+                phase: crate::phases::RewritePhase::Optimize,
+                pass: 1,
+                firings: vec![crate::phases::RuleFiring {
+                    rule: "pushdown",
+                    outcome: crate::phases::RuleOutcome::Changed,
+                }],
+            }],
         };
         let text = plan.explain();
         assert!(text.contains("interval=[2, 9)"));
@@ -408,6 +433,7 @@ mod tests {
         assert!(text.contains("LigandJoin"));
         assert!(text.contains("TopK k=10"));
         assert!(text.contains("# pushdown"));
+        assert!(text.contains("RuleTrace optimize/1: pushdown=changed"));
     }
 
     #[test]
@@ -449,6 +475,7 @@ mod tests {
             estimated_cost: Duration::ZERO,
             estimated_rows: 0,
             candidates: vec![],
+            rule_trace: vec![],
         };
         assert!(plan.explain().contains("ProvedEmpty"));
     }

@@ -106,6 +106,9 @@ pub const RULE_FINISH: &str = "finish-shape";
 pub const RULE_COST_CHOICE: &str = "cost-choice-minimal";
 /// Rule name: candidate cost estimates finite and non-negative.
 pub const RULE_COST_SANE: &str = "cost-estimates-sane";
+/// Rule name: the Canonicalize phase's output is a fixpoint of every
+/// enabled normalization step.
+pub const RULE_CANONICAL_FORM: &str = "canonical-form";
 
 pub use drugtree_sources::serve::{RULE_COALESCE_BATCH, RULE_FLIGHT_PREDICATE};
 
@@ -536,6 +539,149 @@ impl<'a> PlanValidator<'a> {
             }
             Finish::Collect | Finish::CountPerLeaf => {}
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase-boundary checks (design decision D13).
+//
+// The phased rewrite engine calls these between phases, on the draft
+// rather than a finished plan: each phase's cheap structural
+// postconditions are enforced the moment the phase completes, so a bad
+// rule is caught at its own boundary instead of surfacing as a
+// confusing full-plan violation after Lower. The full [`PlanValidator`]
+// remains the Lower boundary's check, run on the assembled plan.
+
+/// Analyze boundary: the resolved interval lies inside the tree index.
+pub(crate) fn phase_interval_bounds(
+    dataset: &Dataset,
+    interval: drugtree_phylo::index::LeafInterval,
+    out: &mut Vec<InvariantViolation>,
+) {
+    let leaves = dataset.leaf_count() as u32;
+    for (name, bound) in [("lo", interval.lo), ("hi", interval.hi)] {
+        if bound > leaves {
+            out.push(InvariantViolation {
+                rule: RULE_INTERVAL_BOUNDS,
+                path: "analyze.interval".into(),
+                explanation: format!("interval {name}={bound} exceeds the tree's {leaves} leaves"),
+            });
+        }
+    }
+    if interval.lo > interval.hi {
+        out.push(InvariantViolation {
+            rule: RULE_INTERVAL_BOUNDS,
+            path: "analyze.interval".into(),
+            explanation: format!("interval lo={} above hi={}", interval.lo, interval.hi),
+        });
+    }
+}
+
+/// Canonicalize boundary: re-running every enabled normalization step
+/// must change nothing (the phase reported a fixpoint).
+pub(crate) fn phase_canonical_form(
+    config: &crate::optimizer::OptimizerConfig,
+    canonical: &Predicate,
+    out: &mut Vec<InvariantViolation>,
+) {
+    use crate::ast::canon;
+    type CanonStep = fn(Predicate) -> (Predicate, bool);
+    let steps: [(&str, bool, CanonStep); 5] = [
+        ("canon_nnf", config.canon_nnf, canon::nnf),
+        ("canon_flatten", config.canon_flatten, canon::flatten),
+        ("canon_fold", config.canon_fold, canon::fold),
+        ("canon_between", config.canon_between, canon::between_merge),
+        ("canon_dedup", config.canon_dedup, canon::dedup),
+    ];
+    for (name, enabled, step) in steps {
+        if !enabled {
+            continue;
+        }
+        let (_, changed) = step(canonical.clone());
+        if changed {
+            out.push(InvariantViolation {
+                rule: RULE_CANONICAL_FORM,
+                path: "canonicalize.predicate".into(),
+                explanation: format!(
+                    "{name} still rewrites `{}` after the phase reported a fixpoint",
+                    fmt_pred(canonical)
+                ),
+            });
+        }
+    }
+}
+
+/// Optimize boundary: the deduplicated key set is strictly increasing.
+pub(crate) fn phase_key_order(
+    key_values: &[drugtree_store::value::Value],
+    out: &mut Vec<InvariantViolation>,
+) {
+    for pair in key_values.windows(2) {
+        if pair[0] >= pair[1] {
+            out.push(InvariantViolation {
+                rule: RULE_KEYS_SORTED,
+                path: "optimize.key_values".into(),
+                explanation: format!(
+                    "keys are not strictly increasing at {} >= {}",
+                    pair[0], pair[1]
+                ),
+            });
+            break;
+        }
+    }
+}
+
+/// Optimize boundary: the pushdown references only remote-schema
+/// columns and every source that will receive it can evaluate it.
+pub(crate) fn phase_pushdown_remote(
+    pushdown: Option<&Predicate>,
+    sources: &[std::sync::Arc<dyn drugtree_sources::DataSource>],
+    out: &mut Vec<InvariantViolation>,
+) {
+    let Some(pred) = pushdown else { return };
+    for col in pred.columns() {
+        if !crate::optimizer::REMOTE_COLUMNS.contains(&col) {
+            out.push(InvariantViolation {
+                rule: RULE_PUSHDOWN_CAPABILITY,
+                path: "optimize.pushdown".into(),
+                explanation: format!(
+                    "pushdown references {col:?}, which does not exist in the remote assay schema"
+                ),
+            });
+        }
+    }
+    for s in sources {
+        if !s.capabilities().supports_predicate(pred) {
+            out.push(InvariantViolation {
+                rule: RULE_PUSHDOWN_CAPABILITY,
+                path: "optimize.pushdown".into(),
+                explanation: format!(
+                    "source {:?} cannot evaluate pushdown `{}`",
+                    s.name(),
+                    fmt_pred(pred)
+                ),
+            });
+        }
+    }
+}
+
+/// Optimize boundary: pruning accounts for every protein-bearing leaf
+/// (unless the whole interval was proven empty, which drops them all).
+pub(crate) fn phase_pruning_counts(
+    proved_empty: bool,
+    kept: usize,
+    pruned: usize,
+    total_leaves: usize,
+    out: &mut Vec<InvariantViolation>,
+) {
+    if !proved_empty && kept + pruned != total_leaves {
+        out.push(InvariantViolation {
+            rule: RULE_PRUNING,
+            path: "optimize.keys".into(),
+            explanation: format!(
+                "{kept} keys + {pruned} pruned leaves != {total_leaves} protein-bearing leaves"
+            ),
+        });
     }
 }
 

@@ -324,23 +324,12 @@ fn normalize(rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
 }
 
 fn single_rule_configs() -> Vec<(String, OptimizerConfig)> {
-    OptimizerConfig::RULES
-        .iter()
+    drugtree_query::phases::ablatable_rules()
         .map(|rule| {
             let mut c = OptimizerConfig::naive();
-            match *rule {
-                "pushdown" => c.pushdown = true,
-                "batching" => c.batching = true,
-                "concurrent_dispatch" => c.concurrent_dispatch = true,
-                "stats_pruning" => c.stats_pruning = true,
-                "semantic_cache" => c.semantic_cache = true,
-                "selectivity_ordering" => c.selectivity_ordering = true,
-                "use_matview" => c.use_matview = true,
-                "replica_selection" => c.replica_selection = true,
-                "columnar_scan" => c.columnar_scan = true,
-                other => panic!("unknown rule {other:?}"),
-            }
-            (format!("only-{rule}"), c)
+            let toggle = rule.toggle.expect("ablatable rules carry a toggle");
+            toggle(&mut c, true);
+            (format!("only-{}", rule.name), c)
         })
         .collect()
 }

@@ -58,6 +58,13 @@ Plan: scope=n1 interval=[0, 2) pruned_leaves=0 est_cost=12ms est_rows=2
   # selectivity-ordering: residual conjuncts reordered
   # pushdown: year >= 2012
   # batching: keyed lookups coalesced
+  RuleTrace analyze/1: interval_rewrite=changed similarity_resolve=n/a substructure_resolve=n/a column_discovery=changed
+  RuleTrace analyze/2: interval_rewrite=no-change similarity_resolve=n/a substructure_resolve=n/a column_discovery=no-change
+  RuleTrace canonicalize/1: canon_nnf=no-change canon_flatten=no-change canon_fold=no-change canon_between=no-change canon_dedup=no-change
+  RuleTrace optimize/1: selectivity_ordering=changed stats_pruning=no-change pushdown=changed cardinality_estimate=changed replica_selection=n/a use_matview=n/a columnar_scan=n/a semantic_cache=changed
+  RuleTrace optimize/2: selectivity_ordering=no-change stats_pruning=no-change pushdown=no-change cardinality_estimate=no-change replica_selection=n/a use_matview=n/a columnar_scan=n/a semantic_cache=no-change
+  RuleTrace lower/1: batching=changed concurrent_dispatch=changed lower_fetches=changed access_select=changed finish_build=changed
+  RuleTrace lower/2: batching=no-change concurrent_dispatch=no-change lower_fetches=no-change access_select=no-change finish_build=no-change
 "
     );
 }
@@ -76,6 +83,13 @@ Plan: scope=n1 interval=[0, 2) pruned_leaves=0 est_cost=23ms est_rows=3
   LigandJoin
   Collect
   # interval-rewrite: scope -> [0, 2)
+  RuleTrace analyze/1: interval_rewrite=changed similarity_resolve=n/a substructure_resolve=n/a column_discovery=changed
+  RuleTrace analyze/2: interval_rewrite=no-change similarity_resolve=n/a substructure_resolve=n/a column_discovery=no-change
+  RuleTrace canonicalize/1: canon_nnf=off canon_flatten=off canon_fold=off canon_between=off canon_dedup=off
+  RuleTrace optimize/1: selectivity_ordering=off stats_pruning=off pushdown=off cardinality_estimate=changed replica_selection=off use_matview=off columnar_scan=off semantic_cache=off
+  RuleTrace optimize/2: selectivity_ordering=off stats_pruning=off pushdown=off cardinality_estimate=no-change replica_selection=off use_matview=off columnar_scan=off semantic_cache=off
+  RuleTrace lower/1: batching=off concurrent_dispatch=off lower_fetches=changed access_select=changed finish_build=changed
+  RuleTrace lower/2: batching=off concurrent_dispatch=off lower_fetches=no-change access_select=no-change finish_build=no-change
 "
     );
 }
@@ -305,6 +319,13 @@ Plan: scope=n0 interval=[0, 2) pruned_leaves=1 est_cost=50.02ms est_rows=1
   # stats-pruning: 1 leaves dropped
   # replica-selection: assay-far chosen from [\"assay-near\", \"assay-far\"]
   # cost-based: access=batched-fetch est=50.02ms est_rows=1
+  RuleTrace analyze/1: interval_rewrite=changed similarity_resolve=n/a substructure_resolve=n/a column_discovery=changed
+  RuleTrace analyze/2: interval_rewrite=no-change similarity_resolve=n/a substructure_resolve=n/a column_discovery=no-change
+  RuleTrace canonicalize/1: canon_nnf=no-change canon_flatten=no-change canon_fold=no-change canon_between=no-change canon_dedup=no-change
+  RuleTrace optimize/1: selectivity_ordering=changed stats_pruning=changed pushdown=n/a cardinality_estimate=changed replica_selection=changed use_matview=n/a columnar_scan=n/a semantic_cache=changed
+  RuleTrace optimize/2: selectivity_ordering=no-change stats_pruning=no-change pushdown=n/a cardinality_estimate=no-change replica_selection=no-change use_matview=n/a columnar_scan=n/a semantic_cache=no-change
+  RuleTrace lower/1: batching=n/a concurrent_dispatch=changed lower_fetches=n/a access_select=changed finish_build=changed
+  RuleTrace lower/2: batching=n/a concurrent_dispatch=no-change lower_fetches=n/a access_select=no-change finish_build=no-change
 "
     );
 }

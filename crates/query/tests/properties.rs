@@ -1,5 +1,7 @@
-//! Property-based tests for the query language: `Display` ∘ `parse`
-//! is the identity on expressible queries.
+//! Property-based tests for the query language and the optimizer's
+//! Canonicalize phase: `Display` ∘ `parse` is the identity on
+//! expressible queries; canonicalization reaches a fixpoint that every
+//! step leaves unchanged and never alters what a predicate matches.
 
 // Test code: panicking on a malformed fixture is the right failure.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -118,6 +120,55 @@ fn arb_query() -> impl Strategy<Value = Query> {
         })
 }
 
+/// The five canonicalization steps in registry order.
+const CANON_STEPS: [fn(Predicate) -> (Predicate, bool); 5] = [
+    drugtree_query::ast::canon::nnf,
+    drugtree_query::ast::canon::flatten,
+    drugtree_query::ast::canon::fold,
+    drugtree_query::ast::canon::between_merge,
+    drugtree_query::ast::canon::dedup,
+];
+
+/// Run the canonicalization pipeline to its fixpoint, the same way the
+/// optimizer's Canonicalize phase does.
+fn normalize(mut p: Predicate) -> Predicate {
+    for _ in 0..32 {
+        let mut changed = false;
+        for step in CANON_STEPS {
+            let (next, c) = step(p);
+            p = next;
+            changed |= c;
+        }
+        if !changed {
+            return p;
+        }
+    }
+    panic!("canonicalization did not converge: {p:?}");
+}
+
+/// A row over the unified schema; choice 0 is NULL (the case negation
+/// rewrites must not get wrong), others a type-correct value.
+fn row_from_seed(seed: &[(u8, i64, f64)]) -> Vec<Value> {
+    use drugtree_query::dataset::unified_schema;
+    use drugtree_store::value::ValueType;
+    unified_schema()
+        .columns()
+        .iter()
+        .zip(seed.iter().cycle())
+        .map(|(c, (choice, i, f))| {
+            if *choice == 0 {
+                return Value::Null;
+            }
+            match c.ty {
+                ValueType::Int => Value::Int(*i),
+                ValueType::Float => Value::Float(*f),
+                ValueType::Text => Value::Text(format!("t{}", i.rem_euclid(5))),
+                _ => Value::Null,
+            }
+        })
+        .collect()
+}
+
 proptest! {
     #[test]
     fn display_parse_roundtrip(q in arb_query()) {
@@ -160,5 +211,36 @@ proptest! {
             .iter()
             .all(|p| p.bind(&schema).unwrap().matches(&row));
         prop_assert_eq!(folded.bind(&schema).unwrap().matches(&row), each);
+    }
+
+    /// The Canonicalize phase's fixpoint contract (enforced at the
+    /// phase boundary by the plan validator): once the pipeline
+    /// converges, every individual step reports no change.
+    #[test]
+    fn canonicalization_is_idempotent(p in arb_predicate()) {
+        let n = normalize(p);
+        for step in CANON_STEPS {
+            let (next, changed) = step(n.clone());
+            prop_assert!(!changed, "step changed a normalized predicate: {n:?} -> {next:?}");
+            prop_assert_eq!(&next, &n);
+        }
+    }
+
+    /// Canonicalization is exact under the evaluator's two-valued
+    /// `matches` semantics: the normalized predicate accepts exactly
+    /// the rows the original accepts — including rows with NULL cells,
+    /// where a careless `not (c = v)` → `c != v` rewrite would differ.
+    #[test]
+    fn canonicalization_preserves_semantics(
+        p in arb_predicate(),
+        seed in proptest::collection::vec((0u8..4, -50i64..50, 0.0f64..10.0), 40),
+    ) {
+        use drugtree_query::dataset::unified_schema;
+        let schema = unified_schema();
+        let row = row_from_seed(&seed);
+        let n = normalize(p.clone());
+        let original = p.bind(&schema).unwrap().matches(&row);
+        let canonical = n.bind(&schema).unwrap().matches(&row);
+        prop_assert_eq!(original, canonical, "original {:?} vs canonical {:?}", p, n);
     }
 }

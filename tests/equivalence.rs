@@ -50,10 +50,10 @@ fn all_optimizer_configs_agree_with_naive() {
     // Challengers: full, plus each single-rule ablation, each with its
     // own dataset/cache so runs are independent.
     let mut challengers = vec![("full".to_string(), OptimizerConfig::full())];
-    for rule in drugtree_query::optimizer::OptimizerConfig::RULES {
+    for rule in drugtree_query::phases::ablatable_rules() {
         challengers.push((
-            format!("full-minus-{rule}"),
-            OptimizerConfig::ablate(rule).expect("known rule"),
+            format!("full-minus-{}", rule.name),
+            OptimizerConfig::ablate(rule.name).expect("known rule"),
         ));
     }
 

@@ -1,0 +1,8 @@
+//! Golden pinning only `interval_rewrite`; the second registered rule
+//! is deliberately absent.
+
+#[test]
+fn golden_trace() {
+    let expected = "RuleTrace analyze/1: interval_rewrite=changed";
+    assert_eq!(render(), expected);
+}

@@ -1,0 +1,9 @@
+//! Golden pinning both registered rules' trace lines.
+
+#[test]
+fn golden_trace() {
+    let expected = "\
+RuleTrace analyze/1: interval_rewrite=changed
+RuleTrace lower/1: finish_build=changed";
+    assert_eq!(render(), expected);
+}

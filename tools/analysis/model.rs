@@ -98,6 +98,9 @@ pub struct FileModel {
     pub stem: String,
     /// Comment- and string-stripped lines (columns preserved).
     pub code: Vec<String>,
+    /// The original lines, for passes that must read string literals
+    /// (e.g. registry names); structure detection stays on `code`.
+    pub raw: Vec<String>,
     /// Brace depth at the start of each line.
     pub depth_start: Vec<i32>,
     pub acquisitions: Vec<Acquisition>,
@@ -314,6 +317,7 @@ fn stem_of(path: &str) -> String {
 pub fn analyze_file(path: String, text: &str) -> FileModel {
     let stripped = strip_code(text);
     let code: Vec<String> = stripped.lines().map(str::to_string).collect();
+    let raw: Vec<String> = text.lines().map(str::to_string).collect();
     let mut depth_start = Vec::with_capacity(code.len() + 1);
     let mut d = 0i32;
     for line in &code {
@@ -334,6 +338,7 @@ pub fn analyze_file(path: String, text: &str) -> FileModel {
         krate,
         stem,
         code,
+        raw,
         depth_start,
         acquisitions: Vec::new(),
         waits: Vec::new(),

@@ -6,6 +6,7 @@
 pub mod clock;
 pub mod guard_scope;
 pub mod lock_order;
+pub mod rule_registry;
 pub mod sync_hygiene;
 
 use crate::registry::Pass;
@@ -17,5 +18,6 @@ pub fn all() -> Vec<Box<dyn Pass>> {
         Box::new(lock_order::LockOrder),
         Box::new(sync_hygiene::SyncHygiene),
         Box::new(clock::Clock),
+        Box::new(rule_registry::RuleRegistry),
     ]
 }

@@ -1,0 +1,158 @@
+//! rule-registry: the rewrite-rule registry (`phases.rs`, D13) stays
+//! structurally sound and observable. Every `RuleDef` block must name
+//! its rule, declare its `RewritePhase`, and be unique; and every
+//! registered rule name must appear in the explain-golden tests — the
+//! goldens pin the EXPLAIN rule trace, so a rule that never shows up
+//! there is a rule whose firings nothing would catch regressing.
+//!
+//! Structure detection (block extents, `phase:` fields) runs on the
+//! stripped `code` lines; rule names live inside string literals, so
+//! they are extracted from the model's `raw` lines.
+
+use crate::model::{FileModel, SourceModel};
+use crate::registry::{Pass, Violation};
+
+pub struct RuleRegistry;
+
+/// One `RuleDef { … }` literal found in a registry file.
+struct Block {
+    /// 1-based line of the opening `RuleDef {`.
+    line: usize,
+    /// Rule name extracted from the block's `name: "…"` field.
+    name: Option<String>,
+    /// Whether the block declares a `phase: RewritePhase::…` field.
+    has_phase: bool,
+}
+
+/// Scan one `RuleDef {` block starting on line `li`; returns the block
+/// and the line index to resume scanning from.
+fn scan_block(fm: &FileModel, li: usize) -> (Block, usize) {
+    let mut block = Block {
+        line: li + 1,
+        name: None,
+        has_phase: false,
+    };
+    let open = fm.code[li].find('{').unwrap_or(0);
+    let mut depth = 0i32;
+    for j in li..fm.code.len() {
+        let start = if j == li { open } else { 0 };
+        if block.name.is_none() {
+            if let Some(p) = fm.code[j].find("name:") {
+                // The literal itself is stripped from `code`; read it
+                // from the raw twin of the same line.
+                let raw = &fm.raw[j];
+                if let Some(q1) = raw[p..].find('"').map(|k| p + k + 1) {
+                    if let Some(q2) = raw[q1..].find('"').map(|k| q1 + k) {
+                        block.name = Some(raw[q1..q2].to_string());
+                    }
+                }
+            }
+        }
+        if fm.code[j].contains("phase:") && fm.code[j].contains("RewritePhase::") {
+            block.has_phase = true;
+        }
+        for (i, c) in fm.code[j].char_indices() {
+            if j == li && i < start {
+                continue;
+            }
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (block, j + 1);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    (block, fm.code.len())
+}
+
+impl Pass for RuleRegistry {
+    fn name(&self) -> &'static str {
+        "rule-registry"
+    }
+
+    fn description(&self) -> &'static str {
+        "every RuleDef declares a phase, is uniquely named, and appears in the explain goldens"
+    }
+
+    fn run(&self, model: &SourceModel) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let golden: String = model
+            .files
+            .iter()
+            .filter(|f| f.stem == "explain_golden")
+            .flat_map(|f| f.raw.iter().map(String::as_str))
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        let mut seen: Vec<String> = Vec::new();
+        for fm in model.files.iter().filter(|f| f.stem == "phases") {
+            let mut li = 0;
+            while li < fm.code.len() {
+                let line = &fm.code[li];
+                // `RuleDef {` literals only — the struct definition and
+                // impl blocks mention the type without an initializer.
+                if !line.contains("RuleDef {") || line.contains("struct") || line.contains("impl") {
+                    li += 1;
+                    continue;
+                }
+                let (block, resume) = scan_block(fm, li);
+                li = resume;
+                let Some(name) = block.name else {
+                    out.push(Violation {
+                        pass: self.name(),
+                        file: fm.path.clone(),
+                        line: block.line,
+                        message: "RuleDef literal has no `name: \"…\"` field".into(),
+                    });
+                    continue;
+                };
+                if !block.has_phase {
+                    out.push(Violation {
+                        pass: self.name(),
+                        file: fm.path.clone(),
+                        line: block.line,
+                        message: format!(
+                            "rule `{name}` declares no `phase: RewritePhase::…` field"
+                        ),
+                    });
+                }
+                if seen.contains(&name) {
+                    out.push(Violation {
+                        pass: self.name(),
+                        file: fm.path.clone(),
+                        line: block.line,
+                        message: format!("rule `{name}` is registered twice"),
+                    });
+                }
+                if golden.is_empty() {
+                    out.push(Violation {
+                        pass: self.name(),
+                        file: fm.path.clone(),
+                        line: block.line,
+                        message: format!(
+                            "rule `{name}` registered but no explain_golden test file \
+                             was found to pin its trace"
+                        ),
+                    });
+                } else if !golden.contains(&name) {
+                    out.push(Violation {
+                        pass: self.name(),
+                        file: fm.path.clone(),
+                        line: block.line,
+                        message: format!(
+                            "rule `{name}` never appears in the explain goldens; \
+                             its EXPLAIN rule trace is unpinned"
+                        ),
+                    });
+                }
+                seen.push(name);
+            }
+        }
+        out
+    }
+}

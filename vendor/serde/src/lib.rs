@@ -44,6 +44,18 @@ pub fn field<T: Deserialize>(map: &[(String, Content)], key: &str) -> Result<T, 
     }
 }
 
+/// Like [`field`], but a missing key yields `T::default()` — the
+/// behaviour of `#[serde(default)]` on a struct field.
+pub fn field_or_default<T: Deserialize + Default>(
+    map: &[(String, Content)],
+    key: &str,
+) -> Result<T, String> {
+    match map_get(map, key) {
+        Some(c) => T::deserialize_content(c).map_err(|e| format!("field `{key}`: {e}")),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! ser_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

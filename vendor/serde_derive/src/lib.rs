@@ -3,9 +3,11 @@
 //! `Content`-tree model) for plain structs and enums.
 //!
 //! Supported shape: non-generic structs (named, tuple, unit) and
-//! enums (unit, tuple, struct variants) without `#[serde(...)]`
-//! attributes — exactly what this workspace derives. Anything fancier
-//! fails loudly at compile time.
+//! enums (unit, tuple, struct variants) — exactly what this workspace
+//! derives. The only `#[serde(...)]` attribute supported is
+//! `#[serde(default)]` on a named struct field (a missing key
+//! deserializes as `Default::default()`). Anything fancier fails
+//! loudly at compile time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
@@ -13,8 +15,15 @@ use std::fmt::Write as _;
 enum Body {
     UnitStruct,
     TupleStruct(usize),
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+/// A named field: its identifier and whether `#[serde(default)]` was
+/// attached.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -25,16 +34,20 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
-fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     loop {
         match toks.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1;
                 match toks.get(*i) {
-                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        has_default |= serde_default_attr(g.stream());
+                        *i += 1;
+                    }
                     _ => panic!("serde stand-in derive: malformed attribute"),
                 }
             }
@@ -48,6 +61,31 @@ fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
             }
             _ => break,
         }
+    }
+    has_default
+}
+
+/// `true` for the attribute body `serde(default)`; panics on any other
+/// `serde(...)` form; `false` for non-serde attributes (docs, lints).
+fn serde_default_attr(stream: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => match toks.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                match inner.first() {
+                    Some(TokenTree::Ident(id)) if inner.len() == 1 && id.to_string() == "default" => {
+                        true
+                    }
+                    _ => panic!(
+                        "serde stand-in derive: only #[serde(default)] is supported, found #[serde({})]",
+                        g.stream()
+                    ),
+                }
+            }
+            _ => panic!("serde stand-in derive: malformed #[serde] attribute"),
+        },
+        _ => false,
     }
 }
 
@@ -78,12 +116,12 @@ fn skip_to_top_level_comma(toks: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let toks: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
-    let mut names = Vec::new();
+    let mut fields = Vec::new();
     while i < toks.len() {
-        skip_attrs_and_vis(&toks, &mut i);
+        let default = skip_attrs_and_vis(&toks, &mut i);
         if i >= toks.len() {
             break;
         }
@@ -94,9 +132,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("serde stand-in derive: expected `:` after field `{name}`, found {other:?}"),
         }
         skip_to_top_level_comma(&toks, &mut i);
-        names.push(name);
+        fields.push(Field { name, default });
     }
-    names
+    fields
 }
 
 fn count_tuple_fields(stream: TokenStream) -> usize {
@@ -199,7 +237,16 @@ fn parse_item(input: TokenStream) -> (String, Body) {
     (name, body)
 }
 
-#[proc_macro_derive(Serialize)]
+/// Which accessor the generated Deserialize impl uses for a field.
+fn deser_getter(f: &Field) -> &'static str {
+    if f.default {
+        "field_or_default"
+    } else {
+        "field"
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let (name, body) = parse_item(input);
     let mut out = String::new();
@@ -223,6 +270,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Body::NamedStruct(fields) => {
             out.push_str("::serde::Content::Map(::std::vec![\n");
             for f in fields {
+                let f = &f.name;
                 let _ = write!(
                     out,
                     "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize_content(&self.{f})),\n"
@@ -262,8 +310,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         }
                     }
                     VariantKind::Named(fields) => {
-                        let _ = write!(out, "{name}::{vn} {{ {} }} => ", fields.join(", "));
-                        let items: Vec<String> = fields
+                        let names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let _ = write!(out, "{name}::{vn} {{ {} }} => ", names.join(", "));
+                        let items: Vec<String> = names
                             .iter()
                             .map(|f| {
                                 format!(
@@ -286,7 +335,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde stand-in derive: generated invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let (name, body) = parse_item(input);
     let mut out = String::new();
@@ -318,7 +367,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Body::NamedStruct(fields) => {
             let items: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::field(_m, \"{f}\")?"))
+                .map(|f| {
+                    let (n, getter) = (&f.name, deser_getter(f));
+                    format!("{n}: ::serde::{getter}(_m, \"{n}\")?")
+                })
                 .collect();
             let _ = write!(
                 out,
@@ -370,7 +422,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantKind::Named(fields) => {
                         let items: Vec<String> = fields
                             .iter()
-                            .map(|f| format!("{f}: ::serde::field(_vm, \"{f}\")?"))
+                            .map(|f| {
+                                let (n, getter) = (&f.name, deser_getter(f));
+                                format!("{n}: ::serde::{getter}(_vm, \"{n}\")?")
+                            })
                             .collect();
                         let _ = write!(
                             out,
