@@ -95,14 +95,16 @@ pub fn run(config: RunConfig) -> ExperimentTable {
 
     let sink = Arc::new(VecSink::new());
     let obs = observer(Some(Arc::clone(&sink)));
-    let server = DrugTree::builder()
+    let report = DrugTree::builder()
         .dataset(bundle.build_dataset())
         .optimizer(OptimizerConfig::full())
         .with_observer(Arc::clone(&obs) as Arc<dyn Observer>)
         .build()
         .expect("system builds")
-        .into_server(ServeConfig::default());
-    let report = server.run(&workloads).expect("fleet serves");
+        .fleet()
+        .with_sessions(workloads)
+        .run()
+        .expect("fleet serves");
 
     let mut table = ExperimentTable::new(
         "E14 (extension)",

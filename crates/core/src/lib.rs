@@ -33,13 +33,17 @@
 
 pub mod builder;
 pub mod obs;
+pub mod sched;
 pub mod serve;
 pub mod snapshot;
 pub mod system;
 
 pub use builder::DrugTreeBuilder;
 pub use obs::{JsonlFileSink, TopReport};
-pub use serve::{ServeReport, ServerHandle};
+pub use sched::{AdmissionControl, DeadlinePolicy, HedgePolicy, SchedStats};
+#[allow(deprecated)]
+pub use serve::ServerHandle;
+pub use serve::{FleetBuilder, ServeError, ServeReport};
 pub use snapshot::{load_system, save_system};
 pub use system::{DrugTree, DrugTreeError, SystemReport};
 
@@ -47,7 +51,10 @@ pub use system::{DrugTree, DrugTreeError, SystemReport};
 pub mod prelude {
     pub use crate::builder::DrugTreeBuilder;
     pub use crate::obs::{JsonlFileSink, TopReport};
-    pub use crate::serve::{ServeReport, ServerHandle};
+    pub use crate::sched::{AdmissionControl, DeadlinePolicy, HedgePolicy, SchedStats};
+    #[allow(deprecated)]
+    pub use crate::serve::ServerHandle;
+    pub use crate::serve::{FleetBuilder, ServeError, ServeReport};
     pub use crate::system::{DrugTree, DrugTreeError, SystemReport};
     pub use drugtree_mobile::gestures::{drill_down_script, GestureConfig};
     pub use drugtree_mobile::serve::{zipf_sessions, SessionWorkload};
@@ -62,8 +69,8 @@ pub mod prelude {
     };
     pub use drugtree_query::{Dataset, ExecMetrics, Executor, QueryResult};
     pub use drugtree_query::{
-        FleetObserver, QueryClass, RollingWindows, Sink, SloPolicy, SlowQueryLog, TraceExport,
-        VecSink, WindowSummary,
+        FleetObserver, QueryClass, RollingWindows, ServeClassCounters, Sink, SloPolicy,
+        SlowQueryLog, TraceExport, VecSink, WindowSummary,
     };
     pub use drugtree_store::expr::{CompareOp, Predicate};
     pub use drugtree_store::value::Value;

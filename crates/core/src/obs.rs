@@ -11,7 +11,7 @@
 //!
 //! [`TraceExport`]: drugtree_query::TraceExport
 
-use drugtree_query::obs::{QueryEvent, Sink, WindowEvent};
+use drugtree_query::obs::{QueryEvent, ServeEvent, Sink, WindowEvent};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -65,6 +65,16 @@ struct ClassAccumulator {
 }
 
 #[derive(Debug, Default)]
+struct ServeAccumulator {
+    admitted: u64,
+    shed: u64,
+    hedged: u64,
+    hedges_won: u64,
+    deadline_missed: u64,
+    outages: u64,
+}
+
+#[derive(Debug, Default)]
 struct ShapeAccumulator {
     example: String,
     count: u64,
@@ -77,11 +87,13 @@ struct ShapeAccumulator {
 pub struct TopReport {
     classes: BTreeMap<String, ClassAccumulator>,
     shapes: BTreeMap<String, ShapeAccumulator>,
+    serve: BTreeMap<String, ServeAccumulator>,
     sessions: BTreeMap<u32, u64>,
     first_started_ns: Option<u64>,
     last_ended_ns: u64,
     queries: u64,
     windows: u64,
+    rollups: u64,
     skipped: u64,
 }
 
@@ -103,6 +115,11 @@ impl TopReport {
             } else if line.starts_with("{\"event\":\"window\"") {
                 match serde_json::from_str::<WindowEvent>(line) {
                     Ok(event) => report.fold_window(&event),
+                    Err(_) => report.skipped += 1,
+                }
+            } else if line.starts_with("{\"event\":\"serve\"") {
+                match serde_json::from_str::<ServeEvent>(line) {
+                    Ok(event) => report.fold_serve(&event),
                     Err(_) => report.skipped += 1,
                 }
             } else {
@@ -148,6 +165,17 @@ impl TopReport {
         }
     }
 
+    fn fold_serve(&mut self, event: &ServeEvent) {
+        self.rollups += 1;
+        let acc = self.serve.entry(event.class.clone()).or_default();
+        acc.admitted += event.admitted;
+        acc.shed += event.shed;
+        acc.hedged += event.hedged;
+        acc.hedges_won += event.hedges_won;
+        acc.deadline_missed += event.deadline_missed;
+        acc.outages += event.outages;
+    }
+
     /// Query events folded in.
     pub fn queries(&self) -> u64 {
         self.queries
@@ -156,6 +184,11 @@ impl TopReport {
     /// Window events folded in.
     pub fn windows(&self) -> u64 {
         self.windows
+    }
+
+    /// Per-class serve rollups folded in.
+    pub fn rollups(&self) -> u64 {
+        self.rollups
     }
 
     /// Lines that failed to parse.
@@ -208,6 +241,28 @@ impl TopReport {
             ]);
         }
         render_table(&mut out, &header, &rows);
+        if !self.serve.is_empty() {
+            let _ = writeln!(out, "\nserving (admission / hedging / deadlines):");
+            let serve_header = [
+                "class", "admitted", "shed", "hedged", "won", "deadline", "outages",
+            ];
+            let serve_rows: Vec<[String; 7]> = self
+                .serve
+                .iter()
+                .map(|(label, acc)| {
+                    [
+                        label.clone(),
+                        acc.admitted.to_string(),
+                        acc.shed.to_string(),
+                        acc.hedged.to_string(),
+                        acc.hedges_won.to_string(),
+                        acc.deadline_missed.to_string(),
+                        acc.outages.to_string(),
+                    ]
+                })
+                .collect();
+            render_table(&mut out, &serve_header, &serve_rows);
+        }
         let mut shapes: Vec<(&String, &ShapeAccumulator)> = self.shapes.iter().collect();
         shapes.sort_by(|a, b| {
             b.1.max_charged_ns
@@ -273,7 +328,7 @@ fn truncate(s: &str, max: usize) -> String {
     }
 }
 
-fn render_table(out: &mut String, header: &[&str; 8], rows: &[[String; 8]]) {
+fn render_table<const N: usize>(out: &mut String, header: &[&str; N], rows: &[[String; N]]) {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -369,6 +424,27 @@ mod tests {
         assert!(rendered.contains("top slow plan shapes"));
         // The two filtered queries share one fingerprint line.
         assert!(rendered.contains("x2"));
+    }
+
+    #[test]
+    fn top_report_folds_serve_rollups() {
+        let lines = [
+            r#"{"event":"serve","seq":0,"class":"similarity","admitted":90,"shed":10,"hedged":4,"hedges_won":3,"deadline_missed":2,"outages":1}"#,
+            r#"{"event":"serve","seq":1,"class":"similarity","admitted":10,"shed":5,"hedged":1,"hedges_won":0,"deadline_missed":0,"outages":0}"#,
+            r#"{"event":"serve","seq":2,"class":"listing","admitted":7,"shed":0,"hedged":0,"hedges_won":0,"deadline_missed":0,"outages":0}"#,
+        ];
+        let report = TopReport::from_lines(lines);
+        assert_eq!(report.rollups(), 3);
+        assert_eq!(report.skipped(), 0);
+        let rendered = report.render();
+        assert!(rendered.contains("serving (admission / hedging / deadlines):"));
+        // Same-class rollups are summed: 10 + 5 shed similarity queries.
+        let row = rendered
+            .lines()
+            .find(|l| l.starts_with("similarity"))
+            .unwrap();
+        assert!(row.contains("100"), "admitted summed: {row}");
+        assert!(row.contains("15"), "shed summed: {row}");
     }
 
     #[test]

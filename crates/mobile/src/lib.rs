@@ -27,6 +27,7 @@ pub mod error;
 pub mod gestures;
 pub mod layout;
 pub mod lod;
+pub mod machine;
 pub mod network;
 pub mod prefetch;
 pub mod progressive;
@@ -35,9 +36,12 @@ pub mod session;
 pub mod viewport;
 
 pub use error::MobileError;
+pub use machine::{MachineState, SessionMachine};
 pub use network::NetworkProfile;
 pub use serve::{zipf_sessions, SessionWorkload};
-pub use session::{Gesture, MobileSession};
+pub use session::{
+    DegradedReason, Gesture, GestureStep, MobileSession, QueryOutcome, QueryPending, ViewPending,
+};
 pub use viewport::Viewport;
 
 /// Convenience result alias used throughout the crate.

@@ -141,6 +141,91 @@ mod tests {
     }
 
     #[test]
+    fn fleet_scale_replay_is_deterministic() {
+        let (t, i) = tree();
+        let cfg = GestureConfig {
+            len: 6,
+            zipf_theta: 1.0,
+            ..Default::default()
+        };
+        let a = zipf_sessions(&t, &i, 4096, &cfg);
+        let b = zipf_sessions(&t, &i, 4096, &cfg);
+        assert_eq!(a.len(), 4096);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.session, y.session);
+            assert_eq!(x.script, y.script, "fixed seed must replay byte-alike");
+        }
+        // A different seed produces a different fleet.
+        let other = zipf_sessions(
+            &t,
+            &i,
+            4096,
+            &GestureConfig {
+                seed: cfg.seed + 1,
+                ..cfg
+            },
+        );
+        assert!(
+            a.iter().zip(&other).any(|(x, y)| x.script != y.script),
+            "seed must key the fleet"
+        );
+    }
+
+    #[test]
+    fn fleet_scale_distribution_shape_is_zipfian() {
+        let (t, i) = tree();
+        let ranking = hot_clade_ranking(&t, &i);
+        let cfg = GestureConfig {
+            len: 6,
+            zipf_theta: 1.0,
+            ..Default::default()
+        };
+        let fleet = zipf_sessions(&t, &i, 4096, &cfg);
+        let mut expands: u64 = 0;
+        let mut per_rank = vec![0u64; ranking.len()];
+        let mut gestures: u64 = 0;
+        for w in &fleet {
+            assert!(
+                matches!(w.script[0], Gesture::Expand { .. }),
+                "scripts open with a focus gesture"
+            );
+            for g in &w.script {
+                gestures += 1;
+                if let Gesture::Expand { node } = g {
+                    expands += 1;
+                    let rank = ranking.iter().position(|r| r == node).unwrap();
+                    per_rank[rank] += 1;
+                }
+            }
+        }
+        // ~80% of gestures are expands (first gesture is forced).
+        let expand_share = expands as f64 / gestures as f64;
+        assert!(
+            (0.75..=0.90).contains(&expand_share),
+            "expand share {expand_share:.3} out of family"
+        );
+        // Zipf shape: the top-ranked clade dominates and the head
+        // outweighs the tail. At 4096×6 gestures the law of large
+        // numbers makes these comparisons rock-solid.
+        assert!(
+            per_rank[0] > per_rank[ranking.len() - 1],
+            "rank 0 ({}) must beat the coldest rank ({})",
+            per_rank[0],
+            per_rank[ranking.len() - 1]
+        );
+        assert_eq!(
+            per_rank.iter().max(),
+            Some(&per_rank[0]),
+            "hottest clade is the Zipf head"
+        );
+        let head: u64 = per_rank.iter().take(ranking.len() / 2).sum();
+        assert!(
+            head as f64 > 0.6 * expands as f64,
+            "head half holds the bulk of traffic ({head}/{expands})"
+        );
+    }
+
+    #[test]
     fn skewed_sessions_share_hot_clades() {
         let (t, i) = tree();
         let cfg = GestureConfig {

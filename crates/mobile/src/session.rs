@@ -18,7 +18,8 @@ use crate::viewport::Viewport;
 use crate::{MobileError, Result};
 use drugtree_phylo::tree::NodeId;
 use drugtree_query::ast::{Query, Scope};
-use drugtree_query::{Dataset, Executor, GestureObservation};
+use drugtree_query::{Dataset, Executor, GestureObservation, QueryResult};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A user interaction.
@@ -96,17 +97,108 @@ pub struct InteractionResult {
     pub collapsed_leaves: usize,
 }
 
+/// A gesture split at the query boundary: the session-local half has
+/// run (viewport moved, query built), the shared-state half has not.
+/// Produced by [`MobileSession::begin_gesture`]; the event-driven
+/// fleet scheduler executes the query on its own terms and resumes
+/// the session with [`MobileSession::commit_query`].
+#[derive(Debug)]
+pub enum GestureStep {
+    /// A pure view change: nothing left but the commit (transfer
+    /// charge + observation).
+    View(ViewPending),
+    /// A query-bearing gesture: `query` must be executed (or shed)
+    /// before the commit.
+    Query(QueryPending),
+}
+
+/// A begun view gesture awaiting [`MobileSession::commit_view`].
+#[derive(Debug)]
+pub struct ViewPending {
+    kind: &'static str,
+    render: RenderList,
+}
+
+/// A begun query gesture awaiting execution and
+/// [`MobileSession::commit_query`].
+#[derive(Debug)]
+pub struct QueryPending {
+    kind: &'static str,
+    /// The query this gesture needs answered.
+    pub query: Query,
+    /// The tapped node, for post-gesture prefetching (`Expand` only).
+    node: Option<NodeId>,
+}
+
+impl QueryPending {
+    /// Gesture kind label.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+}
+
+/// How a begun query gesture was resolved by whoever executed it (the
+/// session itself in [`MobileSession::apply`], the fleet scheduler
+/// under event-driven serving).
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// The query ran: rows to deliver over the link.
+    Rows {
+        /// The executed result (shared with coalesced peers).
+        result: Arc<QueryResult>,
+        /// Latency charged to this session for the query alone (its
+        /// queue wait + its share of the fetch), before transfer.
+        charged: Duration,
+        /// End-to-end virtual query latency as the session perceives
+        /// it, before transfer.
+        query_latency: Duration,
+    },
+    /// The query was not answered; the session gets a degraded,
+    /// row-free response and moves on.
+    Degraded {
+        /// Why the fleet degraded this query.
+        reason: DegradedReason,
+        /// Latency the session still paid (queue wait, deadline, or
+        /// timeout cost).
+        charged: Duration,
+    },
+}
+
+/// Why a fleet degraded a query instead of answering it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// Admission control rejected the query at arrival.
+    Shed,
+    /// The per-class deadline expired before the fetch completed.
+    DeadlineExpired,
+    /// Every source attempt failed (e.g. an outage storm); partial
+    /// results were served from what the session already had.
+    SourceOutage,
+}
+
+impl DegradedReason {
+    /// Short label for logs and experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradedReason::Shed => "shed",
+            DegradedReason::DeadlineExpired => "deadline",
+            DegradedReason::SourceOutage => "outage",
+        }
+    }
+}
+
 /// An interactive mobile session.
 pub struct MobileSession<'a> {
     dataset: &'a Dataset,
     executor: &'a Executor,
-    layout: TreeLayout,
+    layout: Arc<TreeLayout>,
     viewport: Viewport,
     network: NetworkProfile,
     progressive: bool,
     chunk_rows: usize,
     prefetcher: Option<Prefetcher>,
     session_id: Option<u32>,
+    keep_log: bool,
     log: Vec<InteractionResult>,
 }
 
@@ -117,7 +209,19 @@ impl<'a> MobileSession<'a> {
         executor: &'a Executor,
         network: NetworkProfile,
     ) -> MobileSession<'a> {
-        let layout = TreeLayout::compute(&dataset.tree, &dataset.index);
+        let layout = Arc::new(TreeLayout::compute(&dataset.tree, &dataset.index));
+        MobileSession::with_layout(dataset, executor, network, layout)
+    }
+
+    /// Open a session over a precomputed cladogram layout. Fleets of
+    /// thousands of sessions over one tree share a single layout
+    /// instead of recomputing (and storing) it per session.
+    pub fn with_layout(
+        dataset: &'a Dataset,
+        executor: &'a Executor,
+        network: NetworkProfile,
+        layout: Arc<TreeLayout>,
+    ) -> MobileSession<'a> {
         let viewport = Viewport::fullscreen(&layout);
         MobileSession {
             dataset,
@@ -129,6 +233,7 @@ impl<'a> MobileSession<'a> {
             chunk_rows: DEFAULT_CHUNK_ROWS,
             prefetcher: None,
             session_id: None,
+            keep_log: true,
             log: Vec::new(),
         }
     }
@@ -171,20 +276,48 @@ impl<'a> MobileSession<'a> {
         &self.log
     }
 
-    /// Apply one gesture.
+    /// Switch interaction logging off (fleets of thousands of sessions
+    /// roll results up at the scheduler instead of keeping per-session
+    /// logs).
+    pub fn retain_log(&mut self, keep: bool) {
+        self.keep_log = keep;
+    }
+
+    /// Apply one gesture end to end: begin it, execute any query it
+    /// needs against this session's executor, and commit.
     pub fn apply(&mut self, gesture: &Gesture) -> Result<InteractionResult> {
-        let result = match gesture {
+        match self.begin_gesture(gesture)? {
+            GestureStep::View(pending) => Ok(self.commit_view(pending)),
+            GestureStep::Query(pending) => {
+                let result = Arc::new(self.executor.execute(self.dataset, &pending.query)?);
+                let outcome = QueryOutcome::Rows {
+                    charged: result.metrics.charged_cost,
+                    query_latency: result.metrics.virtual_cost,
+                    result,
+                };
+                Ok(self.commit_query(pending, &outcome))
+            }
+        }
+    }
+
+    /// Run the session-local half of a gesture: move the viewport and
+    /// decide what (if anything) must be asked of the shared executor.
+    /// Touches no shared state — fleet workers begin whole cohorts of
+    /// sessions in parallel — and a failed begin leaves nothing to
+    /// commit (the gesture is not logged).
+    pub fn begin_gesture(&mut self, gesture: &Gesture) -> Result<GestureStep> {
+        let step = match gesture {
             Gesture::Pan { dy } => {
                 self.viewport.pan(*dy, &self.layout);
-                self.view_only(gesture.kind())
+                self.view_pending(gesture.kind())
             }
             Gesture::ZoomIn { focus_y } => {
                 self.viewport.zoom(2.0, *focus_y, &self.layout)?;
-                self.view_only(gesture.kind())
+                self.view_pending(gesture.kind())
             }
             Gesture::ZoomOut { focus_y } => {
                 self.viewport.zoom(0.5, *focus_y, &self.layout)?;
-                self.view_only(gesture.kind())
+                self.view_pending(gesture.kind())
             }
             Gesture::Expand { node } => {
                 if node.index() >= self.dataset.tree.len() {
@@ -192,26 +325,40 @@ impl<'a> MobileSession<'a> {
                 }
                 let iv = self.dataset.index.interval(*node);
                 self.viewport.focus_interval(iv);
-                let query = Query::activities(Scope::Interval(iv));
-                let mut result = self.run(gesture.kind(), &query)?;
-                result.prefetched = self.prefetch_after(*node);
-                result
+                GestureStep::Query(QueryPending {
+                    kind: gesture.kind(),
+                    query: Query::activities(Scope::Interval(iv)),
+                    node: Some(*node),
+                })
             }
             Gesture::InspectViewport => {
                 let iv = self.viewport.visible_leaves(&self.layout);
-                let query = Query::activities(Scope::Interval(iv));
-                self.run(gesture.kind(), &query)?
+                GestureStep::Query(QueryPending {
+                    kind: gesture.kind(),
+                    query: Query::activities(Scope::Interval(iv)),
+                    node: None,
+                })
             }
-            Gesture::RunQuery(query) => self.run(gesture.kind(), query)?,
+            Gesture::RunQuery(query) => GestureStep::Query(QueryPending {
+                kind: gesture.kind(),
+                query: (**query).clone(),
+                node: None,
+            }),
         };
-        self.log.push(result.clone());
-        Ok(result)
+        Ok(step)
     }
 
-    /// A pure view change: no source work, only the render payload
-    /// crossing the link.
-    fn view_only(&self, kind: &'static str) -> InteractionResult {
-        let render = self.render();
+    fn view_pending(&self, kind: &'static str) -> GestureStep {
+        GestureStep::View(ViewPending {
+            kind,
+            render: self.render(),
+        })
+    }
+
+    /// Commit a pure view change: no source work, only the render
+    /// payload crossing the link.
+    pub fn commit_view(&mut self, pending: ViewPending) -> InteractionResult {
+        let ViewPending { kind, render } = pending;
         let transfer = self.network.transfer_time(render.payload_bytes);
         let at = self.dataset.clock.advance(transfer);
         if let Some(obs) = self.executor.observer() {
@@ -227,7 +374,7 @@ impl<'a> MobileSession<'a> {
                 at,
             });
         }
-        InteractionResult {
+        let result = InteractionResult {
             prefetched: 0,
             gesture: kind,
             rows: 0,
@@ -239,45 +386,105 @@ impl<'a> MobileSession<'a> {
             cache_hit: None,
             visible_leaves: render.visible_leaves,
             collapsed_leaves: render.collapsed_leaves,
-        }
+        };
+        self.push_log(&result);
+        result
     }
 
-    /// Run a query and ship its rows over the link.
-    fn run(&self, kind: &'static str, query: &Query) -> Result<InteractionResult> {
-        let result = self.executor.execute(self.dataset, query)?;
-        let schedule: DeliverySchedule = if self.progressive {
-            progressive_delivery(&result.rows, &self.network, self.chunk_rows)
-        } else {
-            blocking_delivery(&result.rows, &self.network)
+    /// Commit a query gesture given how its query was resolved: ship
+    /// rows (or the degraded response) over the link, charge the
+    /// clock, emit the gesture observation, and log.
+    pub fn commit_query(
+        &mut self,
+        pending: QueryPending,
+        outcome: &QueryOutcome,
+    ) -> InteractionResult {
+        let QueryPending { kind, node, .. } = pending;
+        let mut interaction = match outcome {
+            QueryOutcome::Rows {
+                result,
+                charged,
+                query_latency,
+            } => {
+                let schedule: DeliverySchedule = if self.progressive {
+                    progressive_delivery(&result.rows, &self.network, self.chunk_rows)
+                } else {
+                    blocking_delivery(&result.rows, &self.network)
+                };
+                let at = self.dataset.clock.advance(schedule.complete());
+                let render = self.render();
+                if let Some(obs) = self.executor.observer() {
+                    obs.on_gesture(&GestureObservation {
+                        gesture: kind,
+                        rows: result.rows.len(),
+                        compute: result.metrics.virtual_cost,
+                        network: schedule.complete(),
+                        payload_bytes: schedule.total_bytes,
+                        cache_hit: result.metrics.cache_hit,
+                        session: self.session_id,
+                        charged: *charged + schedule.complete(),
+                        at,
+                    });
+                }
+                InteractionResult {
+                    prefetched: 0,
+                    gesture: kind,
+                    rows: result.rows.len(),
+                    query_latency: *query_latency,
+                    charged_latency: *charged + schedule.complete(),
+                    first_usable: *query_latency + schedule.first_usable(),
+                    complete: *query_latency + schedule.complete(),
+                    payload_bytes: schedule.total_bytes,
+                    cache_hit: result.metrics.cache_hit,
+                    visible_leaves: render.visible_leaves,
+                    collapsed_leaves: render.collapsed_leaves,
+                }
+            }
+            QueryOutcome::Degraded { charged, .. } => {
+                // The session still paid the wait; only an error card
+                // crosses the link, and what was already on screen
+                // stays (graceful partial results).
+                let at = self.dataset.clock.advance(*charged);
+                let render = self.render();
+                if let Some(obs) = self.executor.observer() {
+                    obs.on_gesture(&GestureObservation {
+                        gesture: kind,
+                        rows: 0,
+                        compute: Duration::ZERO,
+                        network: Duration::ZERO,
+                        payload_bytes: 0,
+                        cache_hit: None,
+                        session: self.session_id,
+                        charged: *charged,
+                        at,
+                    });
+                }
+                InteractionResult {
+                    prefetched: 0,
+                    gesture: kind,
+                    rows: 0,
+                    query_latency: *charged,
+                    charged_latency: *charged,
+                    first_usable: *charged,
+                    complete: *charged,
+                    payload_bytes: 0,
+                    cache_hit: None,
+                    visible_leaves: render.visible_leaves,
+                    collapsed_leaves: render.collapsed_leaves,
+                }
+            }
         };
-        let at = self.dataset.clock.advance(schedule.complete());
-        let render = self.render();
-        if let Some(obs) = self.executor.observer() {
-            obs.on_gesture(&GestureObservation {
-                gesture: kind,
-                rows: result.rows.len(),
-                compute: result.metrics.virtual_cost,
-                network: schedule.complete(),
-                payload_bytes: schedule.total_bytes,
-                cache_hit: result.metrics.cache_hit,
-                session: self.session_id,
-                charged: result.metrics.charged_cost + schedule.complete(),
-                at,
-            });
+        if let (Some(node), QueryOutcome::Rows { .. }) = (node, outcome) {
+            interaction.prefetched = self.prefetch_after(node);
         }
-        Ok(InteractionResult {
-            prefetched: 0,
-            gesture: kind,
-            rows: result.rows.len(),
-            query_latency: result.metrics.virtual_cost,
-            charged_latency: result.metrics.charged_cost + schedule.complete(),
-            first_usable: result.metrics.virtual_cost + schedule.first_usable(),
-            complete: result.metrics.virtual_cost + schedule.complete(),
-            payload_bytes: schedule.total_bytes,
-            cache_hit: result.metrics.cache_hit,
-            visible_leaves: render.visible_leaves,
-            collapsed_leaves: render.collapsed_leaves,
-        })
+        self.push_log(&interaction);
+        interaction
+    }
+
+    fn push_log(&mut self, result: &InteractionResult) {
+        if self.keep_log {
+            self.log.push(result.clone());
+        }
     }
 
     /// Warm the cache with the likely-next clades. Runs during user

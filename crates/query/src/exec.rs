@@ -218,6 +218,18 @@ impl Executor {
         self.coordinator = Some(Arc::new(FetchCoordinator::new(config)));
     }
 
+    /// Rebuild the semantic cache with exactly `shards` shards
+    /// (rounded up to a power of two by the cache itself). The fleet
+    /// scheduler's shard-count sweep calls this *after*
+    /// [`Executor::enable_serving`] to pin the count the experiment
+    /// asks for; cached entries are discarded.
+    pub fn set_cache_shards(&mut self, shards: usize) {
+        let mut cache = self.cache_config;
+        cache.shards = shards.max(1);
+        self.cache_config = cache;
+        self.cache = ShardedSemanticCache::new(cache);
+    }
+
     /// The fetch coordinator, when serving is enabled.
     pub fn coordinator(&self) -> Option<&Arc<FetchCoordinator>> {
         self.coordinator.as_ref()

@@ -70,8 +70,8 @@ pub use dataset::Dataset;
 pub use error::QueryError;
 pub use exec::{ExecMetrics, Executor, PlanEstimate, QueryResult};
 pub use obs::{
-    FleetObserver, QueryClass, RollingWindows, Sink, SloPolicy, SlowQueryLog, TraceExport, VecSink,
-    WindowSummary,
+    FleetObserver, QueryClass, RollingWindows, ServeClassCounters, Sink, SloPolicy, SlowQueryLog,
+    TraceExport, VecSink, WindowSummary,
 };
 pub use optimizer::{Optimizer, OptimizerConfig};
 pub use phases::{PassTrace, RewritePhase, RuleDef, RuleFiring, RuleOutcome};

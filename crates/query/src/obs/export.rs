@@ -121,6 +121,33 @@ pub struct WindowEvent {
     pub breaches: u64,
 }
 
+/// One per-class serving rollup: the JSONL record the fleet scheduler
+/// emits at the end of a run, one line per query class that saw
+/// traffic. `drugtree top` folds these into its shed/hedge/deadline
+/// columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeEvent {
+    /// Record discriminator: always `"serve"`.
+    pub event: String,
+    /// Export-order sequence number.
+    pub seq: u64,
+    /// Query class label.
+    pub class: String,
+    /// Queries admitted for this class (executed or joined a flight).
+    pub admitted: u64,
+    /// Queries shed by admission control before execution.
+    pub shed: u64,
+    /// Queries that trained a hedge against a replica.
+    pub hedged: u64,
+    /// Hedges whose replica bound actually improved the latency.
+    pub hedges_won: u64,
+    /// Queries that missed their per-class deadline (timed out or
+    /// finished past it).
+    pub deadline_missed: u64,
+    /// Queries degraded to partial results by a source outage.
+    pub outages: u64,
+}
+
 /// JSONL writer for the observability event stream.
 ///
 /// Sequence numbers are assigned at emit time, so a single-threaded
@@ -210,6 +237,46 @@ impl TraceExport {
             self.sink.write_line(&line);
         }
     }
+
+    /// Emit one `serve` record: a per-class rollup of the fleet
+    /// scheduler's shed/hedge/deadline/outage counters.
+    pub fn emit_serve(&self, counters: &ServeClassCounters) {
+        let record = ServeEvent {
+            event: "serve".to_string(),
+            seq: self.next_seq(),
+            class: counters.class.clone(),
+            admitted: counters.admitted,
+            shed: counters.shed,
+            hedged: counters.hedged,
+            hedges_won: counters.hedges_won,
+            deadline_missed: counters.deadline_missed,
+            outages: counters.outages,
+        };
+        if let Ok(line) = serde_json::to_string(&record) {
+            self.sink.write_line(&line);
+        }
+    }
+}
+
+/// The scheduler-side counter bundle [`TraceExport::emit_serve`]
+/// serializes; owned by the core crate's fleet scheduler, defined here
+/// so the export layer need not depend on it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeClassCounters {
+    /// Query class label.
+    pub class: String,
+    /// Queries admitted for this class.
+    pub admitted: u64,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Queries that armed a hedge.
+    pub hedged: u64,
+    /// Hedges that improved latency.
+    pub hedges_won: u64,
+    /// Deadline misses (hard timeouts plus soft overruns).
+    pub deadline_missed: u64,
+    /// Outage-degraded queries.
+    pub outages: u64,
 }
 
 fn nanos(d: std::time::Duration) -> u64 {
@@ -272,6 +339,30 @@ mod tests {
         assert_eq!(parsed.spans.len(), 1);
         assert_eq!(parsed.spans[0].stage, "fetch");
         assert_eq!(parsed.spans[0].rows, 3);
+    }
+
+    #[test]
+    fn serve_events_round_trip() {
+        let (export, sink) = exporter();
+        export.emit_serve(&ServeClassCounters {
+            class: "listing".into(),
+            admitted: 90,
+            shed: 10,
+            hedged: 4,
+            hedges_won: 3,
+            deadline_missed: 2,
+            outages: 1,
+        });
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("{\"event\":\"serve\""));
+        let parsed: ServeEvent = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(parsed.class, "listing");
+        assert_eq!(parsed.shed, 10);
+        assert_eq!(parsed.hedged, 4);
+        assert_eq!(parsed.hedges_won, 3);
+        assert_eq!(parsed.deadline_missed, 2);
+        assert_eq!(parsed.outages, 1);
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod export;
 pub mod slowlog;
 pub mod window;
 
-pub use export::{QueryEvent, Sink, SpanEvent, TraceExport, VecSink, WindowEvent};
+pub use export::{
+    QueryEvent, ServeClassCounters, ServeEvent, Sink, SpanEvent, TraceExport, VecSink, WindowEvent,
+};
 pub use slowlog::{SlowLogEntry, SlowQueryLog};
 pub use window::{QueryClass, RollingWindows, SloPolicy, WindowSummary};
 
@@ -289,6 +291,12 @@ impl Observer for FleetObserver {
             for summary in &closed {
                 export.emit_window(&scope, summary, self.windows.session_breaches(session));
             }
+        }
+    }
+
+    fn on_serve_rollup(&self, counters: &ServeClassCounters) {
+        if let Some(export) = &self.export {
+            export.emit_serve(counters);
         }
     }
 }

@@ -346,6 +346,13 @@ pub trait Observer: Send + Sync {
     fn on_gesture(&self, gesture: &GestureObservation) {
         let _ = gesture;
     }
+
+    /// Called by the fleet scheduler at the end of a serving run,
+    /// once per query class that saw traffic, with the scheduler's
+    /// shed/hedge/deadline/outage rollup.
+    fn on_serve_rollup(&self, counters: &crate::obs::ServeClassCounters) {
+        let _ = counters;
+    }
 }
 
 /// Per-gesture latency breakdown reported by mobile sessions.

@@ -8,6 +8,7 @@
 //! [`SourceError::Transient`], charging the timeout cost so retry
 //! policies pay realistic virtual time.
 
+use crate::clock::VirtualClock;
 use crate::latency::LatencyModel;
 use crate::source::{
     DataSource, FetchRequest, FetchResponse, MetricsSnapshot, SourceCapabilities, SourceKind,
@@ -19,6 +20,33 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// One scripted outage on the virtual clock: every request that
+/// arrives while `start <= clock.now() < end` fails, regardless of the
+/// source's base failure rate. Offsets are from virtual time zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// Outage start (inclusive), virtual time.
+    pub start: Duration,
+    /// Outage end (exclusive), virtual time.
+    pub end: Duration,
+}
+
+impl OutageWindow {
+    /// A window covering `[start, start + length)`.
+    pub fn at(start: Duration, length: Duration) -> OutageWindow {
+        OutageWindow {
+            start,
+            end: start + length,
+        }
+    }
+
+    fn covers(&self, now_ns: u64) -> bool {
+        let start = u64::try_from(self.start.as_nanos()).unwrap_or(u64::MAX);
+        let end = u64::try_from(self.end.as_nanos()).unwrap_or(u64::MAX);
+        (start..end).contains(&now_ns)
+    }
+}
+
 /// A source that transiently fails a fraction of its requests.
 pub struct FlakySource {
     inner: Arc<dyn DataSource>,
@@ -29,6 +57,10 @@ pub struct FlakySource {
     seed: u64,
     attempts: AtomicU64,
     failures: AtomicU64,
+    /// Scripted outage storms: while the paired clock is inside any
+    /// window, every request fails deterministically.
+    storms: Option<(Arc<VirtualClock>, Vec<OutageWindow>)>,
+    storm_failures: AtomicU64,
 }
 
 impl FlakySource {
@@ -46,7 +78,23 @@ impl FlakySource {
             seed,
             attempts: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            storms: None,
+            storm_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Script outage storms on `clock`: any request arriving while the
+    /// clock sits inside a window fails with the source's timeout
+    /// cost. Deterministic for a deterministic clock schedule — the
+    /// event-driven fleet scheduler replays storms byte-identically.
+    pub fn with_storms(
+        mut self,
+        clock: Arc<VirtualClock>,
+        mut windows: Vec<OutageWindow>,
+    ) -> FlakySource {
+        windows.sort_by_key(|w| w.start);
+        self.storms = Some((clock, windows));
+        self
     }
 
     /// Requests attempted (including failed ones).
@@ -57,6 +105,19 @@ impl FlakySource {
     /// Requests that were injected as failures.
     pub fn failures(&self) -> u64 {
         self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Failures injected by an outage storm specifically.
+    pub fn storm_failures(&self) -> u64 {
+        self.storm_failures.load(Ordering::Relaxed)
+    }
+
+    fn in_storm(&self) -> bool {
+        let Some((clock, windows)) = &self.storms else {
+            return false;
+        };
+        let now = clock.now().0;
+        windows.iter().any(|w| w.covers(now))
     }
 
     fn roll(&self, attempt: u64) -> bool {
@@ -93,6 +154,14 @@ impl DataSource for FlakySource {
 
     fn fetch(&self, request: &FetchRequest) -> Result<FetchResponse> {
         let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
+        if self.in_storm() {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            self.storm_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(SourceError::Transient {
+                source: self.inner.name().to_string(),
+                cost: self.failure_cost,
+            });
+        }
         if self.roll(attempt) {
             self.failures.fetch_add(1, Ordering::Relaxed);
             return Err(SourceError::Transient {
@@ -180,6 +249,40 @@ mod tests {
         assert_eq!(a, b, "failure pattern must be deterministic");
         let rate = failures as f64 / 200.0;
         assert!((0.2..0.4).contains(&rate), "observed rate {rate}");
+    }
+
+    #[test]
+    fn storm_windows_fail_on_the_virtual_clock() {
+        let clock = VirtualClock::new();
+        let s = FlakySource::new(inner(), 0.0, Duration::from_secs(1), 7).with_storms(
+            Arc::clone(&clock),
+            vec![OutageWindow::at(
+                Duration::from_secs(10),
+                Duration::from_secs(5),
+            )],
+        );
+        // Before the storm: healthy.
+        s.fetch(&FetchRequest::scan()).unwrap();
+        // Inside [10s, 15s): every request fails.
+        clock.advance(Duration::from_secs(12));
+        assert!(s.fetch(&FetchRequest::scan()).is_err());
+        assert!(s.fetch(&FetchRequest::scan()).is_err());
+        // Past the window: healthy again — graceful recovery.
+        clock.advance(Duration::from_secs(4));
+        s.fetch(&FetchRequest::scan()).unwrap();
+        assert_eq!(s.storm_failures(), 2);
+        assert_eq!(s.failures(), 2, "storm failures count as failures");
+    }
+
+    #[test]
+    fn storms_compose_with_base_rate() {
+        let clock = VirtualClock::new();
+        let s = FlakySource::new(inner(), 1.0, Duration::from_secs(1), 7)
+            .with_storms(Arc::clone(&clock), vec![]);
+        // No storm windows, but the base rate still applies.
+        assert!(s.fetch(&FetchRequest::scan()).is_err());
+        assert_eq!(s.storm_failures(), 0);
+        assert_eq!(s.failures(), 1);
     }
 
     #[test]

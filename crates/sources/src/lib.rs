@@ -38,6 +38,7 @@ pub mod flaky;
 pub mod latency;
 pub mod ligand_db;
 pub mod protein_db;
+pub mod sched;
 pub mod serve;
 pub mod source;
 pub mod sync;
@@ -47,6 +48,7 @@ pub use clock::VirtualClock;
 pub use error::SourceError;
 pub use federation::SourceRegistry;
 pub use latency::LatencyModel;
+pub use sched::{EventQueue, EventQueueStats};
 pub use source::{DataSource, FetchRequest, FetchResponse, SimulatedSource, SourceKind};
 
 /// Convenience result alias used throughout the crate.

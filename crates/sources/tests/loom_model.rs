@@ -256,3 +256,56 @@ fn coalescer_splits_rows_exactly_per_participant() {
         assert_eq!(advancers, stats.batches, "one clock advance per batch");
     });
 }
+
+/// The fleet scheduler's event queue under perturbed schedules: a
+/// coalescer completion and a deadline expiry pushed from racing
+/// producer threads must both reach the blocked coordinator — no lost
+/// wakeup whichever side wins the race with the consumer's
+/// empty-check-then-park window, and whichever of them races `close`.
+#[test]
+fn event_queue_never_loses_completion_racing_deadline_expiry() {
+    use drugtree_sources::sched::EventQueue;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Ev {
+        CoalescerDone,
+        DeadlineExpired,
+    }
+
+    loom::model(|| {
+        let q = Arc::new(EventQueue::new());
+        let completion = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || q.push(Ev::CoalescerDone))
+        };
+        let expiry = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                q.push(Ev::DeadlineExpired);
+                // The expiry side also initiates shutdown, racing the
+                // consumer's drain: close must never drop the queued
+                // completion.
+                q.close();
+            })
+        };
+
+        // The coordinator blocks for both events; `pop` may only
+        // return `None` once the queue is closed *and* drained.
+        let mut seen = std::collections::HashSet::new();
+        while seen.len() < 2 {
+            let ev = q
+                .pop()
+                .expect("event lost: pop returned None before both arrived");
+            seen.insert(ev);
+        }
+        completion.join().unwrap();
+        expiry.join().unwrap();
+
+        assert!(seen.contains(&Ev::CoalescerDone));
+        assert!(seen.contains(&Ev::DeadlineExpired));
+        assert_eq!(q.pop(), None, "closed and drained");
+        let stats = q.stats();
+        assert_eq!(stats.pushed, 2);
+        assert_eq!(stats.popped, 2);
+    });
+}

@@ -59,13 +59,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_export(Arc::clone(&sink) as Arc<dyn Sink>),
     );
 
-    let server = DrugTree::builder()
+    // The serving API: a FleetBuilder over one shared executor, with
+    // per-class deadlines and p95 hedging switched on. The per-class
+    // shed/hedge/deadline rollup lands in the export as
+    // `{"event":"serve"}` records, which `drugtree top` renders.
+    let report = DrugTree::builder()
         .dataset(bundle.build_dataset())
         .optimizer(OptimizerConfig::full())
         .with_observer(Arc::clone(&observer) as Arc<dyn Observer>)
         .build()?
-        .into_server(ServeConfig::default());
-    let report = server.run(&workloads).map_err(|e| e.to_string())?;
+        .fleet()
+        .with_sessions(workloads)
+        .with_deadline_policy(DeadlinePolicy::uniform(Duration::from_millis(250)))
+        .with_hedging(HedgePolicy {
+            enabled: true,
+            quantile: 0.95,
+            warmup: 16,
+        })
+        .run()?;
     sink.flush()?;
 
     println!(

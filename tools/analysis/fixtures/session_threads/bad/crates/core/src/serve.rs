@@ -1,0 +1,19 @@
+//! Seeded violation: the pre-scheduler serving loop, one OS thread per
+//! session. Fleet size = thread count, replays race, 16k sessions
+//! would need 16k stacks.
+
+pub fn run(workloads: &[usize]) -> Vec<usize> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| scope.spawn(move || *w * 2))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+pub fn run_detached(work: usize) {
+    std::thread::spawn(move || {
+        let _ = work;
+    });
+}

@@ -7,6 +7,7 @@ pub mod clock;
 pub mod guard_scope;
 pub mod lock_order;
 pub mod rule_registry;
+pub mod session_threads;
 pub mod sync_hygiene;
 
 use crate::registry::Pass;
@@ -19,5 +20,6 @@ pub fn all() -> Vec<Box<dyn Pass>> {
         Box::new(sync_hygiene::SyncHygiene),
         Box::new(clock::Clock),
         Box::new(rule_registry::RuleRegistry),
+        Box::new(session_threads::SessionThreads),
     ]
 }

@@ -1,0 +1,57 @@
+//! session-threads: the serving layer scales by scheduling, not by
+//! spawning. `crates/core/src/serve.rs` once ran one OS thread per
+//! mobile session, which capped fleets at a few hundred sessions and
+//! made replays nondeterministic; the event-driven scheduler
+//! (`crates/core/src/sched.rs`) replaced it with poll-able session
+//! machines over a fixed worker pool. This pass keeps the old pattern
+//! from creeping back: any thread spawn in the serving façade is a
+//! violation. The scheduler module itself may spawn its bounded worker
+//! pool — that count is fixed by configuration, not by fleet size.
+
+use crate::model::SourceModel;
+use crate::registry::{Pass, Violation};
+
+pub struct SessionThreads;
+
+/// The one file the serving façade lives in.
+const SERVE_FACADE: &str = "crates/core/src/serve.rs";
+
+/// Spawn forms the façade must not contain: bare/qualified
+/// `thread::spawn` and scoped `.spawn(` closures alike.
+fn is_spawn(line: &str) -> bool {
+    line.contains("thread::spawn") || line.contains(".spawn(")
+}
+
+impl Pass for SessionThreads {
+    fn name(&self) -> &'static str {
+        "session-threads"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid per-session OS-thread spawns in the serving facade (use the event scheduler)"
+    }
+
+    fn run(&self, model: &SourceModel) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for fm in &model.files {
+            if fm.path != SERVE_FACADE {
+                continue;
+            }
+            for (li, line) in fm.code.iter().enumerate() {
+                if is_spawn(line) {
+                    out.push(Violation {
+                        pass: self.name(),
+                        file: fm.path.clone(),
+                        line: li + 1,
+                        message: String::from(
+                            "thread spawn in the serving facade; sessions are poll-able \
+                             machines driven by the event scheduler (crates/core/src/sched.rs), \
+                             never one OS thread each",
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}

@@ -10,9 +10,11 @@
 //! present in both trees is compared cell by cell: the header name
 //! decides whether a metric is lower-better (latencies, round-trips)
 //! or higher-better (speedups, throughput, hit rates); unknown columns
-//! and label columns are skipped, as are `shared-serving` rows, whose
-//! cross-thread coalescing varies slightly with OS scheduling. A
-//! candidate worse than baseline by more than the relative threshold
+//! and label columns are skipped. (Shared-fleet rows used to be
+//! excluded as scheduling-dependent; the event-driven session
+//! scheduler made them byte-deterministic, so every E11 row is gated
+//! now.) A candidate worse than baseline by more than the relative
+//! threshold
 //! on any compared cell is a regression and the exit code is 1. A
 //! baseline table with no counterpart file in the candidate tree is a
 //! coverage failure, not a skip: it exits 3 so CI can distinguish "got
@@ -131,9 +133,6 @@ fn compare_tables(baseline: &Table, candidate: &Table, threshold: f64) -> Vec<Re
     }
     for (base_row, cand_row) in baseline.rows.iter().zip(&candidate.rows) {
         let label = base_row.first().cloned().unwrap_or_default();
-        if base_row.iter().any(|c| c == "shared-serving") {
-            continue;
-        }
         if base_row.first() != cand_row.first() {
             eprintln!(
                 "note: {} row labels diverge ({label:?}); skipping row",
@@ -353,25 +352,17 @@ mod tests {
     }
 
     #[test]
-    fn shared_serving_rows_and_tiny_baselines_are_skipped() {
+    fn tiny_baselines_are_skipped_but_fleet_rows_are_gated() {
         let headers = ["sessions", "mode", "p95"];
-        let base = table(
-            "E11",
-            &headers,
-            &[
-                &["8", "shared-serving", "10.0ms"],
-                &["8", "per-session-opt", "0.01"],
-            ],
-        );
-        let cand = table(
-            "E11",
-            &headers,
-            &[
-                &["8", "shared-serving", "99.0ms"],
-                &["8", "per-session-opt", "0.04"],
-            ],
-        );
+        // Noise-floor baselines never flag...
+        let base = table("E11", &headers, &[&["8", "per-session-opt", "0.01"]]);
+        let cand = table("E11", &headers, &[&["8", "per-session-opt", "0.04"]]);
         assert!(compare_tables(&base, &cand, 0.10).is_empty());
+        // ...but shared-fleet rows are ordinary gated rows now: the
+        // event scheduler made them deterministic.
+        let base = table("E11", &headers, &[&["1024", "fleet", "10.0ms"]]);
+        let cand = table("E11", &headers, &[&["1024", "fleet", "99.0ms"]]);
+        assert_eq!(compare_tables(&base, &cand, 0.10).len(), 1);
     }
 
     #[test]
