@@ -58,6 +58,7 @@ fn main() {
         ("e14", drugtree_bench::e14_fleet_obs::run),
         ("e15", drugtree_bench::e15_kernels::run),
         ("e16", drugtree_bench::e16_phases::run),
+        ("e17", drugtree_bench::e17_adaptive::run),
     ];
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

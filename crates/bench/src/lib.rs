@@ -18,6 +18,7 @@ pub mod e13_observability;
 pub mod e14_fleet_obs;
 pub mod e15_kernels;
 pub mod e16_phases;
+pub mod e17_adaptive;
 pub mod e1_query_classes;
 pub mod e2_scalability;
 pub mod e3_cache;

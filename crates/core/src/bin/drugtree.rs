@@ -45,6 +45,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!("usage: drugtree [--leaves N] [--ligands N] [--seed N] [--sources N]");
                 println!("       drugtree top <export.jsonl>   fold a trace export into a workload summary");
+                println!("       drugtree advisor <export.jsonl>  show what the self-driving layer decided");
                 println!(
                     "       drugtree rules                list the rewrite-rule registry by phase"
                 );
@@ -148,10 +149,36 @@ fn run_top(args: &[String]) -> i32 {
     0
 }
 
+/// `drugtree advisor <export.jsonl>`: fold the adaptation decisions
+/// out of a fleet-observability JSONL export.
+fn run_advisor(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: drugtree advisor <export.jsonl>");
+        return 2;
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return 2;
+        }
+    };
+    let report = AdvisorReport::from_lines(content.lines());
+    if report.adaptations() == 0 {
+        eprintln!("error: {path}: no adaptation records found (is the adaptive layer enabled?)");
+        return 1;
+    }
+    print!("{}", report.render());
+    0
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("top") {
         std::process::exit(run_top(&raw[1..]));
+    }
+    if raw.first().map(String::as_str) == Some("advisor") {
+        std::process::exit(run_advisor(&raw[1..]));
     }
     if raw.first().map(String::as_str) == Some("rules") {
         std::process::exit(run_rules());

@@ -23,7 +23,7 @@ use drugtree_phylo::seq::ProteinSequence;
 use drugtree_phylo::upgma::upgma;
 use drugtree_query::cache::CacheConfig;
 use drugtree_query::optimizer::{Optimizer, OptimizerConfig};
-use drugtree_query::{Dataset, Executor, Observer};
+use drugtree_query::{AdaptiveRuntime, Dataset, Executor, Observer};
 use drugtree_sources::clock::VirtualClock;
 use drugtree_sources::federation::SourceRegistry;
 use drugtree_sources::ligand_db::ligand_from_row;
@@ -53,6 +53,7 @@ pub struct DrugTreeBuilder {
     build_columnar: bool,
     midpoint_rooting: bool,
     observer: Option<Arc<dyn Observer>>,
+    adaptive: Option<Arc<AdaptiveRuntime>>,
 }
 
 impl Default for DrugTreeBuilder {
@@ -76,6 +77,7 @@ impl DrugTreeBuilder {
             build_columnar: false,
             midpoint_rooting: false,
             observer: None,
+            adaptive: None,
         }
     }
 
@@ -166,6 +168,18 @@ impl DrugTreeBuilder {
         self
     }
 
+    /// Install the self-driving runtime (design decision D15): learned
+    /// statistics feed the planner's selectivity estimates, the
+    /// advisor auto-builds the aggregate view past break-even, and a
+    /// regret tracker reverts adaptations that regress. Build the
+    /// runtime with `AdaptiveRuntime::new` (optionally
+    /// `.with_export(sink)` to stream `adapt` events for
+    /// `drugtree advisor`).
+    pub fn with_adaptive(mut self, runtime: Arc<AdaptiveRuntime>) -> Self {
+        self.adaptive = Some(runtime);
+        self
+    }
+
     /// Assemble the system.
     pub fn build(self) -> Result<DrugTree, DrugTreeError> {
         let dataset = match self.dataset {
@@ -180,6 +194,9 @@ impl DrugTreeBuilder {
         let mut executor = Executor::with_cache_config(Optimizer::new(self.optimizer), self.cache);
         if let Some(observer) = self.observer {
             executor.set_observer(observer);
+        }
+        if let Some(adaptive) = self.adaptive {
+            executor.enable_adaptive(adaptive);
         }
         if self.collect_stats {
             executor.collect_stats(&dataset)?;
@@ -479,6 +496,49 @@ mod tests {
             .unwrap();
         let r = system.query("aggregate count in tree").unwrap();
         assert_eq!(r.metrics.source_requests, 0);
+    }
+
+    #[test]
+    fn with_adaptive_auto_materializes_past_break_even() {
+        use drugtree_query::obs::{Sink, VecSink};
+        use drugtree_query::{AdaptiveConfig, AdaptiveRuntime};
+
+        let (p, l, a) = sources();
+        let sink = Arc::new(VecSink::new());
+        let rt = Arc::new(
+            AdaptiveRuntime::new(AdaptiveConfig::default())
+                .with_export(Arc::clone(&sink) as Arc<dyn Sink>),
+        );
+        let system = DrugTree::builder()
+            .register_source(p)
+            .register_source(l)
+            .register_source(a)
+            .with_adaptive(Arc::clone(&rt))
+            .build()
+            .unwrap();
+        assert!(!rt.snapshot().view_built);
+        // Repeated whole-tree aggregates (with cache invalidation in
+        // between, as a refreshing deployment would see) accumulate
+        // foregone cost until the advisor crosses break-even and
+        // builds the view on its own.
+        for _ in 0..50 {
+            if rt.snapshot().view_built {
+                break;
+            }
+            system.executor().invalidate();
+            system.query("aggregate count in tree").unwrap();
+        }
+        assert!(rt.snapshot().view_built, "advisor built the view");
+        assert!(sink
+            .lines()
+            .iter()
+            .any(|l| l.contains("\"loop_name\":\"matview\"") && l.contains("break-even crossed")));
+        // The next aggregate is served from the adaptive view: no
+        // source work at all.
+        system.executor().invalidate();
+        let served = system.query("aggregate count in tree").unwrap();
+        assert_eq!(served.metrics.source_requests, 0);
+        assert!(rt.snapshot().advisor.hits > 0, "amortization is tracked");
     }
 
     #[test]

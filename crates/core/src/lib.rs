@@ -39,10 +39,8 @@ pub mod snapshot;
 pub mod system;
 
 pub use builder::DrugTreeBuilder;
-pub use obs::{JsonlFileSink, TopReport};
+pub use obs::{AdvisorReport, JsonlFileSink, TopReport};
 pub use sched::{AdmissionControl, DeadlinePolicy, HedgePolicy, SchedStats};
-#[allow(deprecated)]
-pub use serve::ServerHandle;
 pub use serve::{FleetBuilder, ServeError, ServeReport};
 pub use snapshot::{load_system, save_system};
 pub use system::{DrugTree, DrugTreeError, SystemReport};
@@ -50,10 +48,8 @@ pub use system::{DrugTree, DrugTreeError, SystemReport};
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::builder::DrugTreeBuilder;
-    pub use crate::obs::{JsonlFileSink, TopReport};
+    pub use crate::obs::{AdvisorReport, JsonlFileSink, TopReport};
     pub use crate::sched::{AdmissionControl, DeadlinePolicy, HedgePolicy, SchedStats};
-    #[allow(deprecated)]
-    pub use crate::serve::ServerHandle;
     pub use crate::serve::{FleetBuilder, ServeError, ServeReport};
     pub use crate::system::{DrugTree, DrugTreeError, SystemReport};
     pub use drugtree_mobile::gestures::{drill_down_script, GestureConfig};

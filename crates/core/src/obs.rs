@@ -7,11 +7,13 @@
 //! [`TopReport`] folds such an export back into the summary table the
 //! `drugtree top` subcommand prints (per-class QPS and tail latency,
 //! cache hit rate, the slowest plan fingerprints, and per-session SLO
-//! breaches).
+//! breaches), and [`AdvisorReport`] folds the `"adapt"` records into
+//! the `drugtree advisor` view of what the self-driving layer did
+//! (which loops fired, what they touched, and why).
 //!
 //! [`TraceExport`]: drugtree_query::TraceExport
 
-use drugtree_query::obs::{QueryEvent, ServeEvent, Sink, WindowEvent};
+use drugtree_query::obs::{AdaptEvent, QueryEvent, ServeEvent, Sink, WindowEvent};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -94,6 +96,7 @@ pub struct TopReport {
     queries: u64,
     windows: u64,
     rollups: u64,
+    adapts: u64,
     skipped: u64,
 }
 
@@ -122,6 +125,11 @@ impl TopReport {
                     Ok(event) => report.fold_serve(&event),
                     Err(_) => report.skipped += 1,
                 }
+            } else if line.starts_with("{\"event\":\"adapt\"") {
+                // Adaptation records belong to `drugtree advisor`;
+                // here we only acknowledge them so a mixed export does
+                // not report them as garbage.
+                report.adapts += 1;
             } else {
                 report.skipped += 1;
             }
@@ -208,6 +216,13 @@ impl TopReport {
             "workload: {} queries, {} window rollovers over {:.2}s virtual",
             self.queries, self.windows, span_secs
         );
+        if self.adapts > 0 {
+            let _ = writeln!(
+                out,
+                "({} adaptation records — see `drugtree advisor`)",
+                self.adapts
+            );
+        }
         if self.skipped > 0 {
             let _ = writeln!(out, "({} unparseable lines skipped)", self.skipped);
         }
@@ -296,6 +311,161 @@ impl TopReport {
                 let _ = write!(out, "; worst session:{id} ({breaches} breaches)");
             }
             let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct LoopAccumulator {
+    applies: u64,
+    reverts: u64,
+    evicts: u64,
+    last_action: String,
+    last_subject: String,
+}
+
+/// The self-driving layer's decision log folded from a JSONL export:
+/// what `drugtree advisor` renders.
+///
+/// Folds only the `{"event":"adapt"}` records — a mixed export (query
+/// spans, window rollovers, serve rollups interleaved with adapt
+/// decisions) is the normal input, and the non-adapt records are
+/// passed over silently.
+#[derive(Debug, Default)]
+pub struct AdvisorReport {
+    loops: BTreeMap<String, LoopAccumulator>,
+    timeline: Vec<AdaptEvent>,
+    other_events: u64,
+    skipped: u64,
+}
+
+impl AdvisorReport {
+    /// Fold an export, one JSONL line per item. Non-adapt event
+    /// records are counted but ignored; unparseable lines are counted,
+    /// not fatal.
+    pub fn from_lines<'a>(lines: impl IntoIterator<Item = &'a str>) -> AdvisorReport {
+        let mut report = AdvisorReport::default();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("{\"event\":\"adapt\"") {
+                match serde_json::from_str::<AdaptEvent>(line) {
+                    Ok(event) => report.fold_adapt(event),
+                    Err(_) => report.skipped += 1,
+                }
+            } else if line.starts_with("{\"event\":\"") {
+                report.other_events += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        report
+    }
+
+    fn fold_adapt(&mut self, event: AdaptEvent) {
+        let acc = self.loops.entry(event.loop_name.clone()).or_default();
+        match event.action.as_str() {
+            "apply" => acc.applies += 1,
+            "revert" => acc.reverts += 1,
+            "evict" => acc.evicts += 1,
+            _ => {}
+        }
+        acc.last_action = event.action.clone();
+        acc.last_subject = event.subject.clone();
+        self.timeline.push(event);
+    }
+
+    /// Adapt records folded in.
+    pub fn adaptations(&self) -> u64 {
+        self.timeline.len() as u64
+    }
+
+    /// Revert decisions across all loops — zero in steady state; a
+    /// non-zero count means a guardrail fired.
+    pub fn reverts(&self) -> u64 {
+        self.loops.values().map(|a| a.reverts).sum()
+    }
+
+    /// Lines that failed to parse.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The advisor summary: per-loop decision counts, then the
+    /// decision timeline in export order.
+    pub fn render(&self) -> String {
+        const TIMELINE_CAP: usize = 20;
+        let mut out = String::new();
+        let span_ns = match (self.timeline.first(), self.timeline.last()) {
+            (Some(first), Some(last)) => last.at_ns.saturating_sub(first.at_ns),
+            _ => 0,
+        };
+        let _ = writeln!(
+            out,
+            "self-driving layer: {} adaptation(s) across {} loop(s) over {:.2}s virtual",
+            self.adaptations(),
+            self.loops.len(),
+            span_ns as f64 / 1e9,
+        );
+        if self.other_events > 0 {
+            let _ = writeln!(
+                out,
+                "({} non-adapt events in export — see `drugtree top`)",
+                self.other_events
+            );
+        }
+        if self.skipped > 0 {
+            let _ = writeln!(out, "({} unparseable lines skipped)", self.skipped);
+        }
+        let _ = writeln!(out);
+        let header = ["loop", "apply", "revert", "evict", "last decision"];
+        let rows: Vec<[String; 5]> = self
+            .loops
+            .iter()
+            .map(|(name, acc)| {
+                [
+                    name.clone(),
+                    acc.applies.to_string(),
+                    acc.reverts.to_string(),
+                    acc.evicts.to_string(),
+                    format!("{} {}", acc.last_action, truncate(&acc.last_subject, 32)),
+                ]
+            })
+            .collect();
+        render_table(&mut out, &header, &rows);
+        let _ = writeln!(out, "\ndecision timeline:");
+        for event in self.timeline.iter().take(TIMELINE_CAP) {
+            let _ = writeln!(
+                out,
+                "  [{:>9.3}s] {:<13} {:<7} {:<28} {}",
+                event.at_ns as f64 / 1e9,
+                event.loop_name,
+                event.action,
+                truncate(&event.subject, 28),
+                truncate(&event.reason, 56),
+            );
+        }
+        if self.timeline.len() > TIMELINE_CAP {
+            let _ = writeln!(
+                out,
+                "  ... ({} more decisions)",
+                self.timeline.len() - TIMELINE_CAP
+            );
+        }
+        if self.reverts() == 0 {
+            let _ = writeln!(
+                out,
+                "\nno reverts: every adaptation held past its guardrail"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "\n{} revert(s): the regret guardrail rolled back at least one loop",
+                self.reverts()
+            );
         }
         out
     }
@@ -445,6 +615,55 @@ mod tests {
             .unwrap();
         assert!(row.contains("100"), "admitted summed: {row}");
         assert!(row.contains("15"), "shed summed: {row}");
+    }
+
+    #[test]
+    fn top_report_acknowledges_adapt_records() {
+        let lines = [
+            r#"{"event":"adapt","seq":0,"at_ns":100,"loop_name":"matview","action":"apply","subject":"aggregate(count)","reason":"break-even crossed","before_ns":10,"after_ns":2}"#,
+        ];
+        let report = TopReport::from_lines(lines);
+        assert_eq!(report.skipped(), 0, "adapt records are not garbage");
+        assert!(report.render().contains("see `drugtree advisor`"));
+    }
+
+    #[test]
+    fn advisor_report_folds_adapt_decisions() {
+        let lines = [
+            r#"{"event":"query","seq":0,"class":"listing","query":"q","fingerprint":"f","started_ns":0,"ended_ns":1,"charged_ns":1,"breach":false}"#,
+            r#"{"event":"adapt","seq":1,"at_ns":1000000,"loop_name":"learned-stats","action":"apply","subject":"p_activity >=","reason":"calibrated from 8 observations","before_ns":0,"after_ns":0}"#,
+            r#"{"event":"adapt","seq":2,"at_ns":5000000,"loop_name":"matview","action":"apply","subject":"aggregate(count)","reason":"break-even crossed","before_ns":900000,"after_ns":12000}"#,
+            r#"{"event":"adapt","seq":3,"at_ns":9000000,"loop_name":"matview","action":"evict","subject":"aggregate(count)","reason":"idle past ttl","before_ns":0,"after_ns":0}"#,
+        ];
+        let report = AdvisorReport::from_lines(lines);
+        assert_eq!(report.adaptations(), 3);
+        assert_eq!(report.reverts(), 0);
+        assert_eq!(report.skipped(), 0);
+        let rendered = report.render();
+        assert!(rendered.contains("3 adaptation(s) across 2 loop(s)"));
+        assert!(rendered.contains("learned-stats"));
+        assert!(rendered.contains("break-even crossed"));
+        assert!(rendered.contains("idle past ttl"));
+        assert!(rendered.contains("no reverts"));
+        // The matview row counts one apply and one evict.
+        let row = rendered.lines().find(|l| l.starts_with("matview")).unwrap();
+        assert!(
+            row.contains("evict aggregate(count)"),
+            "last decision: {row}"
+        );
+    }
+
+    #[test]
+    fn advisor_report_counts_reverts() {
+        let lines = [
+            r#"{"event":"adapt","seq":0,"at_ns":100,"loop_name":"learned-stats","action":"apply","subject":"p_activity","reason":"calibrated","before_ns":0,"after_ns":0}"#,
+            r#"{"event":"adapt","seq":1,"at_ns":200,"loop_name":"learned-stats","action":"revert","subject":"p_activity","reason":"regret threshold","before_ns":0,"after_ns":0}"#,
+            "garbage",
+        ];
+        let report = AdvisorReport::from_lines(lines);
+        assert_eq!(report.reverts(), 1);
+        assert_eq!(report.skipped(), 1);
+        assert!(report.render().contains("1 revert(s)"));
     }
 
     #[test]

@@ -12,11 +12,6 @@
 //! [`ServeReport`] whose per-class [`ServeClassCounters`] expose the
 //! shed/hedged/deadline-missed counts, also emitted to any attached
 //! observer as `{"event":"serve"}` JSONL records for `drugtree top`.
-//!
-//! The old thread-per-session entry points ([`ServerHandle::new`],
-//! [`ServerHandle::run`], [`DrugTree::into_server`]) remain as
-//! deprecated shims for one release; they now route through the same
-//! scheduler, so no per-session OS thread is ever spawned.
 
 use crate::sched::{run_fleet, SchedStats, SchedulerConfig};
 use crate::system::{DrugTree, DrugTreeError};
@@ -335,83 +330,12 @@ impl FleetBuilder {
     }
 }
 
-/// A shareable server over one dataset/executor pair.
-///
-/// Superseded by [`FleetBuilder`]; retained for one release as a shim
-/// over the event-driven scheduler.
-pub struct ServerHandle {
-    dataset: Arc<Dataset>,
-    executor: Arc<Executor>,
-}
-
-impl ServerHandle {
-    /// Wrap an already-configured pair.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use DrugTree::fleet() and FleetBuilder::run instead"
-    )]
-    pub fn new(dataset: Arc<Dataset>, executor: Arc<Executor>) -> ServerHandle {
-        ServerHandle { dataset, executor }
-    }
-
-    /// The shared dataset.
-    pub fn dataset(&self) -> &Arc<Dataset> {
-        &self.dataset
-    }
-
-    /// The shared executor.
-    pub fn executor(&self) -> &Arc<Executor> {
-        &self.executor
-    }
-
-    /// Replay every workload through the event-driven scheduler with
-    /// default policies (no deadlines, no shedding, no hedging).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use DrugTree::fleet() and FleetBuilder::run instead"
-    )]
-    pub fn run(&self, workloads: &[SessionWorkload]) -> Result<ServeReport, DrugTreeError> {
-        let started = wall_now();
-        let outcome = run_fleet(
-            &self.dataset,
-            &self.executor,
-            workloads,
-            &SchedulerConfig::default(),
-        )?;
-        let wall = wall_now().duration_since(started);
-        Ok(ServeReport {
-            sessions: workloads.len(),
-            gestures: outcome.gestures,
-            wall,
-            latencies: outcome.latencies,
-            session_totals: outcome.session_totals,
-            cache: self.executor.cache_stats(),
-            serve: self.executor.serve_stats(),
-            classes: outcome.classes,
-            sched: Some(outcome.stats),
-        })
-    }
-}
-
 impl DrugTree {
     /// Convert into a fleet builder: the entry point of the serving
     /// API.
     pub fn fleet(self) -> FleetBuilder {
         let (dataset, executor) = self.into_parts();
         FleetBuilder::new(dataset, executor)
-    }
-
-    /// Convert into a concurrent server: enables cross-session fetch
-    /// coordination on the executor and moves the pair behind `Arc`s.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use DrugTree::fleet() and FleetBuilder::run instead"
-    )]
-    pub fn into_server(self, config: ServeConfig) -> ServerHandle {
-        let (dataset, mut executor) = self.into_parts();
-        executor.enable_serving(config);
-        #[allow(deprecated)]
-        ServerHandle::new(Arc::new(dataset), Arc::new(executor))
     }
 }
 
@@ -588,27 +512,6 @@ mod tests {
             "storms must degrade some queries"
         );
         assert_eq!(report.sessions, 4, "the fleet rides through the storm");
-    }
-
-    #[test]
-    fn deprecated_shim_routes_through_the_scheduler() {
-        #![allow(deprecated)]
-        let server = system().into_server(ServeConfig::default());
-        let workloads = zipf_sessions(
-            &server.dataset().tree,
-            &server.dataset().index,
-            4,
-            &GestureConfig {
-                len: 20,
-                ..Default::default()
-            },
-        );
-        let report = server.run(&workloads).unwrap();
-        assert_eq!(report.sessions, 4);
-        assert_eq!(report.gestures, 80);
-        assert!(!report.latencies.is_empty());
-        assert!(report.serve.is_some());
-        assert!(report.sched.is_some(), "shim rides the scheduler");
     }
 
     #[test]

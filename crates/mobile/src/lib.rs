@@ -14,6 +14,9 @@
 //! * [`network`] — mobile network profiles (WiFi/4G/3G/EDGE) charging
 //!   transfer time to the virtual clock.
 //! * [`prefetch`] — predictive cache warming of likely-next clades.
+//! * [`pattern`] — online gesture-stream classification (drill-down
+//!   vs. lateral) gating per-session adaptive prefetch (design
+//!   decision D15).
 //! * [`progressive`] — chunked result delivery: first usable content
 //!   early, the rest streaming behind it.
 //! * [`session`] — a gesture-driven interactive session tying the
@@ -29,6 +32,7 @@ pub mod layout;
 pub mod lod;
 pub mod machine;
 pub mod network;
+pub mod pattern;
 pub mod prefetch;
 pub mod progressive;
 pub mod serve;
@@ -38,6 +42,7 @@ pub mod viewport;
 pub use error::MobileError;
 pub use machine::{MachineState, SessionMachine};
 pub use network::NetworkProfile;
+pub use pattern::{ExpandRelation, PatternClassifier, SessionPattern};
 pub use serve::{zipf_sessions, SessionWorkload};
 pub use session::{
     DegradedReason, Gesture, GestureStep, MobileSession, QueryOutcome, QueryPending, ViewPending,

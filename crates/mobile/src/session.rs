@@ -10,6 +10,7 @@
 use crate::layout::TreeLayout;
 use crate::lod::{render_visible, RenderList};
 use crate::network::NetworkProfile;
+use crate::pattern::{PatternClassifier, SessionPattern};
 use crate::prefetch::{PrefetchBudget, Prefetcher};
 use crate::progressive::{
     blocking_delivery, progressive_delivery, DeliverySchedule, DEFAULT_CHUNK_ROWS,
@@ -197,9 +198,18 @@ pub struct MobileSession<'a> {
     progressive: bool,
     chunk_rows: usize,
     prefetcher: Option<Prefetcher>,
+    adaptive_prefetch: Option<AdaptiveGate>,
     session_id: Option<u32>,
     keep_log: bool,
     log: Vec<InteractionResult>,
+}
+
+/// The per-session adaptive prefetch gate: the online classifier plus
+/// the last policy it reported (so only *switches* emit adapt events).
+#[derive(Debug)]
+struct AdaptiveGate {
+    classifier: PatternClassifier,
+    reported: Option<bool>,
 }
 
 impl<'a> MobileSession<'a> {
@@ -232,6 +242,7 @@ impl<'a> MobileSession<'a> {
             progressive: true,
             chunk_rows: DEFAULT_CHUNK_ROWS,
             prefetcher: None,
+            adaptive_prefetch: None,
             session_id: None,
             keep_log: true,
             log: Vec::new(),
@@ -241,6 +252,28 @@ impl<'a> MobileSession<'a> {
     /// Enable predictive prefetching after `Expand` gestures.
     pub fn enable_prefetch(&mut self, prefetcher: Prefetcher) {
         self.prefetcher = Some(prefetcher);
+    }
+
+    /// Enable *adaptive* prefetching: `prefetcher` fires only while
+    /// the session's gesture stream classifies as lateral browsing
+    /// (experiment E10's profitable regime) and stays off for
+    /// drill-down or unclassified streams. Policy switches are
+    /// reported to the executor's adaptive runtime (when one is
+    /// installed) so they land in the `adapt` event stream.
+    pub fn enable_adaptive_prefetch(&mut self, prefetcher: Prefetcher) {
+        self.prefetcher = Some(prefetcher);
+        self.adaptive_prefetch = Some(AdaptiveGate {
+            classifier: PatternClassifier::default(),
+            reported: None,
+        });
+    }
+
+    /// The current gesture-stream classification, when adaptive
+    /// prefetch is enabled.
+    pub fn prefetch_pattern(&self) -> Option<SessionPattern> {
+        self.adaptive_prefetch
+            .as_ref()
+            .map(|g| g.classifier.pattern())
     }
 
     /// Tag this session with a serving-fleet id: every gesture
@@ -475,10 +508,39 @@ impl<'a> MobileSession<'a> {
             }
         };
         if let (Some(node), QueryOutcome::Rows { .. }) = (node, outcome) {
-            interaction.prefetched = self.prefetch_after(node);
+            if self.prefetch_allowed(node) {
+                interaction.prefetched = self.prefetch_after(node);
+            }
         }
         self.push_log(&interaction);
         interaction
+    }
+
+    /// Advance the adaptive gate (when enabled) with this expansion
+    /// and decide whether prefetch may fire. Only *switches* are
+    /// reported to the executor's adaptive runtime — and the initial
+    /// "off" state is the default, not a switch.
+    fn prefetch_allowed(&mut self, node: NodeId) -> bool {
+        let Some(gate) = self.adaptive_prefetch.as_mut() else {
+            return true;
+        };
+        let pattern = gate.classifier.observe_expand(&self.dataset.tree, node);
+        let on = pattern == SessionPattern::Lateral;
+        if gate.reported != Some(on) {
+            let first = gate.reported.is_none();
+            gate.reported = Some(on);
+            if on || !first {
+                if let Some(rt) = self.executor.adaptive() {
+                    rt.note_prefetch_switch(
+                        self.session_id,
+                        pattern.label(),
+                        on,
+                        self.dataset.clock.now().0,
+                    );
+                }
+            }
+        }
+        on
     }
 
     fn push_log(&mut self, result: &InteractionResult) {
@@ -751,6 +813,62 @@ mod tests {
         let mut slow = MobileSession::new(&d, &e, NetworkProfile::EDGE);
         slow.set_first_chunk_deadline(Duration::from_millis(100));
         assert!(fast.chunk_rows > slow.chunk_rows);
+    }
+
+    #[test]
+    fn adaptive_prefetch_gates_by_pattern_and_reports_switches() {
+        use drugtree_query::obs::VecSink;
+        use drugtree_query::{AdaptiveConfig, AdaptiveRuntime};
+
+        let d = dataset();
+        let sink = Arc::new(VecSink::new());
+        let mut e = executor();
+        e.enable_adaptive(Arc::new(
+            AdaptiveRuntime::new(AdaptiveConfig::default())
+                .with_export(Arc::clone(&sink) as Arc<dyn drugtree_query::obs::Sink>),
+        ));
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        s.set_session_id(7);
+        s.enable_adaptive_prefetch(Prefetcher::default());
+
+        let clade_a = d.index.by_label("cladeA").unwrap();
+        let clade_b = d.index.by_label("cladeB").unwrap();
+        // Unclassified opening: prefetch must not fire.
+        let first = s.apply(&Gesture::Expand { node: clade_a }).unwrap();
+        assert_eq!(first.prefetched, 0, "unknown pattern keeps prefetch off");
+        assert_eq!(s.prefetch_pattern(), Some(SessionPattern::Unknown));
+        // Sustained sibling slides flip the session lateral.
+        let mut last = first;
+        for node in [clade_b, clade_a, clade_b, clade_a] {
+            last = s.apply(&Gesture::Expand { node }).unwrap();
+        }
+        assert_eq!(s.prefetch_pattern(), Some(SessionPattern::Lateral));
+        assert!(last.prefetched > 0, "lateral pattern switches prefetch on");
+        let switches: Vec<String> = sink
+            .lines()
+            .into_iter()
+            .filter(|l| l.contains("\"loop_name\":\"prefetch\""))
+            .collect();
+        assert_eq!(switches.len(), 1, "one switch event: {switches:?}");
+        assert!(switches[0].contains("session:7"));
+        assert!(switches[0].contains("lateral"));
+    }
+
+    #[test]
+    fn adaptive_prefetch_stays_off_for_drill_down() {
+        let d = dataset();
+        let e = executor();
+        let mut s = MobileSession::new(&d, &e, NetworkProfile::CELL_4G);
+        s.enable_adaptive_prefetch(Prefetcher::default());
+        // Drill: cladeA → P1 → cladeA's leaf children, only descents
+        // (and re-ascents through containment hits stay cached — use
+        // fresh descents from the root side).
+        let root_child = d.index.by_label("cladeA").unwrap();
+        let p1 = d.index.by_label("P1").unwrap();
+        s.apply(&Gesture::Expand { node: root_child }).unwrap();
+        let mid = s.apply(&Gesture::Expand { node: p1 }).unwrap();
+        assert_eq!(mid.prefetched, 0, "descents never enable prefetch");
+        assert_ne!(s.prefetch_pattern(), Some(SessionPattern::Lateral));
     }
 
     #[test]

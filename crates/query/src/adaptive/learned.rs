@@ -1,0 +1,442 @@
+//! Online-learned per-column statistics.
+//!
+//! Every executed fetch whose plan pushed a single comparison down to
+//! the sources reveals one *true* point on that column's cumulative
+//! distribution: `rows_in / interval_count` is the measured fraction
+//! of rows satisfying the predicate. [`LearnedStats`] folds those
+//! observations into per-column piecewise-linear CDF sketches (sorted
+//! control points, EMA-blended on repeat observations) and answers
+//! later range-selectivity probes by interpolating between *fresh*
+//! points — falling back to the nominal histograms (by returning
+//! `None`) whenever coverage is missing, stale, or under-evidenced.
+//!
+//! Staleness runs on the virtual clock: a control point older than
+//! [`LearnedConfig::ttl`] stops being served until re-observed, so a
+//! shifted workload cannot keep planning on fossil cardinalities.
+
+use drugtree_sources::sync::RwLock;
+use drugtree_store::expr::CompareOp;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Tuning for the learned-statistics loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnedConfig {
+    /// Control points older than this (virtual clock) are not served.
+    pub ttl: Duration,
+    /// EMA blend weight for repeat observations of the same point.
+    pub ema_alpha: f64,
+    /// Observed values closer than this merge into one control point.
+    pub merge_eps: f64,
+    /// Observations a control point needs before it is served.
+    pub min_observations: u64,
+    /// Control points retained per column (oldest dropped beyond it).
+    pub max_points: usize,
+}
+
+impl Default for LearnedConfig {
+    fn default() -> LearnedConfig {
+        LearnedConfig {
+            ttl: Duration::from_secs(600),
+            ema_alpha: 0.3,
+            merge_eps: 1e-6,
+            min_observations: 2,
+            max_points: 64,
+        }
+    }
+}
+
+/// One learned point on a column's CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ControlPoint {
+    /// Predicate literal the observation was made at.
+    value: f64,
+    /// Raw measured fraction of rows strictly-or-weakly below `value`
+    /// (range ops conflate the two; acceptable at histogram precision).
+    /// EMA-blended on repeat observations; may violate monotonicity
+    /// because different scopes measure different sub-populations.
+    raw_frac: f64,
+    /// Monotone fitted fraction actually served (the isotonic
+    /// regression of `raw_frac` over all points, weighted by scope
+    /// size).
+    frac_below: f64,
+    /// Rows in the scope interval the observation measured (EMA): the
+    /// isotonic fit's weight, so a 3-row scope cannot outvote a
+    /// 500-row one.
+    weight: f64,
+    /// Virtual clock of the most recent observation.
+    updated_ns: u64,
+    /// Observations folded into this point.
+    observations: u64,
+}
+
+/// Counters and shape of the learned state, for reports and E17.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LearnedSnapshot {
+    /// Columns with at least one control point.
+    pub columns: usize,
+    /// Control points across all columns.
+    pub points: usize,
+    /// Cardinality observations folded in.
+    pub observations: u64,
+    /// Selectivity probes answered from learned data.
+    pub served: u64,
+    /// Selectivity probes that fell back to nominal.
+    pub fallbacks: u64,
+}
+
+/// Thread-safe online-learned column statistics.
+///
+/// Interior-mutable so the executor can update it from `&self` (the
+/// `DrugTree` facade hands out only shared executor references).
+#[derive(Debug)]
+pub struct LearnedStats {
+    config: LearnedConfig,
+    columns: RwLock<FxHashMap<String, Vec<ControlPoint>>>,
+    observations: AtomicU64,
+    served: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl LearnedStats {
+    /// Empty learned statistics.
+    pub fn new(config: LearnedConfig) -> LearnedStats {
+        LearnedStats {
+            config,
+            columns: RwLock::new(FxHashMap::default()),
+            observations: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold one observed cardinality into the sketch: executing a plan
+    /// that pushed `column op value` to the sources returned
+    /// `observed_fraction` of the `scope_rows` scoped rows. `Eq`/`Ne`
+    /// carry no CDF information and are ignored.
+    pub fn observe(
+        &self,
+        column: &str,
+        op: CompareOp,
+        value: f64,
+        observed_fraction: f64,
+        scope_rows: u64,
+        now_ns: u64,
+    ) {
+        if !value.is_finite() || !observed_fraction.is_finite() {
+            return;
+        }
+        let frac = observed_fraction.clamp(0.0, 1.0);
+        // Convert the range op into a CDF point at `value`.
+        let raw = match op {
+            CompareOp::Lt | CompareOp::Le => frac,
+            CompareOp::Gt | CompareOp::Ge => 1.0 - frac,
+            CompareOp::Eq | CompareOp::Ne => return,
+        };
+        let weight = (scope_rows.max(1)) as f64;
+        self.observations.fetch_add(1, Ordering::Relaxed);
+        let mut columns = self.columns.write();
+        let points = columns.entry(column.to_string()).or_default();
+        match points
+            .iter_mut()
+            .find(|p| (p.value - value).abs() <= self.config.merge_eps)
+        {
+            Some(p) => {
+                let alpha = self.config.ema_alpha;
+                p.raw_frac = p.raw_frac * (1.0 - alpha) + raw * alpha;
+                p.weight = p.weight * (1.0 - alpha) + weight * alpha;
+                p.updated_ns = p.updated_ns.max(now_ns);
+                p.observations += 1;
+            }
+            None => {
+                points.push(ControlPoint {
+                    value,
+                    raw_frac: raw,
+                    frac_below: raw,
+                    weight,
+                    updated_ns: now_ns,
+                    observations: 1,
+                });
+                points.sort_by(|a, b| a.value.total_cmp(&b.value));
+                if points.len() > self.config.max_points {
+                    // Drop the stalest point to stay bounded.
+                    if let Some((idx, _)) =
+                        points.iter().enumerate().min_by_key(|(_, p)| p.updated_ns)
+                    {
+                        points.remove(idx);
+                    }
+                }
+            }
+        }
+        // Re-impose monotonicity: a CDF cannot decrease, but measured
+        // fractions from different scopes disagree (each scope samples
+        // its own sub-population). A forward max-sweep would ratchet on
+        // noise — one tiny zero-match scope would pin the whole upper
+        // tail at 1.0 — so fit the weighted isotonic regression
+        // instead: pool-adjacent-violators averages disagreeing
+        // neighbours, and the scope-size weights keep small scopes from
+        // outvoting large ones.
+        isotonic_fit(points);
+    }
+
+    /// Learned selectivity for `column op value`, or `None` when the
+    /// sketch has no fresh, evidenced coverage bracketing the probe
+    /// (callers fall back to the nominal histograms).
+    pub fn selectivity(&self, column: &str, op: CompareOp, value: f64, now_ns: u64) -> Option<f64> {
+        if !value.is_finite() {
+            return None;
+        }
+        match op {
+            CompareOp::Eq | CompareOp::Ne => return None,
+            _ => {}
+        }
+        let frac_below = {
+            let columns = self.columns.read();
+            let Some(points) = columns.get(column) else {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            let ttl = u64::try_from(self.config.ttl.as_nanos()).unwrap_or(u64::MAX);
+            let fresh: Vec<&ControlPoint> = points
+                .iter()
+                .filter(|p| {
+                    p.observations >= self.config.min_observations
+                        && p.updated_ns.saturating_add(ttl) >= now_ns
+                })
+                .collect();
+            let below = fresh.iter().rev().find(|p| p.value <= value);
+            let above = fresh.iter().find(|p| p.value >= value);
+            match (below, above) {
+                (Some(lo), Some(hi)) if lo.value >= hi.value => lo.frac_below,
+                (Some(lo), Some(hi)) => {
+                    let t = (value - lo.value) / (hi.value - lo.value);
+                    lo.frac_below + (hi.frac_below - lo.frac_below) * t
+                }
+                // No bracketing coverage: don't extrapolate.
+                _ => {
+                    self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        };
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let s = match op {
+            CompareOp::Lt | CompareOp::Le => frac_below,
+            _ => 1.0 - frac_below,
+        };
+        Some(s.clamp(0.0, 1.0))
+    }
+
+    /// Drop every control point (regret revert).
+    pub fn clear(&self) {
+        self.columns.write().clear();
+    }
+
+    /// Counters and shape, for the advisor report and E17.
+    pub fn snapshot(&self) -> LearnedSnapshot {
+        let columns = self.columns.read();
+        LearnedSnapshot {
+            columns: columns.len(),
+            points: columns.values().map(Vec::len).sum(),
+            observations: self.observations.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Weighted isotonic regression (pool-adjacent-violators) of
+/// `raw_frac` over value-sorted points, written into `frac_below`.
+///
+/// Each block holds a weighted mean; a block whose mean drops below its
+/// predecessor's merges into it, so disagreeing neighbours average out
+/// instead of ratcheting. O(n) per call and n ≤ `max_points`.
+fn isotonic_fit(points: &mut [ControlPoint]) {
+    // (weighted sum, weight, points covered) per merged block.
+    let mut blocks: Vec<(f64, f64, usize)> = Vec::with_capacity(points.len());
+    for p in points.iter() {
+        let mut block = (p.raw_frac * p.weight, p.weight, 1usize);
+        while let Some(prev) = blocks.last() {
+            if prev.0 * block.1 <= block.0 * prev.1 {
+                // prev mean <= block mean: monotone, stop merging.
+                break;
+            }
+            block = (prev.0 + block.0, prev.1 + block.1, prev.2 + block.2);
+            blocks.pop();
+        }
+        blocks.push(block);
+    }
+    let mut idx = 0;
+    for (sum, weight, covered) in blocks {
+        let mean = if weight > 0.0 { sum / weight } else { 0.0 };
+        for p in points.iter_mut().skip(idx).take(covered) {
+            p.frac_below = mean.clamp(0.0, 1.0);
+        }
+        idx += covered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn learned() -> LearnedStats {
+        LearnedStats::new(LearnedConfig::default())
+    }
+
+    #[test]
+    fn interpolates_between_fresh_points() {
+        let l = learned();
+        for _ in 0..2 {
+            l.observe("p_activity", CompareOp::Ge, 5.0, 0.8, 100, 100);
+            l.observe("p_activity", CompareOp::Ge, 9.0, 0.2, 100, 100);
+        }
+        // Ge 5 keeps 80% → frac_below(5) = 0.2; Ge 9 keeps 20% →
+        // frac_below(9) = 0.8. Probing Ge 7 interpolates to 0.5.
+        let s = l
+            .selectivity("p_activity", CompareOp::Ge, 7.0, 200)
+            .unwrap();
+        assert!((s - 0.5).abs() < 1e-9, "got {s}");
+        // Lt probes answer from the same CDF.
+        let lt = l
+            .selectivity("p_activity", CompareOp::Lt, 7.0, 200)
+            .unwrap();
+        assert!((lt - 0.5).abs() < 1e-9, "got {lt}");
+        // Exact hits return the learned point.
+        let hit = l
+            .selectivity("p_activity", CompareOp::Ge, 5.0, 200)
+            .unwrap();
+        assert!((hit - 0.8).abs() < 1e-9, "got {hit}");
+    }
+
+    #[test]
+    fn no_extrapolation_outside_coverage() {
+        let l = learned();
+        for _ in 0..2 {
+            l.observe("p_activity", CompareOp::Ge, 5.0, 0.8, 100, 100);
+            l.observe("p_activity", CompareOp::Ge, 9.0, 0.2, 100, 100);
+        }
+        assert_eq!(l.selectivity("p_activity", CompareOp::Ge, 4.0, 200), None);
+        assert_eq!(l.selectivity("p_activity", CompareOp::Ge, 9.5, 200), None);
+        assert_eq!(l.selectivity("mw", CompareOp::Ge, 5.0, 200), None);
+        let snap = l.snapshot();
+        assert!(snap.fallbacks >= 3);
+    }
+
+    #[test]
+    fn under_evidenced_points_are_not_served() {
+        let l = learned();
+        l.observe("p_activity", CompareOp::Ge, 5.0, 0.8, 100, 100);
+        // min_observations = 2: one sighting is not evidence.
+        assert_eq!(l.selectivity("p_activity", CompareOp::Ge, 5.0, 200), None);
+        l.observe("p_activity", CompareOp::Ge, 5.0, 0.8, 100, 150);
+        assert!(l
+            .selectivity("p_activity", CompareOp::Ge, 5.0, 200)
+            .is_some());
+    }
+
+    #[test]
+    fn stale_points_expire_on_the_virtual_clock() {
+        let l = LearnedStats::new(LearnedConfig {
+            ttl: Duration::from_secs(1),
+            ..LearnedConfig::default()
+        });
+        for _ in 0..2 {
+            l.observe("p_activity", CompareOp::Ge, 5.0, 0.8, 100, 1_000);
+        }
+        assert!(l
+            .selectivity("p_activity", CompareOp::Ge, 5.0, 500_000_000)
+            .is_some());
+        // Two virtual seconds later the point is stale.
+        assert_eq!(
+            l.selectivity("p_activity", CompareOp::Ge, 5.0, 2_000_001_000),
+            None
+        );
+        // A fresh re-observation revives it.
+        l.observe("p_activity", CompareOp::Ge, 5.0, 0.7, 100, 2_000_002_000);
+        assert!(l
+            .selectivity("p_activity", CompareOp::Ge, 5.0, 2_000_003_000)
+            .is_some());
+    }
+
+    #[test]
+    fn ema_blends_and_cdf_stays_monotone() {
+        let l = learned();
+        for _ in 0..4 {
+            l.observe("p_activity", CompareOp::Ge, 5.0, 0.9, 100, 100);
+        }
+        // A contradictory later observation at a higher literal claims
+        // a *lower* frac_below; the monotone sweep repairs the CDF.
+        for _ in 0..4 {
+            l.observe("p_activity", CompareOp::Ge, 6.0, 0.95, 100, 100);
+        }
+        let f5 = 1.0
+            - l.selectivity("p_activity", CompareOp::Ge, 5.0, 200)
+                .unwrap();
+        let f6 = 1.0
+            - l.selectivity("p_activity", CompareOp::Ge, 6.0, 200)
+                .unwrap();
+        assert!(f6 >= f5 - 1e-12, "CDF must not decrease: {f5} vs {f6}");
+    }
+
+    #[test]
+    fn small_scope_outliers_cannot_ratchet_the_tail() {
+        let l = learned();
+        // A large scope measures the true CDF at three values...
+        for _ in 0..2 {
+            l.observe("p_activity", CompareOp::Ge, 5.0, 0.8, 500, 100);
+            l.observe("p_activity", CompareOp::Ge, 7.0, 0.5, 500, 100);
+            l.observe("p_activity", CompareOp::Ge, 9.0, 0.2, 500, 100);
+        }
+        // ...then a 3-row scope where nothing matched `Ge 6` claims
+        // frac_below(6) = 1.0. A max-sweep would pin every higher
+        // value at 1.0 (selectivity 0); the weighted isotonic fit
+        // averages the outlier away.
+        for _ in 0..2 {
+            l.observe("p_activity", CompareOp::Ge, 6.0, 0.0, 3, 100);
+        }
+        let s9 = l
+            .selectivity("p_activity", CompareOp::Ge, 9.0, 200)
+            .unwrap();
+        assert!(s9 > 0.15, "upper tail survives a tiny outlier: {s9}");
+        let s7 = l
+            .selectivity("p_activity", CompareOp::Ge, 7.0, 200)
+            .unwrap();
+        assert!(s7 > 0.4, "mid-range point stays near truth: {s7}");
+    }
+
+    #[test]
+    fn eq_and_nan_observations_are_ignored() {
+        let l = learned();
+        l.observe("p_activity", CompareOp::Eq, 5.0, 0.5, 100, 100);
+        l.observe("p_activity", CompareOp::Ge, f64::NAN, 0.5, 100, 100);
+        l.observe("p_activity", CompareOp::Ge, 5.0, f64::NAN, 100, 100);
+        assert_eq!(l.snapshot().points, 0);
+        assert_eq!(l.selectivity("p_activity", CompareOp::Eq, 5.0, 200), None);
+    }
+
+    #[test]
+    fn clear_reverts_to_empty() {
+        let l = learned();
+        for _ in 0..2 {
+            l.observe("p_activity", CompareOp::Ge, 5.0, 0.8, 100, 100);
+        }
+        assert!(l.snapshot().points > 0);
+        l.clear();
+        assert_eq!(l.snapshot().points, 0);
+        assert_eq!(l.selectivity("p_activity", CompareOp::Ge, 5.0, 200), None);
+    }
+
+    #[test]
+    fn point_budget_is_bounded() {
+        let l = LearnedStats::new(LearnedConfig {
+            max_points: 4,
+            ..LearnedConfig::default()
+        });
+        for i in 0..20 {
+            l.observe("p_activity", CompareOp::Ge, i as f64, 0.5, 100, 100 + i);
+        }
+        assert!(l.snapshot().points <= 4);
+    }
+}

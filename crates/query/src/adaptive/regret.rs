@@ -1,0 +1,222 @@
+//! Regret tracking: the guardrail under every adaptation.
+//!
+//! Each adaptation (arm) accumulates two latency populations on the
+//! virtual clock: *baseline* (queries while the arm was inactive) and
+//! *after* (queries once it applied). Once both sides carry enough
+//! samples, an after-mean regressing past `threshold` relative to the
+//! baseline mean flips the arm to *reverted* — the runtime undoes the
+//! adaptation and emits an `adapt`/`revert` event. A healthy loop
+//! shows **zero** reverts in steady state (E17 asserts exactly that).
+
+use rustc_hash::FxHashMap;
+use std::time::Duration;
+
+/// Tuning for the regret guardrail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegretConfig {
+    /// Samples each side needs before the arm is judged.
+    pub min_samples: u64,
+    /// Relative regression triggering a revert: after-mean must exceed
+    /// `baseline_mean * (1 + threshold)`.
+    pub threshold: f64,
+}
+
+impl Default for RegretConfig {
+    fn default() -> RegretConfig {
+        RegretConfig {
+            min_samples: 16,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// The verdict returned when an arm crosses the regret threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegretVerdict {
+    /// Mean charged latency before the adaptation, nanoseconds.
+    pub baseline_mean_ns: u64,
+    /// Mean charged latency after, nanoseconds.
+    pub after_mean_ns: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Arm {
+    baseline_sum_ns: u128,
+    baseline_n: u64,
+    after_sum_ns: u128,
+    after_n: u64,
+    active: bool,
+    reverted: bool,
+}
+
+impl Arm {
+    fn mean(sum: u128, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            u64::try_from(sum / u128::from(n)).unwrap_or(u64::MAX)
+        }
+    }
+}
+
+/// Per-adaptation regret bookkeeping. Not itself thread-safe; the
+/// adaptive runtime wraps it in a mutex.
+#[derive(Debug, Default)]
+pub struct RegretTracker {
+    config: RegretConfig,
+    arms: FxHashMap<String, Arm>,
+    reverts: u64,
+}
+
+impl RegretTracker {
+    /// An empty tracker.
+    pub fn new(config: RegretConfig) -> RegretTracker {
+        RegretTracker {
+            config,
+            arms: FxHashMap::default(),
+            reverts: 0,
+        }
+    }
+
+    /// Mark an adaptation as applied; subsequent observations feed the
+    /// after-population. A reverted arm stays reverted.
+    pub fn activate(&mut self, subject: &str) {
+        let arm = self.arms.entry(subject.to_string()).or_default();
+        if !arm.reverted {
+            arm.active = true;
+        }
+    }
+
+    /// Fold one charged query latency into `subject`'s bookkeeping.
+    /// Returns a verdict when this observation pushes the arm past the
+    /// regret threshold (the arm is marked reverted exactly once).
+    pub fn observe(&mut self, subject: &str, charged: Duration) -> Option<RegretVerdict> {
+        let min = self.config.min_samples;
+        let threshold = self.config.threshold;
+        let arm = self.arms.entry(subject.to_string()).or_default();
+        let ns = charged.as_nanos();
+        if !arm.active || arm.reverted {
+            arm.baseline_sum_ns += ns;
+            arm.baseline_n += 1;
+            return None;
+        }
+        arm.after_sum_ns += ns;
+        arm.after_n += 1;
+        if arm.baseline_n < min || arm.after_n < min {
+            return None;
+        }
+        let baseline = Arm::mean(arm.baseline_sum_ns, arm.baseline_n);
+        let after = Arm::mean(arm.after_sum_ns, arm.after_n);
+        if (after as f64) > (baseline as f64) * (1.0 + threshold) {
+            arm.reverted = true;
+            arm.active = false;
+            self.reverts += 1;
+            return Some(RegretVerdict {
+                baseline_mean_ns: baseline,
+                after_mean_ns: after,
+            });
+        }
+        None
+    }
+
+    /// Whether `subject` has been reverted.
+    pub fn is_reverted(&self, subject: &str) -> bool {
+        self.arms.get(subject).is_some_and(|a| a.reverted)
+    }
+
+    /// Whether `subject` is currently applied (and not reverted).
+    pub fn is_active(&self, subject: &str) -> bool {
+        self.arms.get(subject).is_some_and(|a| a.active)
+    }
+
+    /// Total reverts fired.
+    pub fn reverts(&self) -> u64 {
+        self.reverts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn tracker(min_samples: u64, threshold: f64) -> RegretTracker {
+        RegretTracker::new(RegretConfig {
+            min_samples,
+            threshold,
+        })
+    }
+
+    #[test]
+    fn healthy_adaptation_never_reverts() {
+        let mut t = tracker(4, 0.5);
+        for _ in 0..8 {
+            assert_eq!(t.observe("learned-stats", ms(100)), None);
+        }
+        t.activate("learned-stats");
+        // Latency improves after the adaptation: no regret.
+        for _ in 0..32 {
+            assert_eq!(t.observe("learned-stats", ms(60)), None);
+        }
+        assert!(t.is_active("learned-stats"));
+        assert!(!t.is_reverted("learned-stats"));
+        assert_eq!(t.reverts(), 0);
+    }
+
+    #[test]
+    fn regression_past_threshold_reverts_once() {
+        let mut t = tracker(4, 0.5);
+        for _ in 0..4 {
+            t.observe("matview", ms(100));
+        }
+        t.activate("matview");
+        let mut verdicts = Vec::new();
+        for _ in 0..8 {
+            if let Some(v) = t.observe("matview", ms(200)) {
+                verdicts.push(v);
+            }
+        }
+        assert_eq!(verdicts.len(), 1, "revert fires exactly once");
+        assert_eq!(verdicts[0].baseline_mean_ns, 100_000_000);
+        assert!(verdicts[0].after_mean_ns > 150_000_000);
+        assert!(t.is_reverted("matview"));
+        assert!(!t.is_active("matview"));
+        assert_eq!(t.reverts(), 1);
+        // A reverted arm cannot be re-activated.
+        t.activate("matview");
+        assert!(!t.is_active("matview"));
+    }
+
+    #[test]
+    fn no_verdict_before_min_samples() {
+        let mut t = tracker(8, 0.1);
+        for _ in 0..8 {
+            t.observe("learned-stats", ms(10));
+        }
+        t.activate("learned-stats");
+        for _ in 0..7 {
+            assert_eq!(
+                t.observe("learned-stats", ms(1_000)),
+                None,
+                "under-sampled arms are never judged"
+            );
+        }
+        assert!(t.observe("learned-stats", ms(1_000)).is_some());
+    }
+
+    #[test]
+    fn mild_regression_within_threshold_is_tolerated() {
+        let mut t = tracker(4, 0.5);
+        for _ in 0..4 {
+            t.observe("matview", ms(100));
+        }
+        t.activate("matview");
+        for _ in 0..16 {
+            assert_eq!(t.observe("matview", ms(130)), None, "30% < 50% threshold");
+        }
+        assert_eq!(t.reverts(), 0);
+    }
+}

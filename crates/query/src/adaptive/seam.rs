@@ -1,0 +1,211 @@
+//! The selectivity seam: one routing point for every selectivity
+//! estimate.
+//!
+//! The optimizer never calls `OverlayStats::predicate_selectivity`
+//! directly (a repo-lint pass enforces it); it builds a [`StatsView`]
+//! and asks that. The view consults the online-learned statistics
+//! first — when they have fresh coverage for a comparison — and falls
+//! back to the nominal ingest-time histograms otherwise, reporting
+//! which estimator answered so EXPLAIN can say `learned` vs `nominal`.
+
+use crate::adaptive::learned::LearnedStats;
+use crate::stats::OverlayStats;
+use drugtree_store::expr::{CompareOp, Predicate};
+use drugtree_store::value::Value;
+
+/// Which estimator produced a selectivity figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectivitySource {
+    /// Nominal ingest-time histograms ([`OverlayStats`]).
+    Nominal,
+    /// Online-learned statistics contributed to the estimate.
+    Learned,
+}
+
+/// A read-side view over nominal plus (optionally) learned statistics.
+///
+/// Composition mirrors the nominal estimator exactly — conjunctions
+/// multiply, disjunctions saturate-add, `Not` complements, `Between`
+/// decomposes into `Ge`+`Le` — but every comparison leaf gets a chance
+/// to be answered from learned data first.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsView<'a> {
+    nominal: &'a OverlayStats,
+    learned: Option<&'a LearnedStats>,
+    now_ns: u64,
+}
+
+impl<'a> StatsView<'a> {
+    /// A view over the nominal statistics only.
+    pub fn nominal(stats: &'a OverlayStats) -> StatsView<'a> {
+        StatsView {
+            nominal: stats,
+            learned: None,
+            now_ns: 0,
+        }
+    }
+
+    /// A view that consults `learned` (when present) before falling
+    /// back to nominal; `now_ns` is the virtual clock used for the
+    /// learned staleness check.
+    pub fn with_learned(
+        stats: &'a OverlayStats,
+        learned: Option<&'a LearnedStats>,
+        now_ns: u64,
+    ) -> StatsView<'a> {
+        StatsView {
+            nominal: stats,
+            learned,
+            now_ns,
+        }
+    }
+
+    /// The underlying nominal statistics.
+    pub fn overlay(&self) -> &'a OverlayStats {
+        self.nominal
+    }
+
+    /// Estimated fraction of activity rows `pred` keeps.
+    pub fn selectivity(&self, pred: &Predicate) -> f64 {
+        self.selectivity_with_source(pred).0
+    }
+
+    /// Like [`StatsView::selectivity`], also reporting whether learned
+    /// statistics contributed to the estimate (any leaf answered from
+    /// learned data marks the whole composition `Learned`).
+    pub fn selectivity_with_source(&self, pred: &Predicate) -> (f64, SelectivitySource) {
+        match pred {
+            Predicate::Compare { column, op, value } => {
+                if let (Some(learned), Some(v)) = (self.learned, numeric(value)) {
+                    if let Some(s) = learned.selectivity(column, *op, v, self.now_ns) {
+                        return (s, SelectivitySource::Learned);
+                    }
+                }
+                (
+                    self.nominal.predicate_selectivity(pred),
+                    SelectivitySource::Nominal,
+                )
+            }
+            Predicate::Between { column, lo, hi } => {
+                let ge = Predicate::Compare {
+                    column: column.clone(),
+                    op: CompareOp::Ge,
+                    value: lo.clone(),
+                };
+                let le = Predicate::Compare {
+                    column: column.clone(),
+                    op: CompareOp::Le,
+                    value: hi.clone(),
+                };
+                let (a, sa) = self.selectivity_with_source(&ge);
+                let (b, sb) = self.selectivity_with_source(&le);
+                ((a + b - 1.0).clamp(0.0, 1.0), combine(sa, sb))
+            }
+            Predicate::And(ps) => self.fold(ps, 1.0, |acc, s| acc * s),
+            Predicate::Or(ps) => self.fold(ps, 0.0, |acc, s| (acc + s).min(1.0)),
+            Predicate::Not(p) => {
+                let (s, src) = self.selectivity_with_source(p);
+                (1.0 - s, src)
+            }
+            // True / InSet / IsNull have no learned representation;
+            // delegate the whole shape to the nominal estimator.
+            other => (
+                self.nominal.predicate_selectivity(other),
+                SelectivitySource::Nominal,
+            ),
+        }
+    }
+
+    fn fold(
+        &self,
+        ps: &[Predicate],
+        init: f64,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> (f64, SelectivitySource) {
+        let mut acc = init;
+        let mut src = SelectivitySource::Nominal;
+        for p in ps {
+            let (s, leaf_src) = self.selectivity_with_source(p);
+            acc = f(acc, s);
+            src = combine(src, leaf_src);
+        }
+        (acc, src)
+    }
+}
+
+fn combine(a: SelectivitySource, b: SelectivitySource) -> SelectivitySource {
+    if a == SelectivitySource::Learned || b == SelectivitySource::Learned {
+        SelectivitySource::Learned
+    } else {
+        SelectivitySource::Nominal
+    }
+}
+
+/// Numeric literal of a comparison, when it has one.
+pub(crate) fn numeric(value: &Value) -> Option<f64> {
+    match value {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::learned::{LearnedConfig, LearnedStats};
+    use crate::dataset::test_fixtures::small_dataset;
+    use drugtree_sources::source::SourceCapabilities;
+
+    fn stats() -> OverlayStats {
+        let d = small_dataset(SourceCapabilities::full());
+        OverlayStats::collect(&d).unwrap()
+    }
+
+    #[test]
+    fn nominal_view_matches_overlay_stats() {
+        let stats = stats();
+        let view = StatsView::nominal(&stats);
+        for pred in [
+            Predicate::True,
+            Predicate::cmp("p_activity", CompareOp::Ge, 6.0),
+            Predicate::cmp("p_activity", CompareOp::Ge, 6.0).and(Predicate::cmp(
+                "mw",
+                CompareOp::Lt,
+                400.0,
+            )),
+            Predicate::Not(Box::new(Predicate::cmp("mw", CompareOp::Lt, 400.0))),
+        ] {
+            let (s, src) = view.selectivity_with_source(&pred);
+            assert_eq!(s, stats.predicate_selectivity(&pred), "{pred:?}");
+            assert_eq!(src, SelectivitySource::Nominal);
+        }
+    }
+
+    #[test]
+    fn learned_coverage_overrides_and_flags_the_source() {
+        let stats = stats();
+        let learned = LearnedStats::new(LearnedConfig::default());
+        // Teach the learned stats two observed fractions around 6.0.
+        for _ in 0..4 {
+            learned.observe("p_activity", CompareOp::Ge, 5.0, 0.9, 100, 1_000);
+            learned.observe("p_activity", CompareOp::Ge, 7.0, 0.1, 100, 1_000);
+        }
+        let view = StatsView::with_learned(&stats, Some(&learned), 2_000);
+        let pred = Predicate::cmp("p_activity", CompareOp::Ge, 6.0);
+        let (s, src) = view.selectivity_with_source(&pred);
+        assert_eq!(src, SelectivitySource::Learned);
+        assert!(
+            (s - 0.5).abs() < 0.05,
+            "interpolated between 0.9 and 0.1: {s}"
+        );
+        // A column with no learned coverage still answers nominally.
+        let mw = Predicate::cmp("mw", CompareOp::Lt, 400.0);
+        let (s_mw, src_mw) = view.selectivity_with_source(&mw);
+        assert_eq!(src_mw, SelectivitySource::Nominal);
+        assert_eq!(s_mw, stats.predicate_selectivity(&mw));
+        // A conjunction mixing both is flagged learned.
+        let (_, src_and) = view.selectivity_with_source(&pred.and(mw));
+        assert_eq!(src_and, SelectivitySource::Learned);
+    }
+}

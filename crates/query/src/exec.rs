@@ -6,6 +6,7 @@
 //! behaviour) — the quantities every experiment in EXPERIMENTS.md
 //! reports.
 
+use crate::adaptive::{AdaptiveRuntime, QueryFeedback};
 use crate::ast::{Metric, Query};
 use crate::cache::{CacheConfig, CacheStats};
 use crate::columnar::ActivityColumns;
@@ -115,6 +116,9 @@ pub struct Executor {
     /// Observability hook (design decision D9). `None` is the fast
     /// path: no span is built, no plan cloned, no string formatted.
     observer: Option<Arc<dyn Observer>>,
+    /// The self-driving runtime (design decision D15). `None` is the
+    /// fast path: no feedback is folded, planning stays nominal.
+    adaptive: Option<Arc<AdaptiveRuntime>>,
 }
 
 // Compile-time proof that the executor (and the dataset it serves) can
@@ -144,7 +148,21 @@ impl Executor {
             coordinator: None,
             cost: Arc::new(CostModel::new()),
             observer: None,
+            adaptive: None,
         }
+    }
+
+    /// Install the self-driving runtime (design decision D15): learned
+    /// statistics start feeding selectivity estimates, the advisor may
+    /// auto-build the aggregate view, and every executed query is
+    /// folded back into the loops.
+    pub fn enable_adaptive(&mut self, runtime: Arc<AdaptiveRuntime>) {
+        self.adaptive = Some(runtime);
+    }
+
+    /// The adaptive runtime, when installed.
+    pub fn adaptive(&self) -> Option<&Arc<AdaptiveRuntime>> {
+        self.adaptive.as_ref()
     }
 
     /// Install an [`Observer`] receiving a [`crate::trace::QueryTrace`]
@@ -183,14 +201,9 @@ impl Executor {
     /// executing it (the mobile prefetch budgeter prices candidate
     /// subtrees this way).
     pub fn estimate(&self, dataset: &Dataset, query: &Query) -> Result<PlanEstimate> {
-        let plan = self.optimizer.plan_full(
-            dataset,
-            self.stats.as_ref(),
-            self.matview.as_ref(),
-            self.columnar.as_ref(),
-            Some(&self.cost),
-            query,
-        )?;
+        let adaptive_view = self.adaptive_view();
+        let view = self.matview.as_ref().or(adaptive_view.as_deref());
+        let plan = self.plan_query(dataset, view, query)?;
         Ok(PlanEstimate {
             cost: plan.estimated_cost,
             rows: plan.estimated_rows,
@@ -308,16 +321,44 @@ impl Executor {
         &self.optimizer
     }
 
-    /// EXPLAIN a query without executing it.
-    pub fn explain(&self, dataset: &Dataset, query: &Query) -> Result<String> {
-        let plan = self.optimizer.plan_full(
+    /// The adaptively-built aggregate view, consulted only when no
+    /// explicitly built view is installed (an explicit build always
+    /// wins, so enabling the adaptive layer cannot change a session
+    /// that manages its own views).
+    fn adaptive_view(&self) -> Option<Arc<MaterializedAggregates>> {
+        if self.matview.is_some() {
+            return None;
+        }
+        self.adaptive.as_ref().and_then(|a| a.view())
+    }
+
+    /// Plan through the adaptive seam: learned statistics (when the
+    /// runtime serves them) feed selectivity, and `view` is whichever
+    /// aggregate view — explicit or adaptively built — should answer.
+    fn plan_query(
+        &self,
+        dataset: &Dataset,
+        view: Option<&MaterializedAggregates>,
+        query: &Query,
+    ) -> Result<PhysicalPlan> {
+        let learned = self.adaptive.as_ref().and_then(|a| a.planning_stats());
+        self.optimizer.plan_adaptive(
             dataset,
             self.stats.as_ref(),
-            self.matview.as_ref(),
+            learned,
+            dataset.clock.now().0,
+            view,
             self.columnar.as_ref(),
             Some(&self.cost),
             query,
-        )?;
+        )
+    }
+
+    /// EXPLAIN a query without executing it.
+    pub fn explain(&self, dataset: &Dataset, query: &Query) -> Result<String> {
+        let adaptive_view = self.adaptive_view();
+        let view = self.matview.as_ref().or(adaptive_view.as_deref());
+        let plan = self.plan_query(dataset, view, query)?;
         self.validate_plan(dataset, &plan)?;
         Ok(plan.explain())
     }
@@ -378,15 +419,11 @@ impl Executor {
         query: &Query,
         mut sink: Option<&mut TraceBuilder>,
     ) -> Result<QueryResult> {
-        let plan = self.optimizer.plan_full(
-            dataset,
-            self.stats.as_ref(),
-            self.matview.as_ref(),
-            self.columnar.as_ref(),
-            Some(&self.cost),
-            query,
-        )?;
+        let adaptive_view = self.adaptive_view();
+        let view = self.matview.as_ref().or(adaptive_view.as_deref());
+        let plan = self.plan_query(dataset, view, query)?;
         self.validate_plan(dataset, &plan)?;
+        let served_by_adaptive = adaptive_view.is_some() && plan.access == Access::MaterializedView;
         let started = dataset.clock.now();
         if let Some(tb) = sink.as_deref_mut() {
             tb.record_plan(&plan, started);
@@ -564,7 +601,7 @@ impl Executor {
             Finish::AggregateChildren { .. } => "aggregate",
             Finish::CountPerLeaf => "count-per-leaf",
         };
-        let (columns, out_rows) = self.finish(dataset, &plan, rows)?;
+        let (columns, out_rows) = self.finish(dataset, &plan, rows, view)?;
         if let Some(tb) = sink {
             let mut span = QuerySpan::new(Stage::Finish, finish_label, finish_started);
             span.ended = dataset.clock.now();
@@ -574,6 +611,39 @@ impl Executor {
 
         m.finished = dataset.clock.now();
         m.virtual_cost = m.finished.since(m.started);
+
+        // Close the loop: fold this query's observed reality back into
+        // the adaptive runtime (learned cardinalities, the advisor's
+        // break-even ledger, the regret guardrail).
+        if let Some(adaptive) = &self.adaptive {
+            // A view-answerable aggregate the view did not serve: the
+            // same gate `use_matview` applies, minus view presence.
+            let matview_candidate = plan.access != Access::MaterializedView
+                && matches!(plan.finish, Finish::AggregateChildren { .. })
+                && plan.residual == Predicate::True
+                && plan.similarity.is_none()
+                && plan.substructure.is_none()
+                && plan.interval == dataset.index.interval(plan.scope_node);
+            let feedback = QueryFeedback {
+                pushed_local: plan.pushed_local.as_ref(),
+                interval_rows: self
+                    .stats
+                    .as_ref()
+                    .map_or(0, |s| s.interval_count(plan.interval)),
+                observed_rows: rows_in,
+                pruned_leaves: plan.pruned_leaves as u32,
+                matview_candidate,
+                served_by_adaptive,
+                fingerprint: crate::obs::plan_fingerprint(&plan),
+                charged: m.charged_cost,
+                break_even_proxy: self
+                    .stats
+                    .as_ref()
+                    .map_or(Duration::ZERO, |s| s.collection_cost),
+            };
+            adaptive.after_query(dataset, &feedback, || crate::obs::plan_shape(&plan))?;
+        }
+
         Ok(QueryResult {
             columns,
             rows: out_rows,
@@ -904,6 +974,7 @@ impl Executor {
         dataset: &Dataset,
         plan: &PhysicalPlan,
         mut rows: Vec<Vec<Value>>,
+        view: Option<&MaterializedAggregates>,
     ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
         let unified_columns: Vec<String> = unified_schema()
             .columns()
@@ -936,10 +1007,8 @@ impl Executor {
                     metric.label().to_string(),
                 ];
                 let out = if plan.access == Access::MaterializedView {
-                    let view = self
-                        .matview
-                        .as_ref()
-                        .ok_or_else(|| QueryError::Plan("matview plan without view".into()))?;
+                    let view =
+                        view.ok_or_else(|| QueryError::Plan("matview plan without view".into()))?;
                     children
                         .iter()
                         .map(|(node, label, iv)| {

@@ -42,9 +42,14 @@
 //! * [`obs`] — continuous fleet observability: rolling SLO windows,
 //!   the slow-query log, and deterministic JSONL trace export
 //!   (design decision D10).
+//! * [`adaptive`] — the self-driving layer: learned statistics, the
+//!   auto-materialization advisor, and regret-tracked guardrails
+//!   closing the telemetry → optimizer feedback loop (design
+//!   decision D15).
 //! * [`validate`] — plan-invariant validation (structural checks every
 //!   emitted plan must pass).
 
+pub mod adaptive;
 pub mod ast;
 pub mod cache;
 pub mod columnar;
@@ -63,6 +68,9 @@ pub mod stats;
 pub mod trace;
 pub mod validate;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveRuntime, AdaptiveSnapshot, LearnedStats, SelectivitySource, StatsView,
+};
 pub use ast::{Query, QueryKind, Scope};
 pub use columnar::ActivityColumns;
 pub use cost::{CalibrationReport, CostModel, CostParams};
@@ -70,8 +78,8 @@ pub use dataset::Dataset;
 pub use error::QueryError;
 pub use exec::{ExecMetrics, Executor, PlanEstimate, QueryResult};
 pub use obs::{
-    FleetObserver, QueryClass, RollingWindows, ServeClassCounters, Sink, SloPolicy, SlowQueryLog,
-    TraceExport, VecSink, WindowSummary,
+    AdaptEvent, FleetObserver, QueryClass, RollingWindows, ServeClassCounters, Sink, SloPolicy,
+    SlowQueryLog, TraceExport, VecSink, WindowSummary,
 };
 pub use optimizer::{Optimizer, OptimizerConfig};
 pub use phases::{PassTrace, RewritePhase, RuleDef, RuleFiring, RuleOutcome};

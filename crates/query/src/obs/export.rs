@@ -148,6 +148,34 @@ pub struct ServeEvent {
     pub outages: u64,
 }
 
+/// One adaptation decision: the JSONL record the self-driving layer
+/// emits whenever a feedback loop fires (applies, reverts, or evicts
+/// an adaptation). `drugtree advisor` folds these into its report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptEvent {
+    /// Record discriminator: always `"adapt"`.
+    pub event: String,
+    /// Export-order sequence number.
+    pub seq: u64,
+    /// Virtual clock at decision time, nanoseconds.
+    pub at_ns: u64,
+    /// Which feedback loop fired: `"learned-stats"`, `"matview"`, or
+    /// `"prefetch"`. (Named `loop_name` in the JSON too — the vendored
+    /// serde stand-in has no rename support, and `loop` is reserved.)
+    pub loop_name: String,
+    /// What happened: `"apply"`, `"revert"`, or `"evict"`.
+    pub action: String,
+    /// What was adapted (a plan shape, a column, a session id).
+    pub subject: String,
+    /// Why the loop fired (break-even crossed, regret threshold, …).
+    pub reason: String,
+    /// Measured state before the adaptation, nanoseconds (0 when not
+    /// meaningful for the loop).
+    pub before_ns: u64,
+    /// Measured (or projected) state after, nanoseconds.
+    pub after_ns: u64,
+}
+
 /// JSONL writer for the observability event stream.
 ///
 /// Sequence numbers are assigned at emit time, so a single-threaded
@@ -238,6 +266,25 @@ impl TraceExport {
         }
     }
 
+    /// Emit one `adapt` record: a self-driving-layer decision (apply /
+    /// revert / evict) with its measured before/after state.
+    pub fn emit_adapt(&self, event: &AdaptDecision) {
+        let record = AdaptEvent {
+            event: "adapt".to_string(),
+            seq: self.next_seq(),
+            at_ns: event.at_ns,
+            loop_name: event.loop_name.clone(),
+            action: event.action.clone(),
+            subject: event.subject.clone(),
+            reason: event.reason.clone(),
+            before_ns: event.before_ns,
+            after_ns: event.after_ns,
+        };
+        if let Ok(line) = serde_json::to_string(&record) {
+            self.sink.write_line(&line);
+        }
+    }
+
     /// Emit one `serve` record: a per-class rollup of the fleet
     /// scheduler's shed/hedge/deadline/outage counters.
     pub fn emit_serve(&self, counters: &ServeClassCounters) {
@@ -256,6 +303,28 @@ impl TraceExport {
             self.sink.write_line(&line);
         }
     }
+}
+
+/// The adaptive-layer decision bundle [`TraceExport::emit_adapt`]
+/// serializes; owned by `crate::adaptive`, defined here so the export
+/// layer stays the single place JSONL schemas live.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdaptDecision {
+    /// Virtual clock at decision time, nanoseconds.
+    pub at_ns: u64,
+    /// Feedback loop name (`"learned-stats"`, `"matview"`,
+    /// `"prefetch"`).
+    pub loop_name: String,
+    /// `"apply"`, `"revert"`, or `"evict"`.
+    pub action: String,
+    /// What was adapted.
+    pub subject: String,
+    /// Why the loop fired.
+    pub reason: String,
+    /// Measured state before, nanoseconds.
+    pub before_ns: u64,
+    /// Measured (or projected) state after, nanoseconds.
+    pub after_ns: u64,
 }
 
 /// The scheduler-side counter bundle [`TraceExport::emit_serve`]
@@ -363,6 +432,34 @@ mod tests {
         assert_eq!(parsed.hedges_won, 3);
         assert_eq!(parsed.deadline_missed, 2);
         assert_eq!(parsed.outages, 1);
+    }
+
+    #[test]
+    fn adapt_events_round_trip() {
+        let (export, sink) = exporter();
+        export.emit_adapt(&AdaptDecision {
+            at_ns: 42_000,
+            loop_name: "matview".into(),
+            action: "apply".into(),
+            subject: "aggregate(count)".into(),
+            reason: "break-even crossed".into(),
+            before_ns: 9_000_000,
+            after_ns: 12_000,
+        });
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("{\"event\":\"adapt\""));
+        assert!(
+            lines[0].contains("\"loop_name\":\"matview\""),
+            "{}",
+            lines[0]
+        );
+        let parsed: AdaptEvent = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(parsed.loop_name, "matview");
+        assert_eq!(parsed.action, "apply");
+        assert_eq!(parsed.before_ns, 9_000_000);
+        assert_eq!(parsed.after_ns, 12_000);
+        assert_eq!(export.emitted(), 1);
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod slowlog;
 pub mod window;
 
 pub use export::{
-    QueryEvent, ServeClassCounters, ServeEvent, Sink, SpanEvent, TraceExport, VecSink, WindowEvent,
+    AdaptDecision, AdaptEvent, QueryEvent, ServeClassCounters, ServeEvent, Sink, SpanEvent,
+    TraceExport, VecSink, WindowEvent,
 };
 pub use slowlog::{SlowLogEntry, SlowQueryLog};
 pub use window::{QueryClass, RollingWindows, SloPolicy, WindowSummary};

@@ -43,6 +43,7 @@
 //! D8) prices each one; the cheapest correct alternative wins and
 //! every candidate is recorded on the plan for EXPLAIN and validation.
 
+use crate::adaptive::{LearnedStats, SelectivitySource, StatsView};
 use crate::ast::{columns, Query, QueryKind, SimilaritySpec};
 use crate::columnar::ActivityColumns;
 use crate::cost::CostModel;
@@ -251,6 +252,29 @@ impl Optimizer {
         cost: Option<&CostModel>,
         query: &Query,
     ) -> Result<PhysicalPlan> {
+        self.plan_adaptive(dataset, stats, None, 0, matview, columnar, cost, query)
+    }
+
+    /// Plan with every auxiliary structure *plus* the adaptive layer's
+    /// learned statistics (design decision D15). When `learned` is
+    /// present, selectivity ordering and cardinality estimation route
+    /// through a [`StatsView`] that prefers fresh learned coverage over
+    /// the nominal histograms; `now_ns` is the virtual-clock instant
+    /// used for the learned staleness check. `plan_full` delegates here
+    /// with no learned provider, so nominal-only planning is
+    /// byte-identical to before the seam existed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_adaptive(
+        &self,
+        dataset: &Dataset,
+        stats: Option<&OverlayStats>,
+        learned: Option<&LearnedStats>,
+        now_ns: u64,
+        matview: Option<&MaterializedAggregates>,
+        columnar: Option<&ActivityColumns>,
+        cost: Option<&CostModel>,
+        query: &Query,
+    ) -> Result<PhysicalPlan> {
         validate(query)?;
         let default_cost_model;
         let cost_model: Option<&CostModel> = if self.config.cost_based {
@@ -269,6 +293,8 @@ impl Optimizer {
             &self.config,
             dataset,
             stats,
+            learned,
+            now_ns,
             matview,
             columnar,
             cost_model,
@@ -304,6 +330,12 @@ struct Rewrite<'a> {
     config: &'a OptimizerConfig,
     dataset: &'a Dataset,
     stats: Option<&'a OverlayStats>,
+    /// Learned statistics provider (adaptive layer); selectivity
+    /// estimates route through [`StatsView`] so fresh learned coverage
+    /// wins over the nominal histograms when it exists.
+    learned: Option<&'a LearnedStats>,
+    /// Virtual-clock instant for the learned staleness check.
+    now_ns: u64,
     matview: Option<&'a MaterializedAggregates>,
     columnar: Option<&'a ActivityColumns>,
     cost_model: Option<&'a CostModel>,
@@ -363,6 +395,8 @@ impl<'a> Rewrite<'a> {
         config: &'a OptimizerConfig,
         dataset: &'a Dataset,
         stats: Option<&'a OverlayStats>,
+        learned: Option<&'a LearnedStats>,
+        now_ns: u64,
         matview: Option<&'a MaterializedAggregates>,
         columnar: Option<&'a ActivityColumns>,
         cost_model: Option<&'a CostModel>,
@@ -372,6 +406,8 @@ impl<'a> Rewrite<'a> {
             config,
             dataset,
             stats,
+            learned,
+            now_ns,
             matview,
             columnar,
             cost_model,
@@ -406,6 +442,14 @@ impl<'a> Rewrite<'a> {
             access: None,
             finish: None,
         }
+    }
+
+    /// The selectivity seam for this planning run: a [`StatsView`]
+    /// over the nominal histograms plus any learned provider. `None`
+    /// only when no statistics were collected at all.
+    fn stats_view(&self) -> Option<StatsView<'a>> {
+        self.stats
+            .map(|s| StatsView::with_learned(s, self.learned, self.now_ns))
     }
 
     /// Run one phase's rules to a fixpoint (every rule once per pass,
@@ -623,14 +667,14 @@ impl<'a> Rewrite<'a> {
                 if !self.config.selectivity_ordering {
                     Off
                 } else {
-                    let Some(stats) = self.stats else {
+                    let Some(view) = self.stats_view() else {
                         return Ok(NotApplicable);
                     };
                     if self.is_done(rule.name) {
                         NoChange
                     } else {
                         self.mark_done(rule.name);
-                        self.residual = Some(order_by_selectivity(self.canonical.clone(), stats));
+                        self.residual = Some(order_by_selectivity(self.canonical.clone(), &view));
                         self.notes
                             .push("selectivity-ordering: residual conjuncts reordered".into());
                         Changed
@@ -739,8 +783,20 @@ impl<'a> Rewrite<'a> {
                     key_values.sort();
                     key_values.dedup();
                     self.key_values = key_values;
-                    self.expected_rows =
-                        estimate_rows(self.stats, self.interval(), &self.pushed_local);
+                    let (rows, source) =
+                        estimate_rows(self.stats_view(), self.interval(), &self.pushed_local);
+                    self.expected_rows = rows;
+                    // Only annotate when a learned provider is
+                    // installed and a pushdown exists to price — plans
+                    // from nominal-only sessions (and every golden
+                    // EXPLAIN) stay byte-identical.
+                    if self.learned.is_some() && self.pushed_local.is_some() {
+                        let label = match source {
+                            SelectivitySource::Learned => "learned",
+                            SelectivitySource::Nominal => "nominal",
+                        };
+                        self.notes.push(format!("selectivity-source: {label}"));
+                    }
                     Changed
                 }
             }
@@ -1167,6 +1223,7 @@ impl<'a> Rewrite<'a> {
             // The full predicate re-applies client-side; pushdown only
             // reduces shipped rows, never correctness.
             residual: self.residual.unwrap_or(self.canonical),
+            pushed_local: self.pushed_local,
             ligand_join: self.ligand_join,
             similarity: self.similarity,
             substructure: self.substructure,
@@ -1323,14 +1380,12 @@ pub(crate) fn conjuncts_of(p: &Predicate) -> Vec<&Predicate> {
 }
 
 /// Reorder a conjunction most-selective-first; other shapes unchanged.
-fn order_by_selectivity(pred: Predicate, stats: &OverlayStats) -> Predicate {
+/// Prices through the [`StatsView`] seam so fresh learned coverage
+/// (when a provider is installed) reorders with observed fractions.
+fn order_by_selectivity(pred: Predicate, view: &StatsView<'_>) -> Predicate {
     match pred {
         Predicate::And(mut ps) => {
-            ps.sort_by(|a, b| {
-                stats
-                    .predicate_selectivity(a)
-                    .total_cmp(&stats.predicate_selectivity(b))
-            });
+            ps.sort_by(|a, b| view.selectivity(a).total_cmp(&view.selectivity(b)));
             Predicate::And(ps)
         }
         other => other,
@@ -1383,16 +1438,18 @@ fn build_finish(
 /// `value_nm` bound would fall back to the nominal 0.5 guess and
 /// mis-rank access paths on affinity filters (experiment E12).
 fn estimate_rows(
-    stats: Option<&OverlayStats>,
+    view: Option<StatsView<'_>>,
     interval: LeafInterval,
     pushdown: &Option<Predicate>,
-) -> u64 {
-    stats.map_or(interval.len() as u64, |s| {
-        let base = s.interval_count(interval);
-        let sel = pushdown
+) -> (u64, SelectivitySource) {
+    view.map_or((interval.len() as u64, SelectivitySource::Nominal), |v| {
+        let base = v.overlay().interval_count(interval);
+        let (sel, source) = pushdown
             .as_ref()
-            .map_or(1.0, |p| s.predicate_selectivity(p));
-        (base as f64 * sel).ceil() as u64
+            .map_or((1.0, SelectivitySource::Nominal), |p| {
+                v.selectivity_with_source(p)
+            });
+        ((base as f64 * sel).ceil() as u64, source)
     })
 }
 

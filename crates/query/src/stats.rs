@@ -63,22 +63,78 @@ impl Histogram {
     }
 
     /// Estimated fraction of values satisfying `op value` (in [0, 1]).
+    ///
+    /// Edge cases are pinned rather than extrapolated: a NaN literal
+    /// matches nothing (except `Ne`, which every stored value
+    /// satisfies), infinite literals clamp to all-or-nothing, and `Eq`
+    /// estimates one row's share in the probed bucket (zero for an
+    /// empty bucket or an out-of-range probe) instead of a whole
+    /// bucket's share — so a single-bucket histogram no longer claims
+    /// every row equals any probed value.
     pub fn selectivity(&self, op: CompareOp, value: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
+        if value.is_nan() {
+            // IEEE comparisons against NaN are all false; `Ne` is the
+            // lone complement that is always true.
+            return if op == CompareOp::Ne { 1.0 } else { 0.0 };
+        }
+        if value.is_infinite() {
+            let everything_below = value.is_sign_positive();
+            return match op {
+                CompareOp::Lt | CompareOp::Le => {
+                    if everything_below {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                CompareOp::Gt | CompareOp::Ge => {
+                    if everything_below {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+                // Only finite values are binned (see `build`), so no
+                // stored value equals an infinity.
+                CompareOp::Eq => 0.0,
+                CompareOp::Ne => 1.0,
+            };
+        }
         let frac_below = self.fraction_below(value);
-        // Point-equality mass estimated as one bucket's share.
-        let point = 1.0 / self.buckets.len() as f64;
+        let eq = self.point_mass(value);
         match op {
             CompareOp::Lt => frac_below,
-            CompareOp::Le => (frac_below + point).min(1.0),
-            CompareOp::Gt => 1.0 - (frac_below + point).min(1.0),
+            CompareOp::Le => (frac_below + eq).min(1.0),
+            CompareOp::Gt => 1.0 - (frac_below + eq).min(1.0),
             CompareOp::Ge => 1.0 - frac_below,
-            CompareOp::Eq => point.min(1.0),
-            CompareOp::Ne => 1.0 - point.min(1.0),
+            CompareOp::Eq => eq,
+            CompareOp::Ne => 1.0 - eq,
         }
         .clamp(0.0, 1.0)
+    }
+
+    /// Estimated fraction of values exactly equal to `value`: one
+    /// row's share when the probed bucket is non-empty (values within
+    /// a bucket are assumed distinct), zero for empty buckets and for
+    /// probes outside `[min, max]`; a constant column (`min == max`)
+    /// is all-or-nothing.
+    fn point_mass(&self, value: f64) -> f64 {
+        if self.total == 0 || value < self.min || value > self.max {
+            return 0.0;
+        }
+        if self.min == self.max {
+            return if value == self.min { 1.0 } else { 0.0 };
+        }
+        let width = ((self.max - self.min) / self.buckets.len() as f64).max(f64::MIN_POSITIVE);
+        let b = (((value - self.min) / width) as usize).min(self.buckets.len() - 1);
+        if self.buckets[b] == 0 {
+            0.0
+        } else {
+            1.0 / self.total as f64
+        }
     }
 
     /// Estimated fraction of values strictly below `value`.
@@ -329,12 +385,12 @@ mod tests {
 
     #[test]
     fn histogram_single_bucket_and_out_of_range() {
-        // A single bucket degenerates every op to all-or-nothing plus the
-        // one-bucket point mass.
+        // A single bucket no longer claims every row equals the probe:
+        // `Eq` is one row's share of the (non-empty) bucket.
         let h = Histogram::build([1.0, 2.0, 3.0, 4.0], 1);
         assert_eq!(h.total(), 4);
-        assert_eq!(h.selectivity(CompareOp::Eq, 2.0), 1.0);
-        assert_eq!(h.selectivity(CompareOp::Ne, 2.0), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Eq, 2.0), 0.25);
+        assert_eq!(h.selectivity(CompareOp::Ne, 2.0), 0.75);
         assert_eq!(h.selectivity(CompareOp::Lt, 1.0), 0.0);
         assert_eq!(h.selectivity(CompareOp::Ge, 1.0), 1.0);
         // Probes entirely outside the observed [min, max] clamp to 0 or 1.
@@ -342,10 +398,61 @@ mod tests {
         assert_eq!(h.selectivity(CompareOp::Ge, -100.0), 1.0);
         assert_eq!(h.selectivity(CompareOp::Lt, 100.0), 1.0);
         assert_eq!(h.selectivity(CompareOp::Ge, 100.0), 0.0);
-        // nbuckets = 0 is clamped to one bucket rather than panicking.
+        assert_eq!(h.selectivity(CompareOp::Eq, 100.0), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Ne, 100.0), 1.0);
+        // nbuckets = 0 is clamped to one bucket rather than panicking;
+        // a constant column stays all-or-nothing on the exact value.
         let h = Histogram::build([7.0], 0);
         assert_eq!(h.total(), 1);
         assert_eq!(h.selectivity(CompareOp::Eq, 7.0), 1.0);
+        assert_eq!(h.selectivity(CompareOp::Ne, 7.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_nan_and_infinite_literals() {
+        let h = Histogram::build((0..100).map(f64::from), 10);
+        // NaN comparisons are all false except `Ne`, which is always
+        // true — no extrapolated garbage from the bucket arithmetic.
+        for op in [
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+            CompareOp::Eq,
+        ] {
+            assert_eq!(h.selectivity(op, f64::NAN), 0.0, "{op:?} NaN");
+        }
+        assert_eq!(h.selectivity(CompareOp::Ne, f64::NAN), 1.0);
+        // +inf: every stored value is below it; none equals it.
+        assert_eq!(h.selectivity(CompareOp::Lt, f64::INFINITY), 1.0);
+        assert_eq!(h.selectivity(CompareOp::Le, f64::INFINITY), 1.0);
+        assert_eq!(h.selectivity(CompareOp::Gt, f64::INFINITY), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Ge, f64::INFINITY), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Eq, f64::INFINITY), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Ne, f64::INFINITY), 1.0);
+        // -inf mirrors.
+        assert_eq!(h.selectivity(CompareOp::Lt, f64::NEG_INFINITY), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Le, f64::NEG_INFINITY), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Gt, f64::NEG_INFINITY), 1.0);
+        assert_eq!(h.selectivity(CompareOp::Ge, f64::NEG_INFINITY), 1.0);
+        assert_eq!(h.selectivity(CompareOp::Eq, f64::NEG_INFINITY), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Ne, f64::NEG_INFINITY), 1.0);
+        // An empty histogram stays 0.0 for every op, NaN included.
+        let empty = Histogram::build(std::iter::empty(), 4);
+        assert_eq!(empty.selectivity(CompareOp::Ne, f64::NAN), 0.0);
+        assert_eq!(empty.selectivity(CompareOp::Lt, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn histogram_eq_empty_bucket_is_zero() {
+        // Bimodal data: the middle buckets are empty, so an equality
+        // probe landing there estimates zero rather than a fake mass.
+        let values = (0..10).map(f64::from).chain((90..100).map(f64::from));
+        let h = Histogram::build(values, 10);
+        assert_eq!(h.selectivity(CompareOp::Eq, 50.0), 0.0);
+        assert_eq!(h.selectivity(CompareOp::Ne, 50.0), 1.0);
+        let hit = h.selectivity(CompareOp::Eq, 5.0);
+        assert!(hit > 0.0 && hit <= 0.06, "got {hit}");
     }
 
     #[test]

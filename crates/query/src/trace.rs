@@ -371,8 +371,8 @@ pub struct GestureObservation {
     pub payload_bytes: usize,
     /// Cache outcome of the underlying query, when one ran.
     pub cache_hit: Option<bool>,
-    /// Serving-fleet session id, when the session runs under a
-    /// `ServerHandle` (None for standalone sessions).
+    /// Serving-fleet session id, when the session runs under a fleet
+    /// scheduler (None for standalone sessions).
     pub session: Option<u32>,
     /// End-to-end latency charged to the user for this gesture:
     /// attributable compute cost plus the mobile-link transfer.

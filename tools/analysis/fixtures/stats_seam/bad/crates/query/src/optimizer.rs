@@ -1,0 +1,8 @@
+//! Seeded violation: the optimizer asks the overlay for a nominal
+//! selectivity directly instead of going through StatsView, so a
+//! learned estimate for the same predicate would never be consulted.
+
+fn order_by_selectivity(&self, pred: &Predicate) -> f64 {
+    // BAD: bypasses the learned-statistics seam.
+    self.stats.predicate_selectivity(pred)
+}

@@ -1,0 +1,9 @@
+//! Clean twin: the seam itself is the sanctioned caller of the
+//! nominal estimator — learned statistics are tried first, and the
+//! overlay is the fallback.
+
+impl StatsView<'_> {
+    fn nominal(&self, pred: &Predicate) -> f64 {
+        self.stats.predicate_selectivity(pred)
+    }
+}

@@ -1,0 +1,6 @@
+//! Clean twin: the optimizer routes every selectivity lookup through
+//! the StatsView seam, never the overlay directly.
+
+fn order_by_selectivity(&self, pred: &Predicate) -> f64 {
+    self.stats_view().selectivity(pred)
+}

@@ -1,0 +1,58 @@
+//! stats-seam: selectivity flows through the learned-statistics seam.
+//! The optimizer once called `OverlayStats::predicate_selectivity`
+//! directly, which made the learned-statistics loop (DESIGN.md §4j)
+//! unpluggable: any new call site would silently bypass the feedback
+//! loop and plan from nominal histograms even when fresher learned
+//! estimates existed. All selectivity lookups now go through
+//! `StatsView` (`crates/query/src/adaptive/seam.rs`), which consults
+//! learned statistics first and falls back to the nominal overlay.
+//! This pass keeps direct calls from creeping back: outside the stats
+//! module itself and the seam, `.predicate_selectivity(` is a
+//! violation.
+
+use crate::model::SourceModel;
+use crate::registry::{Pass, Violation};
+
+pub struct StatsSeam;
+
+/// The only files allowed to call the nominal estimator directly: the
+/// module that defines it, and the seam that wraps it.
+const SEAM_FILES: [&str; 2] = [
+    "crates/query/src/stats.rs",
+    "crates/query/src/adaptive/seam.rs",
+];
+
+impl Pass for StatsSeam {
+    fn name(&self) -> &'static str {
+        "stats-seam"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid direct predicate_selectivity calls outside the learned-statistics seam (use StatsView)"
+    }
+
+    fn run(&self, model: &SourceModel) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for fm in &model.files {
+            if SEAM_FILES.contains(&fm.path.as_str()) {
+                continue;
+            }
+            for (li, line) in fm.code.iter().enumerate() {
+                if line.contains(".predicate_selectivity(") {
+                    out.push(Violation {
+                        pass: self.name(),
+                        file: fm.path.clone(),
+                        line: li + 1,
+                        message: String::from(
+                            "direct predicate_selectivity call bypasses the learned-statistics \
+                             seam; route the estimate through StatsView \
+                             (crates/query/src/adaptive/seam.rs) so learned statistics can \
+                             override the nominal histogram",
+                        ),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
